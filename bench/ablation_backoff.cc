@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Ablation: bounced-write retry backoff. Aggressive retries add network
+ * traffic (Table 4's overhead column); lazy retries stretch fence
+ * groups. Sweeps the linear-backoff base.
+ */
+
+#include "bench_common.hh"
+
+using namespace asf;
+using namespace asf::bench;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseArgs(argc, argv);
+    Tick run_cycles = opt.quick ? 80'000 : 250'000;
+
+    Table table({"backoffBase", "bench", "txnPerKcycle", "retries/wr",
+                 "trafficIncr%"});
+
+    for (Tick base : {4u, 8u, 16u, 32u, 64u}) {
+        for (const char *name : {"Counter", "Hash"}) {
+            const TlrwBench &bench = ustmBenchByName(name);
+            SystemConfig cfg;
+            cfg.numCores = 8;
+            cfg.design = FenceDesign::WSPlus;
+            cfg.retryBackoffBase = base;
+            System sys(cfg);
+            setupTlrwWorkload(sys, bench, 0);
+            sys.run(run_cycles);
+            ExperimentResult r;
+            r.cycles = sys.now();
+            harvestStats(sys, r);
+            table.addRow({std::to_string(base), name,
+                          fmtDouble(r.throughputTxnPerKcycle()),
+                          fmtDouble(r.retriesPerBouncedWrite, 2),
+                          fmtDouble(r.trafficOverheadPct(), 3)});
+        }
+    }
+
+    emit(table, opt, "Ablation: bounce retry backoff under WS+");
+    return 0;
+}

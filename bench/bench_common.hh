@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table bench binaries: the design list
+ * the paper plots, normalized-bar formatting, and CLI handling
+ * (--csv for machine-readable output, --quick for a reduced sweep).
+ */
+
+#ifndef ASF_BENCH_COMMON_HH
+#define ASF_BENCH_COMMON_HH
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "sim/logging.hh"
+
+namespace asf::bench
+{
+
+/** The designs the paper's figures plot, in bar order. */
+inline const std::vector<FenceDesign> &
+figureDesigns()
+{
+    static const std::vector<FenceDesign> designs = {
+        FenceDesign::SPlus, FenceDesign::WSPlus, FenceDesign::WPlus,
+        FenceDesign::Wee};
+    return designs;
+}
+
+struct BenchOptions
+{
+    bool csv = false;
+    bool quick = false;
+};
+
+inline BenchOptions
+parseArgs(int argc, char **argv)
+{
+    BenchOptions opt;
+    for (int i = 1; i < argc; i++) {
+        if (!std::strcmp(argv[i], "--csv"))
+            opt.csv = true;
+        else if (!std::strcmp(argv[i], "--quick"))
+            opt.quick = true;
+        else
+            fatal("unknown option '%s' (supported: --csv --quick)",
+                  argv[i]);
+    }
+    setVerbose(false);
+    return opt;
+}
+
+inline void
+emit(const harness::Table &table, const BenchOptions &opt,
+     const std::string &title)
+{
+    if (opt.csv) {
+        table.printCsv(std::cout);
+    } else {
+        std::cout << "== " << title << " ==\n";
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+}
+
+inline void
+requireValid(const harness::ExperimentResult &r)
+{
+    if (!r.valid)
+        fatal("%s under %s failed validation: %s", r.workload.c_str(),
+              fenceDesignName(r.design), r.validationError.c_str());
+}
+
+} // namespace asf::bench
+
+#endif // ASF_BENCH_COMMON_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 8 reproduction: normalized execution time of the CilkApps under
+ * S+, WS+, W+, and Wee, broken down into Busy / Other Stall / Fence
+ * Stall. Every row is one bar of the paper's figure.
+ */
+
+#include "bench_common.hh"
+
+using namespace asf;
+using namespace asf::bench;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseArgs(argc, argv);
+
+    Table table({"app", "design", "normTime", "busy", "otherStall",
+                 "fenceStall", "fenceStallPct"});
+
+    double sum_norm[4] = {0, 0, 0, 0};
+    double sum_fencepct[4] = {0, 0, 0, 0};
+    unsigned napps = 0;
+
+    for (const CilkApp &app_ref : cilkApps()) {
+        CilkApp app = app_ref;
+        if (opt.quick) {
+            app.spawnDepth = std::min(app.spawnDepth, 3u);
+            app.initialTasks = std::min(app.initialTasks, 2u);
+        }
+        double splus_cycles = 0;
+        unsigned di = 0;
+        for (FenceDesign d : figureDesigns()) {
+            ExperimentResult r = runCilkExperiment(app, d, 8);
+            requireValid(r);
+            if (d == FenceDesign::SPlus)
+                splus_cycles = double(r.cycles);
+            double norm = double(r.cycles) / splus_cycles;
+            // Split the normalized bar by the cycle classification.
+            double active = double(r.breakdown.active());
+            double busy = norm * double(r.breakdown.busy) / active;
+            double other = norm * double(r.breakdown.otherStall) / active;
+            double fence = norm * double(r.breakdown.fenceStall) / active;
+            table.addRow({app.name, fenceDesignName(d), fmtDouble(norm),
+                          fmtDouble(busy), fmtDouble(other),
+                          fmtDouble(fence),
+                          fmtDouble(100.0 * r.breakdown.fenceFrac(), 1)});
+            sum_norm[di] += norm;
+            sum_fencepct[di] += r.breakdown.fenceFrac();
+            di++;
+        }
+        napps++;
+    }
+
+    unsigned di = 0;
+    for (FenceDesign d : figureDesigns()) {
+        table.addRow({"[CILK-AVG]", fenceDesignName(d),
+                      fmtDouble(sum_norm[di] / napps), "-", "-", "-",
+                      fmtDouble(100.0 * sum_fencepct[di] / napps, 1)});
+        di++;
+    }
+
+    emit(table, opt,
+         "Figure 8: CilkApps execution time (normalized to S+)");
+    return 0;
+}

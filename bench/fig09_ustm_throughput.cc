@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 9 reproduction: transactional throughput of the ustm
+ * microbenchmarks (committed transactions per second), normalized to S+.
+ */
+
+#include "bench_common.hh"
+
+using namespace asf;
+using namespace asf::bench;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseArgs(argc, argv);
+    Tick run_cycles = opt.quick ? 100'000 : 300'000;
+
+    Table table({"bench", "design", "txnPerKcycle", "normThroughput"});
+
+    double sum_norm[4] = {0, 0, 0, 0};
+    unsigned nbench = 0;
+    for (const TlrwBench &bench : ustmBenches()) {
+        double splus_tp = 0;
+        unsigned di = 0;
+        for (FenceDesign d : figureDesigns()) {
+            ExperimentResult r = runUstmExperiment(bench, d, 8, run_cycles);
+            requireValid(r);
+            double tp = r.throughputTxnPerKcycle();
+            if (d == FenceDesign::SPlus)
+                splus_tp = tp;
+            double norm = splus_tp > 0 ? tp / splus_tp : 0.0;
+            table.addRow({bench.name, fenceDesignName(d), fmtDouble(tp),
+                          fmtDouble(norm)});
+            sum_norm[di] += norm;
+            di++;
+        }
+        nbench++;
+    }
+
+    unsigned di = 0;
+    for (FenceDesign d : figureDesigns()) {
+        table.addRow({"[ustm-AVG]", fenceDesignName(d), "-",
+                      fmtDouble(sum_norm[di] / nbench)});
+        di++;
+    }
+
+    emit(table, opt,
+         "Figure 9: ustm transactional throughput (normalized to S+)");
+    return 0;
+}

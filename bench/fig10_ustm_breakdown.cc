@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 10 reproduction: per-transaction breakdown of processor cycles
+ * for the ustm microbenchmarks (Busy / Other Stall / Fence Stall),
+ * normalized to the S+ per-transaction cycle count.
+ */
+
+#include "bench_common.hh"
+
+using namespace asf;
+using namespace asf::bench;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseArgs(argc, argv);
+    Tick run_cycles = opt.quick ? 100'000 : 300'000;
+
+    Table table({"bench", "design", "cyclesPerTxn", "normCycles", "busy",
+                 "otherStall", "fenceStall", "fenceStallPct"});
+
+    double sum_norm[4] = {0, 0, 0, 0};
+    double sum_fencepct[4] = {0, 0, 0, 0};
+    unsigned nbench = 0;
+    for (const TlrwBench &bench : ustmBenches()) {
+        double splus_cpt = 0;
+        unsigned di = 0;
+        for (FenceDesign d : figureDesigns()) {
+            ExperimentResult r = runUstmExperiment(bench, d, 8, run_cycles);
+            requireValid(r);
+            double cpt = r.commits
+                             ? double(r.breakdown.active()) /
+                                   double(r.commits)
+                             : 0.0;
+            if (d == FenceDesign::SPlus)
+                splus_cpt = cpt;
+            double norm = splus_cpt > 0 ? cpt / splus_cpt : 0.0;
+            double active = double(r.breakdown.active());
+            table.addRow(
+                {bench.name, fenceDesignName(d), fmtDouble(cpt, 0),
+                 fmtDouble(norm),
+                 fmtDouble(norm * double(r.breakdown.busy) / active),
+                 fmtDouble(norm * double(r.breakdown.otherStall) / active),
+                 fmtDouble(norm * double(r.breakdown.fenceStall) / active),
+                 fmtDouble(100.0 * r.breakdown.fenceFrac(), 1)});
+            sum_norm[di] += norm;
+            sum_fencepct[di] += r.breakdown.fenceFrac();
+            di++;
+        }
+        nbench++;
+    }
+
+    unsigned di = 0;
+    for (FenceDesign d : figureDesigns()) {
+        table.addRow({"[ustm-AVG]", fenceDesignName(d), "-",
+                      fmtDouble(sum_norm[di] / nbench), "-", "-", "-",
+                      fmtDouble(100.0 * sum_fencepct[di] / nbench, 1)});
+        di++;
+    }
+
+    emit(table, opt,
+         "Figure 10: ustm per-transaction cycle breakdown "
+         "(normalized to S+)");
+    return 0;
+}

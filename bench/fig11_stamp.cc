@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 11 reproduction: normalized execution time of the STAMP-like
+ * applications under S+, WS+, W+, and Wee.
+ */
+
+#include "bench_common.hh"
+
+using namespace asf;
+using namespace asf::bench;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseArgs(argc, argv);
+
+    Table table({"app", "design", "normTime", "busy", "otherStall",
+                 "fenceStall", "fenceStallPct"});
+
+    double sum_norm[4] = {0, 0, 0, 0};
+    double sum_fencepct[4] = {0, 0, 0, 0};
+    unsigned napps = 0;
+    for (const StampApp &app_ref : stampApps()) {
+        StampApp app = app_ref;
+        if (opt.quick)
+            app.txnsPerThread = std::max<uint64_t>(app.txnsPerThread / 4, 8);
+        double splus_cycles = 0;
+        unsigned di = 0;
+        for (FenceDesign d : figureDesigns()) {
+            ExperimentResult r = runStampExperiment(app, d, 8);
+            requireValid(r);
+            if (d == FenceDesign::SPlus)
+                splus_cycles = double(r.cycles);
+            double norm = double(r.cycles) / splus_cycles;
+            double active = double(r.breakdown.active());
+            table.addRow(
+                {app.bench.name, fenceDesignName(d), fmtDouble(norm),
+                 fmtDouble(norm * double(r.breakdown.busy) / active),
+                 fmtDouble(norm * double(r.breakdown.otherStall) / active),
+                 fmtDouble(norm * double(r.breakdown.fenceStall) / active),
+                 fmtDouble(100.0 * r.breakdown.fenceFrac(), 1)});
+            sum_norm[di] += norm;
+            sum_fencepct[di] += r.breakdown.fenceFrac();
+            di++;
+        }
+        napps++;
+    }
+
+    unsigned di = 0;
+    for (FenceDesign d : figureDesigns()) {
+        table.addRow({"[STAMP-AVG]", fenceDesignName(d),
+                      fmtDouble(sum_norm[di] / napps), "-", "-", "-",
+                      fmtDouble(100.0 * sum_fencepct[di] / napps, 1)});
+        di++;
+    }
+
+    emit(table, opt,
+         "Figure 11: STAMP execution time (normalized to S+)");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 12 reproduction: scalability of the fence-stall reduction. For
+ * each workload group and design, the ratio of fence-stall time to the
+ * S+ fence-stall time at 4, 8, 16, and 32 cores. Flat bars = scalable.
+ */
+
+#include "bench_common.hh"
+
+using namespace asf;
+using namespace asf::bench;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+namespace
+{
+
+const std::vector<FenceDesign> &
+ratioDesigns()
+{
+    static const std::vector<FenceDesign> d = {
+        FenceDesign::WSPlus, FenceDesign::WPlus, FenceDesign::Wee};
+    return d;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseArgs(argc, argv);
+    std::vector<unsigned> cores =
+        opt.quick ? std::vector<unsigned>{4, 8}
+                  : std::vector<unsigned>{4, 8, 16, 32};
+
+    Table table({"group", "design", "cores", "fenceStallRatioPct"});
+
+    // One representative per group keeps the sweep tractable; the
+    // full-figure per-app data comes from fig08/fig10/fig11.
+    CilkApp cilk = cilkAppByName("heat");
+    TlrwBench ustm = ustmBenchByName("Hash");
+    StampApp stamp = stampAppByName("intruder");
+    if (opt.quick) {
+        cilk.spawnDepth = 2;
+        stamp.txnsPerThread = 30;
+    }
+
+    for (unsigned n : cores) {
+        std::map<std::string, double> splus_stall;
+        auto record = [&](const std::string &group, FenceDesign d,
+                          const ExperimentResult &r) {
+            requireValid(r);
+            double stall = double(r.breakdown.fenceStall);
+            if (d == FenceDesign::SPlus) {
+                splus_stall[group] = stall;
+                return;
+            }
+            double ratio = splus_stall[group] > 0
+                               ? stall / splus_stall[group]
+                               : 0.0;
+            table.addRow({group, fenceDesignName(d), std::to_string(n),
+                          fmtDouble(100.0 * ratio, 1)});
+        };
+
+        record("CilkApps", FenceDesign::SPlus,
+               runCilkExperiment(cilk, FenceDesign::SPlus, n));
+        for (FenceDesign d : ratioDesigns())
+            record("CilkApps", d, runCilkExperiment(cilk, d, n));
+
+        record("ustm", FenceDesign::SPlus,
+               runUstmExperiment(ustm, FenceDesign::SPlus, n, 150'000));
+        for (FenceDesign d : ratioDesigns())
+            record("ustm", d, runUstmExperiment(ustm, d, n, 150'000));
+
+        record("STAMP", FenceDesign::SPlus,
+               runStampExperiment(stamp, FenceDesign::SPlus, n));
+        for (FenceDesign d : ratioDesigns())
+            record("STAMP", d, runStampExperiment(stamp, d, n));
+    }
+
+    emit(table, opt,
+         "Figure 12: fence-stall time relative to S+ across core counts");
+    return 0;
+}

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Table 4 reproduction: characterization of the asymmetric fence designs
+ * on 8 processors - fences per 1000 instructions by kind, Bypass Set
+ * occupancy, bounced writes and retries, W+ recoveries, Wee demotions,
+ * and network-traffic overhead.
+ */
+
+#include "bench_common.hh"
+
+using namespace asf;
+using namespace asf::bench;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+namespace
+{
+
+struct GroupAccum
+{
+    double instr = 0;
+    double sf = 0, wf = 0;
+    double bounced = 0, retrySamplesWeighted = 0;
+    double bsLinesWeighted = 0, bsSamples = 0;
+    double recoveries = 0;
+    double demotions = 0;
+    double bytesBase = 0, bytesOver = 0;
+    unsigned n = 0;
+
+    void
+    add(const ExperimentResult &r)
+    {
+        instr += double(r.instrRetired);
+        sf += double(r.fencesStrong);
+        wf += double(r.fencesWeak);
+        bounced += double(r.bouncedWrites);
+        retrySamplesWeighted +=
+            r.retriesPerBouncedWrite * double(r.bouncedWrites);
+        bsLinesWeighted += r.bsLinesPerWf * double(r.fencesWeak);
+        bsSamples += double(r.fencesWeak);
+        recoveries += double(r.wPlusRecoveries);
+        demotions += double(r.weeDemotions);
+        bytesBase += double(r.bytesBase);
+        bytesOver += double(r.bytesRetry + r.bytesGrt);
+        n++;
+    }
+};
+
+std::vector<std::string>
+rowFor(const std::string &group, const char *design, const GroupAccum &g)
+{
+    double per1000 = g.instr > 0 ? 1000.0 / g.instr : 0.0;
+    double wf_count = g.wf > 0 ? g.wf : 1.0;
+    return {group,
+            design,
+            fmtDouble(g.sf * per1000, 3),
+            fmtDouble(g.wf * per1000, 3),
+            fmtDouble(g.bsSamples > 0 ? g.bsLinesWeighted / g.bsSamples
+                                      : 0.0,
+                      2),
+            fmtDouble(g.bounced / wf_count, 4),
+            fmtDouble(g.bounced > 0 ? g.retrySamplesWeighted / g.bounced
+                                    : 0.0,
+                      2),
+            fmtDouble(g.recoveries / wf_count, 4),
+            fmtDouble(g.demotions * per1000, 3),
+            fmtDouble(g.bytesBase > 0
+                          ? 100.0 * g.bytesOver / g.bytesBase
+                          : 0.0,
+                      3)};
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchOptions opt = parseArgs(argc, argv);
+    Tick ustm_cycles = opt.quick ? 80'000 : 250'000;
+
+    Table table({"group", "design", "sf/1000i", "wf/1000i", "lines/BS",
+                 "wrBounc/wf", "retries/wr", "recov/wf", "demote/1000i",
+                 "trafficIncr%"});
+
+    std::vector<FenceDesign> designs = {FenceDesign::SPlus,
+                                        FenceDesign::WSPlus,
+                                        FenceDesign::WPlus,
+                                        FenceDesign::Wee};
+
+    for (FenceDesign d : designs) {
+        GroupAccum cilk, ustm, stamp;
+        for (const CilkApp &app_ref : cilkApps()) {
+            CilkApp app = app_ref;
+            if (opt.quick) {
+                app.spawnDepth = std::min(app.spawnDepth, 3u);
+                app.initialTasks = std::min(app.initialTasks, 2u);
+            }
+            ExperimentResult r = runCilkExperiment(app, d, 8);
+            requireValid(r);
+            cilk.add(r);
+        }
+        for (const TlrwBench &bench : ustmBenches()) {
+            ExperimentResult r = runUstmExperiment(bench, d, 8,
+                                                   ustm_cycles);
+            requireValid(r);
+            ustm.add(r);
+        }
+        for (const StampApp &app_ref : stampApps()) {
+            StampApp app = app_ref;
+            if (opt.quick)
+                app.txnsPerThread =
+                    std::max<uint64_t>(app.txnsPerThread / 4, 8);
+            ExperimentResult r = runStampExperiment(app, d, 8);
+            requireValid(r);
+            stamp.add(r);
+        }
+        table.addRow(rowFor("CilkApps", fenceDesignName(d), cilk));
+        table.addRow(rowFor("ustm", fenceDesignName(d), ustm));
+        table.addRow(rowFor("STAMP", fenceDesignName(d), stamp));
+    }
+
+    emit(table, opt, "Table 4: characterization of asymmetric fences");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Bakery-lock example (paper Section 4.3): N threads contend on
+ * Lamport's bakery lock. With WS+ one thread is given priority (its
+ * fences weak); with W+ every thread runs weak fences and deadlock
+ * recovery sorts out the collisions.
+ *
+ *   $ ./bakery_lock [threads] [iterations]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "runtime/bakery.hh"
+#include "runtime/marks.hh"
+#include "runtime/regs.hh"
+#include "sys/system.hh"
+
+using namespace asf;
+using namespace asf::runtime;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    unsigned threads = argc > 1 ? unsigned(std::atoi(argv[1])) : 4;
+    unsigned iters = argc > 2 ? unsigned(std::atoi(argv[2])) : 10;
+
+    std::printf("Bakery lock, %u threads x %u iterations "
+                "(thread 0 has priority under WS+/SW+):\n\n",
+                threads, iters);
+    std::printf("%-5s %12s %12s %10s %10s\n", "design", "cycles",
+                "counter", "recov", "fence%");
+
+    for (FenceDesign d : allFenceDesigns) {
+        SystemConfig cfg;
+        cfg.numCores = threads;
+        cfg.design = d;
+        System sys(cfg);
+        GuestLayout layout;
+        BakeryLayout lay = allocBakery(layout, threads);
+        for (unsigned i = 0; i < threads; i++) {
+            sys.loadProgram(NodeId(i),
+                            std::make_shared<const Program>(
+                                buildBakeryProgram(lay, i, iters, 50, 0)));
+            sys.core(NodeId(i)).setReg(regs::tid, i);
+            sys.core(NodeId(i)).setReg(regs::nthreads, threads);
+        }
+        if (sys.run(100'000'000) != System::RunResult::AllDone) {
+            std::printf("%-5s hung!\n", fenceDesignName(d));
+            continue;
+        }
+        uint64_t counter = sys.debugReadWord(lay.counterAddr);
+        uint64_t recov = 0;
+        for (unsigned i = 0; i < threads; i++)
+            recov += sys.core(NodeId(i)).stats().get("wPlusRecoveries");
+        CycleBreakdown b = sys.breakdown();
+        std::printf("%-5s %12llu %12llu %10llu %9.1f%%%s\n",
+                    fenceDesignName(d), (unsigned long long)sys.now(),
+                    (unsigned long long)counter,
+                    (unsigned long long)recov, 100.0 * b.fenceFrac(),
+                    counter == uint64_t(threads) * iters
+                        ? ""
+                        : "  MUTUAL EXCLUSION BROKEN!");
+    }
+    return 0;
+}

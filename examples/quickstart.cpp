@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Quickstart: build a 2-core system, run the store-buffering (Dekker
+ * core) litmus under every fence design, and compare outcomes and fence
+ * stall. Demonstrates the library's three-step API: configure a System,
+ * load guest Programs, run and read stats back.
+ *
+ *   $ ./quickstart
+ */
+
+#include <cstdio>
+
+#include "prog/assembler.hh"
+#include "runtime/layout.hh"
+#include "runtime/litmus.hh"
+#include "sim/logging.hh"
+#include "sys/system.hh"
+
+using namespace asf;
+using namespace asf::runtime;
+
+namespace
+{
+
+void
+runUnder(FenceDesign design, bool fenced)
+{
+    SystemConfig cfg;
+    cfg.numCores = 2;
+    cfg.design = design;
+
+    System sys(cfg);
+    GuestLayout layout;
+    LitmusLayout lay = allocLitmus(layout);
+    // warm = 600: both threads cache their load target and align, so the
+    // stores are the slow part - the classic SB timing.
+    sys.loadProgram(0, std::make_shared<const Program>(buildSbThread(
+                           lay, 0, fenced, FenceRole::Critical, 600)));
+    sys.loadProgram(1, std::make_shared<const Program>(buildSbThread(
+                           lay, 1, fenced, FenceRole::Noncritical, 600)));
+
+    if (sys.run(1'000'000) != System::RunResult::AllDone) {
+        std::printf("  run did not finish!\n");
+        return;
+    }
+
+    uint64_t r0 = sys.debugReadWord(lay.res0);
+    uint64_t r1 = sys.debugReadWord(lay.res1);
+    CycleBreakdown b = sys.breakdown();
+    std::printf("  %-8s  r0=%llu r1=%llu  fence-stall=%4llu cycles   %s\n",
+                fenced ? fenceDesignName(design) : "none",
+                (unsigned long long)r0, (unsigned long long)r1,
+                (unsigned long long)b.fenceStall,
+                (r0 == 0 && r1 == 0) ? "<- SC VIOLATION" : "SC preserved");
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Store buffering:  T0: st x=1; FENCE; r0=ld y\n");
+    std::printf("                  T1: st y=1; FENCE; r1=ld x\n");
+    std::printf("(r0,r1)==(0,0) is the sequential-consistency violation "
+                "the fences must prevent.\n\n");
+    runUnder(FenceDesign::SPlus, false);
+    for (FenceDesign d : allFenceDesigns)
+        runUnder(d, true);
+    std::printf(
+        "\nEvery design prevents the violation. Note the W+ line: a "
+        "symmetric all-weak\ngroup is W+'s worst case - it deadlocks, "
+        "times out, and rolls back (still\ncorrect, but paying recovery "
+        "cycles). The asymmetric designs resolve the same\ngroup with "
+        "one cheap bounce. Run work_stealing or stm_demo to see the "
+        "weak\nfences' upside on the workloads they are meant for.\n");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * STM example (paper Section 4.2): TLRW transactions on 8 cores. The
+ * read barrier's fence is the Critical (weak) one, the write barrier's
+ * the Noncritical (strong) one. Prints committed-transaction throughput
+ * per design plus the serializability check.
+ *
+ *   $ ./stm_demo [bench-name]
+ */
+
+#include <cstdio>
+
+#include "runtime/marks.hh"
+#include "workloads/ustm.hh"
+
+using namespace asf;
+using namespace asf::workloads;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const TlrwBench &bench =
+        ustmBenchByName(argc > 1 ? argv[1] : "Hash");
+
+    std::printf("ustm bench '%s': orecs=%u reads/txn=%u writes/txn=%u\n\n",
+                bench.name.c_str(), bench.numOrecs, bench.readsRw,
+                bench.writesRw);
+    std::printf("%-5s %10s %10s %10s %8s %12s\n", "design", "commits",
+                "aborts", "recov", "fence%", "throughput");
+
+    double splus_tp = 0;
+    for (FenceDesign d : allFenceDesigns) {
+        SystemConfig cfg;
+        cfg.numCores = 8;
+        cfg.design = d;
+        System sys(cfg);
+        TlrwSetup setup = setupTlrwWorkload(sys, bench, 0);
+        sys.run(300'000);
+
+        uint64_t commits = sys.guestCounter(marks::txCommit);
+        uint64_t commits_rw = sys.guestCounter(markTxCommitRw);
+        uint64_t aborts = sys.guestCounter(marks::txAbort);
+        uint64_t recov = 0;
+        for (unsigned i = 0; i < 8; i++)
+            recov +=
+                sys.core(NodeId(i)).stats().get("wPlusRecoveries");
+
+        // Serializability check: lock-protected increments must balance.
+        uint64_t sum = sumTlrwData(sys, setup);
+        uint64_t expect = uint64_t(bench.writesRw) * commits_rw;
+        bool sound = sum >= expect &&
+                     sum <= expect + uint64_t(bench.writesRw) * 8;
+
+        double tp = 1000.0 * double(commits) / double(sys.now());
+        if (d == FenceDesign::SPlus)
+            splus_tp = tp;
+        CycleBreakdown b = sys.breakdown();
+        std::printf("%-5s %10llu %10llu %10llu %7.1f%% %8.2f tx/kcyc"
+                    " (%.2fx)%s\n",
+                    fenceDesignName(d), (unsigned long long)commits,
+                    (unsigned long long)aborts,
+                    (unsigned long long)recov, 100.0 * b.fenceFrac(), tp,
+                    tp / splus_tp, sound ? "" : "  UNSOUND!");
+    }
+    return 0;
+}

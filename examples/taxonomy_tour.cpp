@@ -1,0 +1,110 @@
+/**
+ * @file
+ * A guided tour of the fence taxonomy's corner cases (paper Figures 3-4):
+ * the same false-sharing collision between two *unrelated* weak fences
+ * is run under WS+, SW+, and W+, showing the three designs' different
+ * escape mechanisms - the Order operation, the Conditional Order, and
+ * checkpoint recovery - all producing the same correct result.
+ *
+ *   $ ./taxonomy_tour
+ */
+
+#include <cstdio>
+
+#include "prog/assembler.hh"
+#include "sim/logging.hh"
+#include "sys/system.hh"
+
+using namespace asf;
+
+namespace
+{
+
+/**
+ * st [st_addr]=1; wf; r = ld [ld_addr]; res = r, with warm-up. Word
+ * offsets pick true or false sharing against the partner thread.
+ */
+Program
+collider(Addr st_addr, Addr ld_addr, Addr res)
+{
+    Assembler a("collider");
+    a.li(1, int64_t(st_addr));
+    a.li(2, int64_t(ld_addr));
+    a.li(3, int64_t(res));
+    a.ld(4, 2, 0);
+    a.compute(600);
+    a.li(4, 1);
+    a.st(1, 0, 4);
+    a.fence(FenceRole::Critical);
+    a.ld(5, 2, 0);
+    a.st(3, 0, 5);
+    a.halt();
+    return a.finish();
+}
+
+void
+runCollision(FenceDesign design)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.design = design;
+    System sys(cfg);
+
+    // Figure 4b: T0 writes word 0 of line A and reads word 0 of line B;
+    // T3 writes word 1 of line B and reads word 1 of line A. The two
+    // fence "groups" are unrelated - they collide only through false
+    // sharing of the cache lines.
+    Addr lineA = 0x1200, lineB = 0x1400;
+    sys.loadProgram(0, std::make_shared<const Program>(
+                           collider(lineA, lineB, 0x3000)));
+    sys.loadProgram(3, std::make_shared<const Program>(
+                           collider(lineB + 8, lineA + 8, 0x3020)));
+
+    if (sys.run(5'000'000) != System::RunResult::AllDone) {
+        std::printf("  %-4s DID NOT FINISH\n", fenceDesignName(design));
+        return;
+    }
+
+    uint64_t orders = 0, co_failed = 0, recoveries = 0, nacks = 0;
+    for (unsigned n = 0; n < 4; n++) {
+        orders += sys.directory(NodeId(n)).stats().get("orderCompleted");
+        co_failed += sys.directory(NodeId(n)).stats().get("coFailed");
+        recoveries += sys.core(NodeId(n)).stats().get("wPlusRecoveries");
+        nacks += sys.core(NodeId(n)).stats().get("storeNacks");
+    }
+    bool correct = sys.debugReadWord(lineA) == 1 &&
+                   sys.debugReadWord(lineB + 8) == 1;
+    std::printf("  %-4s %8llu cycles  bounces=%llu orders=%llu "
+                "coFailed=%llu recoveries=%llu  %s\n",
+                fenceDesignName(design),
+                (unsigned long long)sys.now(), (unsigned long long)nacks,
+                (unsigned long long)orders, (unsigned long long)co_failed,
+                (unsigned long long)recoveries,
+                correct ? "both stores landed" : "BROKEN");
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf(
+        "Figure 4b: two unrelated weak fences colliding through false\n"
+        "sharing. Each design escapes the line-granularity bounce cycle\n"
+        "its own way:\n\n"
+        "  WS+ converts the bouncing writes into Order operations;\n"
+        "  SW+ asks the sharers word-level questions (Conditional "
+        "Order);\n"
+        "  W+  lets the deadlock happen, times out, and rolls back;\n"
+        "  Wee stalls on its Remote Pending Set / watchdog.\n\n");
+    for (FenceDesign d :
+         {FenceDesign::WSPlus, FenceDesign::SWPlus, FenceDesign::WPlus,
+          FenceDesign::Wee, FenceDesign::SPlus}) {
+        runCollision(d);
+    }
+    std::printf("\nNote the mechanism fingerprints: orders>0 for WS+, "
+                "orders with coFailed=0 for\nSW+ (pure false sharing "
+                "completes as an Order), recoveries>0 for W+.\n");
+    return 0;
+}

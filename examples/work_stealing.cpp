@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Work-stealing example (paper Section 4.1): run a Cilk-style app on 8
+ * cores under every fence design and compare execution time. The
+ * owner's take() fence is Critical (weak under WS+/SW+), the thief's
+ * steal() fence Noncritical (strong).
+ *
+ *   $ ./work_stealing [app-name]
+ */
+
+#include <cstdio>
+
+#include "runtime/marks.hh"
+#include "workloads/cilk_apps.hh"
+
+using namespace asf;
+using namespace asf::workloads;
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const CilkApp &app =
+        cilkAppByName(argc > 1 ? argv[1] : "heat");
+
+    std::printf("Cilk app '%s': grain=%u stores/task=%u depth=%u\n\n",
+                app.name.c_str(), app.taskGrain, app.storesPerTask,
+                app.spawnDepth);
+    std::printf("%-5s %12s %12s %10s %8s %8s\n", "design", "cycles",
+                "tasks", "stolen", "fence%", "speedup");
+
+    double splus_cycles = 0;
+    for (FenceDesign d : allFenceDesigns) {
+        SystemConfig cfg;
+        cfg.numCores = 8;
+        cfg.design = d;
+        System sys(cfg);
+        CilkSetup setup = setupCilkApp(sys, app);
+        if (sys.run(50'000'000) != System::RunResult::AllDone) {
+            std::printf("%-5s did not finish\n", fenceDesignName(d));
+            continue;
+        }
+        uint64_t tasks = sys.guestCounter(marks::taskDone);
+        uint64_t steals = sys.guestCounter(marks::taskStolen);
+        if (tasks != setup.expectedTasks)
+            std::printf("WARNING: task count mismatch (%llu vs %llu)\n",
+                        (unsigned long long)tasks,
+                        (unsigned long long)setup.expectedTasks);
+        CycleBreakdown b = sys.breakdown();
+        if (d == FenceDesign::SPlus)
+            splus_cycles = double(sys.now());
+        std::printf("%-5s %12llu %12llu %10llu %7.1f%% %8.2fx\n",
+                    fenceDesignName(d), (unsigned long long)sys.now(),
+                    (unsigned long long)tasks,
+                    (unsigned long long)steals, 100.0 * b.fenceFrac(),
+                    splus_cycles / double(sys.now()));
+    }
+    return 0;
+}

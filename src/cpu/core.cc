@@ -1,0 +1,1064 @@
+#include "cpu/core.hh"
+
+#include <algorithm>
+
+#include "mem/address.hh"
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+Core::Core(NodeId id, const SystemConfig &cfg, L1Cache &l1, Mesh &mesh,
+           EventQueue &eq)
+    : id_(id), cfg_(cfg), l1_(l1), mesh_(mesh), eq_(eq),
+      wb_(cfg.wbEntries), bs_(cfg.bsEntries),
+      stats_(format("core%d", id))
+{
+    tsoOrder_ = cfg_.memoryModel == MemoryModel::TSO;
+    storeTxns_.resize(tsoOrder_ ? 1 : cfg_.storeUnits);
+    l1_.bsMatch = [this](Addr line, WordMask words) {
+        return bsProbe(line, words);
+    };
+    l1_.onLineInvalidated = [this](Addr line) { onLineInvalidated(line); };
+    l1_.onBsBounce = [this](Addr line) { onBsBounce(line); };
+    l1_.onReply = [this](const Message &msg) { onL1Reply(msg); };
+}
+
+void
+Core::setProgram(const Program *prog, uint64_t prng_seed)
+{
+    prog_ = prog;
+    thread_.reset(0, prng_seed ? prng_seed
+                               : 0x9e3779b97f4a7c15ULL + uint64_t(id_));
+}
+
+void
+Core::setReg(Reg r, uint64_t v)
+{
+    thread_.setReg(r, v);
+}
+
+bool
+Core::done() const
+{
+    for (const auto &t : storeTxns_)
+        if (t.active)
+            return false;
+    return (!prog_ || thread_.halted()) && wb_.empty() &&
+           load_.phase == LoadPhase::Inactive &&
+           rmw_.phase == RmwPhase::Inactive && fences_.empty() &&
+           !getSOutstanding_;
+}
+
+// ---------------------------------------------------------------------
+// Per-cycle pipeline
+// ---------------------------------------------------------------------
+
+void
+Core::tick()
+{
+    retiredThisCycle_ = 0;
+    stallReason_ = Stall::Other;
+
+    if (done()) {
+        stats_.scalar("idleCycles").inc();
+        return;
+    }
+
+    tickFences();
+    issueStores();
+    tickRmw();
+    tickLoadUnit();
+    tickExecute();
+    classifyCycle();
+}
+
+void
+Core::classifyCycle()
+{
+    if (retiredThisCycle_ > 0) {
+        stats_.scalar("busyCycles").inc();
+        return;
+    }
+    // A halted thread draining its write buffer is not stalled - nothing
+    // is waiting on those cycles.
+    if (thread_.halted() && load_.phase == LoadPhase::Inactive &&
+        rmw_.phase == RmwPhase::Inactive) {
+        stats_.scalar("idleCycles").inc();
+        return;
+    }
+    switch (stallReason_) {
+      case Stall::Fence:
+        stats_.scalar("fenceStallCycles").inc();
+        break;
+      case Stall::RmwDrain:
+        stats_.scalar("rmwDrainCycles").inc();
+        stats_.scalar("otherStallCycles").inc();
+        break;
+      case Stall::Other:
+        stats_.scalar("otherStallCycles").inc();
+        break;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fences
+// ---------------------------------------------------------------------
+
+Core::FenceInstance *
+Core::activeWeakFence()
+{
+    for (auto &f : fences_)
+        if (f.isWeak())
+            return &f;
+    return nullptr;
+}
+
+void
+Core::tickFences()
+{
+    while (!fences_.empty() &&
+           wb_.drainedUpTo(fences_.front().lastPreStoreSeq)) {
+        completeFence(fences_.front());
+        fences_.pop_front();
+    }
+    if (recovering_ && !activeWeakFence())
+        recovering_ = false;
+    if (FenceInstance *wf = activeWeakFence())
+        checkDeadlockTimeout(*wf);
+}
+
+void
+Core::completeFence(FenceInstance &f)
+{
+    stats_.scalar("fencesCompleted").inc();
+    stats_.average("fenceLatency").sample(double(eq_.now() - f.executedAt));
+    unsigned weak_left = 0;
+    for (const auto &g : fences_)
+        if (g.isWeak() && &g != &f)
+            weak_left++;
+    if (weak_left == 0) {
+        // No rollback point remains: journaled guest marks are final.
+        for (const auto &[epoch, m] : journaledMarks_)
+            markCounters_[m]++;
+        journaledMarks_.clear();
+    }
+    if (f.isWeak() || f.demoted) {
+        // Drop exactly this fence's BS entries (epoch-tagged); entries
+        // of younger, still-active weak fences stay armed.
+        stats_.average("bsLinesPerWf").sample(double(bs_.lineCount()));
+        bs_.clearUpTo(f.id);
+    }
+    if (f.kind == FenceKind::WeeWeak && f.grtHome != invalidNode) {
+        Message m;
+        m.type = MsgType::GrtClear;
+        m.src = id_;
+        m.dst = f.grtHome;
+        m.requester = id_;
+        m.trafficClass = TrafficClass::Grt;
+        mesh_.send(std::move(m));
+    }
+}
+
+void
+Core::checkDeadlockTimeout(FenceInstance &f)
+{
+    bool watched =
+        (cfg_.design == FenceDesign::WPlus && f.kind == FenceKind::Weak) ||
+        (cfg_.design == FenceDesign::Wee && f.kind == FenceKind::WeeWeak &&
+         !f.demoted);
+    if (!watched)
+        return;
+
+    bool being_bounced = anyStoreBounced() && !wb_.empty();
+    bool bouncing = f.bouncedSomeone;
+    if (being_bounced && bouncing) {
+        if (!f.timing) {
+            f.timing = true;
+            f.timeoutStart = eq_.now();
+        } else {
+            Tick limit = cfg_.design == FenceDesign::WPlus
+                             ? cfg_.wPlusTimeout
+                             : cfg_.weeTimeout;
+            if (eq_.now() - f.timeoutStart >= limit) {
+                if (cfg_.design == FenceDesign::WPlus)
+                    recoverWPlus(f);
+                else
+                    demoteWee(f);
+            }
+        }
+    } else {
+        f.timing = false;
+    }
+}
+
+void
+Core::recoverWPlus(FenceInstance &f)
+{
+    if (!f.hasCheckpoint)
+        panic("core %d: W+ recovery without checkpoint", id_);
+    // An atomic can be mid-drain behind the fence (e.g. a spinlock XCHG
+    // after a TLRW read barrier). Draining has no side effects, so the
+    // instruction simply re-executes from the checkpoint. Later phases
+    // are impossible: they require the fence to have completed.
+    if (rmw_.phase != RmwPhase::Inactive &&
+        rmw_.phase != RmwPhase::Drain)
+        panic("core %d: RMW past drain during W+ recovery", id_);
+    rmw_ = RmwOp{};
+
+    stats_.scalar("wPlusRecoveries").inc();
+    thread_ = f.checkpoint;
+    wb_.dropYoungerThan(f.lastPreStoreSeq);
+    std::erase_if(storeRetry_, [&f](const auto &kv) {
+        return kv.first > f.lastPreStoreSeq;
+    });
+    bs_.clear();
+    load_ = LoadOp{}; // a pending GetS reply, if any, will be ignored
+    computeRemaining_ = 0;
+    // Only marks from the squashed region (journaled at or after this
+    // fence's epoch) are discarded; older overlapped-fence marks stand.
+    std::erase_if(journaledMarks_, [&f](const auto &e) {
+        return e.first >= f.id;
+    });
+    f.bouncedSomeone = false;
+    f.timing = false;
+    // Every younger fence was executed by squashed post-checkpoint code.
+    while (!fences_.empty() && &fences_.back() != &f)
+        fences_.pop_back();
+    // Stall at the fence until the pre-fence stores drain; then the same
+    // deadlock is no longer possible.
+    recovering_ = true;
+}
+
+void
+Core::demoteWee(FenceInstance &f)
+{
+    // Watchdog escape for false-sharing-induced bounce cycles: the fence
+    // falls back to strong behavior and stops protecting new accesses.
+    stats_.scalar("weeWatchdogDemotions").inc();
+    f.demoted = true;
+    f.timing = false;
+    bs_.clear();
+}
+
+// ---------------------------------------------------------------------
+// Store unit
+// ---------------------------------------------------------------------
+
+Tick
+Core::backoff(unsigned retries) const
+{
+    Tick b = cfg_.retryBackoffBase + Tick(retries) * cfg_.retryBackoffStep;
+    return std::min(b, cfg_.retryBackoffMax);
+}
+
+Core::StoreTxn *
+Core::txnForLine(Addr line)
+{
+    for (auto &t : storeTxns_)
+        if (t.active && t.line == line)
+            return &t;
+    return nullptr;
+}
+
+Core::StoreTxn *
+Core::freeStoreTxn()
+{
+    for (auto &t : storeTxns_)
+        if (!t.active)
+            return &t;
+    return nullptr;
+}
+
+bool
+Core::anyStoreBounced() const
+{
+    for (const auto &[seq, rs] : storeRetry_)
+        if (rs.everNacked)
+            return true;
+    return false;
+}
+
+void
+Core::issueStores()
+{
+    // Post-fence stores may not merge before the (oldest incomplete)
+    // fence completes - automatic under TSO's in-order drain, explicit
+    // under RC.
+    uint64_t max_seq =
+        fences_.empty() ? ~uint64_t(0) : fences_.front().lastPreStoreSeq;
+
+    uint64_t after = 0;
+    for (;;) {
+        WriteBuffer::Entry *e = wb_.nextIssuable(tsoOrder_, max_seq, after);
+        if (!e)
+            return;
+        after = e->seq;
+        StoreRetryState &rs = storeRetry_[e->seq];
+        if (eq_.now() < rs.nextTryAt) {
+            if (tsoOrder_)
+                return;
+            continue; // RC: a backing-off entry does not block younger ones
+        }
+
+        Addr line = lineAlign(e->addr);
+        CacheLine *l = l1_.find(line);
+        bool exclusive_hit = l && (l->state == MesiState::Modified ||
+                                   l->state == MesiState::Exclusive);
+        if (exclusive_hit) {
+            // Drains against the local line; the single drain port
+            // limits hit throughput.
+            if (eq_.now() < storeDrainFreeAt_)
+                return;
+            if (!l1_.writeWordExclusive(e->addr, e->value))
+                panic("core %d: exclusive hit raced away", id_);
+            storeDrainFreeAt_ = eq_.now() + cfg_.storeDrainLatency;
+            finishStore(*e);
+            continue;
+        }
+
+        StoreTxn *txn = freeStoreTxn();
+        if (!txn) {
+            if (tsoOrder_)
+                return;
+            continue; // RC: younger exclusive hits can still drain
+        }
+
+        MsgType type = MsgType::GetX;
+        TrafficClass tc = TrafficClass::Base;
+        if (rs.everNacked) {
+            tc = TrafficClass::Retry;
+            // "If the core then executes a wf, the hardware sets the O
+            // bit of all currently-bouncing requests": any active weak
+            // fence younger than this store qualifies it.
+            bool wf_after = false;
+            for (const auto &f : fences_)
+                if (f.kind == FenceKind::Weak && !f.demoted &&
+                    f.lastPreStoreSeq >= e->seq)
+                    wf_after = true;
+            if (wf_after && cfg_.design == FenceDesign::WSPlus)
+                type = MsgType::OrderWrite;
+            else if (wf_after && cfg_.design == FenceDesign::SWPlus)
+                type = MsgType::CondOrderWrite;
+        }
+
+        bool has_shared = l1_.hasShared(line);
+        txn->active = true;
+        txn->line = line;
+        txn->addr = e->addr;
+        txn->value = e->value;
+        txn->seq = e->seq;
+        txn->pinned = type == MsgType::GetX && has_shared;
+        if (txn->pinned)
+            l1_.pin(line);
+        e->issued = true;
+        l1_.sendWriteReq(type, e->addr, e->value,
+                         type == MsgType::GetX && has_shared, tc);
+        if (type != MsgType::GetX)
+            stats_.scalar("orderRequests").inc();
+    }
+}
+
+void
+Core::finishStore(WriteBuffer::Entry &entry)
+{
+    auto it = storeRetry_.find(entry.seq);
+    if (it != storeRetry_.end()) {
+        if (it->second.everNacked) {
+            stats_.scalar("bouncedWrites").inc();
+            stats_.average("retriesPerBouncedWrite")
+                .sample(double(it->second.retries));
+        }
+        storeRetry_.erase(it);
+    }
+    wb_.complete(entry);
+    stats_.scalar("storesDrained").inc();
+}
+
+// ---------------------------------------------------------------------
+// Load unit
+// ---------------------------------------------------------------------
+
+void
+Core::tickLoadUnit()
+{
+    switch (load_.phase) {
+      case LoadPhase::Inactive:
+      case LoadPhase::MissPending:
+        return;
+      case LoadPhase::WaitForward:
+        if (wb_.drainedUpTo(load_.waitStoreSeq))
+            load_.phase = LoadPhase::AccessPending;
+        else
+            return;
+        [[fallthrough]];
+      case LoadPhase::AccessPending:
+        loadAccess();
+        return;
+      case LoadPhase::PerformWait:
+        if (eq_.now() >= load_.readyAt) {
+            uint64_t v;
+            if (l1_.readWord(load_.addr, v)) {
+                load_.value = v;
+                load_.phase = LoadPhase::Performed;
+                evaluateLoadGate();
+            } else {
+                // Line disappeared between issue and perform: retry.
+                load_.phase = LoadPhase::AccessPending;
+            }
+        }
+        return;
+      case LoadPhase::Performed:
+      case LoadPhase::Held:
+        evaluateLoadGate();
+        return;
+    }
+}
+
+void
+Core::loadAccess()
+{
+    if (l1_.find(load_.line)) {
+        load_.phase = LoadPhase::PerformWait;
+        load_.readyAt = eq_.now() + cfg_.l1HitLatency;
+        return;
+    }
+    // MSHR-style merge: while a write request for this line is in
+    // flight, wait for it instead of racing it with a read request -
+    // the write grant will make the access a local hit.
+    if (txnForLine(load_.line) != nullptr ||
+        (rmw_.phase == RmwPhase::WaitLine && rmw_.line == load_.line))
+        return;
+    if (!getSOutstanding_) {
+        if (traceEnabledFor(load_.line))
+            traceEvent(eq_.now(), format("core%d", id_).c_str(),
+                       "load miss pc=%llu addr=%#llx",
+                       (unsigned long long)thread_.pc(),
+                       (unsigned long long)load_.addr);
+        l1_.sendGetS(load_.line);
+        getSOutstanding_ = true;
+        load_.phase = LoadPhase::MissPending;
+        stats_.scalar("loadMissesIssued").inc();
+    }
+    // Else a stale GetS for some line is still in flight; wait for it.
+}
+
+void
+Core::evaluateLoadGate()
+{
+    HoldReason hr = HoldReason::None;
+    bool needs_bs = false;
+    uint64_t epoch = 0;
+    FenceInstance *wee = nullptr;
+
+    for (auto &f : fences_) {
+        if (!f.isWeak()) {
+            hr = HoldReason::StrongFence;
+            break;
+        }
+        if (f.kind == FenceKind::Weak) {
+            needs_bs = true;
+            epoch = f.id;
+            continue;
+        }
+        // WeeFence rules. Private Access Filtering first: no other
+        // thread ever touches a private line, so this load cannot close
+        // a cycle and needs no Remote-PS consultation.
+        if (cfg_.weePrivateFiltering && isPrivate_ &&
+            isPrivate_(load_.line)) {
+            needs_bs = true;
+            epoch = f.id;
+            continue;
+        }
+        if (f.grtHome == invalidNode) {
+            // Lazy binding (empty filtered PS): adopt this load's home
+            // as the fence's GRT module and fetch its Remote PS.
+            f.grtHome = homeNode(load_.line, cfg_.numCores);
+            f.grtPending = true;
+            Message m;
+            m.type = MsgType::GrtDeposit;
+            m.src = id_;
+            m.dst = f.grtHome;
+            m.requester = id_;
+            m.trafficClass = TrafficClass::Grt;
+            mesh_.send(std::move(m));
+            hr = HoldReason::GrtPending;
+            break;
+        }
+        if (f.grtPending) {
+            hr = HoldReason::GrtPending;
+            break;
+        }
+        if (homeNode(load_.line, cfg_.numCores) != f.grtHome) {
+            hr = HoldReason::NonHomeLine;
+            break;
+        }
+        if (std::find(f.remotePs.begin(), f.remotePs.end(), load_.line) !=
+            f.remotePs.end()) {
+            hr = HoldReason::RemotePs;
+            wee = &f;
+            break;
+        }
+        needs_bs = true;
+        epoch = f.id;
+    }
+
+    if (hr == HoldReason::None && needs_bs && !load_.inBs) {
+        if (bs_.insert(load_.addr, epoch)) {
+            load_.inBs = true;
+        } else {
+            hr = HoldReason::BsFull;
+            if (load_.hold != HoldReason::BsFull)
+                stats_.scalar("bsFullHolds").inc();
+        }
+    }
+
+    if (hr == HoldReason::None) {
+        deliverLoad();
+        return;
+    }
+
+    load_.phase = LoadPhase::Held;
+    load_.hold = hr;
+    if (hr == HoldReason::RemotePs && eq_.now() >= load_.nextGrtCheckAt) {
+        Message m;
+        m.type = MsgType::GrtCheck;
+        m.src = id_;
+        m.dst = wee->grtHome;
+        m.addr = load_.line;
+        m.requester = id_;
+        m.trafficClass = TrafficClass::Grt;
+        mesh_.send(std::move(m));
+        load_.nextGrtCheckAt = eq_.now() + cfg_.grtRecheckInterval;
+    }
+}
+
+void
+Core::deliverLoad()
+{
+    thread_.setReg(load_.rd, load_.value);
+    thread_.setPc(thread_.pc() + 1);
+    load_ = LoadOp{};
+    retiredThisCycle_++;
+    stats_.scalar("instrRetired").inc();
+    stats_.scalar("loadsDelivered").inc();
+}
+
+// ---------------------------------------------------------------------
+// RMW unit
+// ---------------------------------------------------------------------
+
+void
+Core::tickRmw()
+{
+    switch (rmw_.phase) {
+      case RmwPhase::Inactive:
+      case RmwPhase::WaitLine:
+        return;
+      case RmwPhase::Drain:
+        if (wb_.empty() && fences_.empty())
+            rmw_.phase = RmwPhase::Access;
+        else
+            return;
+        [[fallthrough]];
+      case RmwPhase::Access: {
+        if (eq_.now() < rmw_.nextTryAt)
+            return;
+        CacheLine *l = l1_.find(rmw_.line);
+        if (l && (l->state == MesiState::Modified ||
+                  l->state == MesiState::Exclusive)) {
+            performRmwLocal();
+            return;
+        }
+        bool has_shared = l1_.hasShared(rmw_.line);
+        rmw_.pinned = has_shared;
+        if (has_shared)
+            l1_.pin(rmw_.line);
+        l1_.sendWriteReq(MsgType::GetX, rmw_.addr, 0, has_shared,
+                         TrafficClass::Base);
+        rmw_.phase = RmwPhase::WaitLine;
+        return;
+      }
+    }
+}
+
+void
+Core::performRmwLocal()
+{
+    CacheLine *l = l1_.find(rmw_.line);
+    if (!l || (l->state != MesiState::Modified &&
+               l->state != MesiState::Exclusive))
+        panic("core %d: RMW without exclusive line", id_);
+    l->state = MesiState::Modified;
+    unsigned w = wordInLine(rmw_.addr);
+    uint64_t old = l->data[w];
+    if (rmw_.op == Op::Cas) {
+        if (old == rmw_.expect)
+            l->data[w] = rmw_.desired;
+    } else {
+        l->data[w] = rmw_.desired;
+    }
+    if (rmw_.pinned) {
+        l1_.unpin(rmw_.line);
+        rmw_.pinned = false;
+    }
+    thread_.setReg(rmw_.rd, old);
+    thread_.setPc(thread_.pc() + 1);
+    rmw_ = RmwOp{};
+    retiredThisCycle_++;
+    stats_.scalar("instrRetired").inc();
+    stats_.scalar("rmwsExecuted").inc();
+}
+
+// ---------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------
+
+void
+Core::tickExecute()
+{
+    if (recovering_) {
+        stallReason_ = Stall::Fence;
+        stats_.scalar("stallRecovering").inc();
+        return;
+    }
+    if (computeRemaining_ > 0) {
+        computeRemaining_--;
+        // Compute cycles count as busy via a synthetic retire credit.
+        retiredThisCycle_++;
+        return;
+    }
+    if (load_.phase != LoadPhase::Inactive) {
+        if (load_.phase == LoadPhase::Held) {
+            stallReason_ = Stall::Fence;
+            switch (load_.hold) {
+              case HoldReason::StrongFence:
+                stats_.scalar("stallHeldStrong").inc();
+                break;
+              case HoldReason::BsFull:
+                stats_.scalar("stallHeldBsFull").inc();
+                break;
+              case HoldReason::GrtPending:
+              case HoldReason::NonHomeLine:
+              case HoldReason::RemotePs:
+                stats_.scalar("stallHeldWee").inc();
+                break;
+              case HoldReason::None:
+                break;
+            }
+        } else if (load_.phase == LoadPhase::WaitForward) {
+            stallReason_ = Stall::Fence;
+            stats_.scalar("stallWaitForward").inc();
+        } else {
+            stallReason_ = Stall::Other;
+        }
+        return;
+    }
+    if (rmw_.phase != RmwPhase::Inactive) {
+        stallReason_ =
+            rmw_.phase == RmwPhase::Drain ? Stall::RmwDrain : Stall::Other;
+        return;
+    }
+    if (thread_.halted())
+        return;
+
+    unsigned budget = cfg_.issueWidth;
+    while (budget > 0 && executeOne(budget)) {
+    }
+}
+
+bool
+Core::executeOne(unsigned &budget)
+{
+    const Instr &ins = prog_->at(thread_.pc());
+    switch (ins.op) {
+      case Op::Ld:
+        startLoad(ins);
+        return false;
+      case Op::St: {
+        if (wb_.full()) {
+            stallReason_ =
+                anyStoreBounced() ? Stall::Fence : Stall::Other;
+            return false;
+        }
+        Addr addr = thread_.reg(ins.ra) + uint64_t(ins.imm);
+        if (!isWordAligned(addr))
+            fatal("core %d: unaligned store to %#llx (pc %llu)", id_,
+                  (unsigned long long)addr,
+                  (unsigned long long)thread_.pc());
+        wb_.push(addr, thread_.reg(ins.rb));
+        thread_.setPc(thread_.pc() + 1);
+        retiredThisCycle_++;
+        budget--;
+        stats_.scalar("instrRetired").inc();
+        stats_.scalar("storesExecuted").inc();
+        return true;
+      }
+      case Op::Fence:
+        startFence(ins);
+        return false;
+      case Op::Cas:
+      case Op::Xchg:
+        startRmw(ins);
+        return false;
+      case Op::Compute:
+        computeRemaining_ = uint64_t(ins.imm);
+        thread_.setPc(thread_.pc() + 1);
+        retiredThisCycle_++;
+        stats_.scalar("instrRetired").inc();
+        return false;
+      case Op::Mark: {
+        FenceInstance *oldest = activeWeakFence();
+        if (oldest && oldest->hasCheckpoint) {
+            uint64_t epoch = oldest->id;
+            for (const auto &f : fences_)
+                if (f.isWeak())
+                    epoch = std::max(epoch, f.id);
+            journaledMarks_.emplace_back(epoch, ins.imm);
+        } else {
+            markCounters_[ins.imm]++;
+        }
+        thread_.setPc(thread_.pc() + 1);
+      }
+        retiredThisCycle_++;
+        budget--;
+        stats_.scalar("instrRetired").inc();
+        return true;
+      case Op::Halt:
+        thread_.executeNonMem(ins);
+        retiredThisCycle_++;
+        stats_.scalar("instrRetired").inc();
+        return false;
+      default:
+        thread_.executeNonMem(ins);
+        retiredThisCycle_++;
+        budget--;
+        stats_.scalar("instrRetired").inc();
+        return true;
+    }
+}
+
+void
+Core::startLoad(const Instr &ins)
+{
+    Addr addr = thread_.reg(ins.ra) + uint64_t(ins.imm);
+    if (!isWordAligned(addr))
+        fatal("core %d: unaligned load of %#llx (pc %llu)", id_,
+              (unsigned long long)addr, (unsigned long long)thread_.pc());
+
+    load_ = LoadOp{};
+    load_.addr = addr;
+    load_.line = lineAlign(addr);
+    load_.rd = ins.rd;
+    stats_.scalar("loadsExecuted").inc();
+
+    if (const WriteBuffer::Entry *e = wb_.forwardLookup(addr)) {
+        // A *strong* fence between the store and the load forbids the
+        // load from completing before the fence (mfence semantics). A
+        // weak fence does not: completing post-fence accesses early is
+        // its whole point, and forwarding our own pre-fence store is the
+        // benign case - the delivery gate below still BS-protects it.
+        bool strong_between = false;
+        for (const auto &f : fences_)
+            if (f.lastPreStoreSeq >= e->seq && !f.isWeak())
+                strong_between = true;
+        if (strong_between) {
+            load_.phase = LoadPhase::WaitForward;
+            load_.waitStoreSeq = e->seq;
+            stats_.scalar("forwardsBlockedByFence").inc();
+            return;
+        }
+        load_.value = e->value;
+        load_.forwarded = true; // own-store value: immune to squash
+        load_.phase = LoadPhase::Performed;
+        stats_.scalar("loadsForwarded").inc();
+        evaluateLoadGate();
+        return;
+    }
+
+    load_.phase = LoadPhase::AccessPending;
+    loadAccess();
+}
+
+void
+Core::startFence(const Instr &ins)
+{
+    FenceKind kind = resolveFenceKind(cfg_.design, ins.role);
+
+    // Weak fences are defined for TSO; under RC they fall back to
+    // conventional fences (wf-under-RC is the paper's future work,
+    // Section 5.2).
+    if (cfg_.memoryModel == MemoryModel::RC &&
+        kind != FenceKind::Strong) {
+        kind = FenceKind::Strong;
+        stats_.scalar("rcFenceDemotions").inc();
+    }
+
+    // Nothing pending before the fence: it completes immediately.
+    if (wb_.empty()) {
+        switch (kind) {
+          case FenceKind::Strong:
+            stats_.scalar("fencesStrong").inc();
+            break;
+          case FenceKind::Weak:
+            stats_.scalar("fencesWeak").inc();
+            break;
+          case FenceKind::WeeWeak:
+            stats_.scalar("fencesWee").inc();
+            break;
+        }
+        stats_.scalar("fencesInstant").inc();
+        thread_.setPc(thread_.pc() + 1);
+        retiredThisCycle_++;
+        stats_.scalar("instrRetired").inc();
+        return;
+    }
+
+    if (kind == FenceKind::WeeWeak && activeWeakFence()) {
+        // The GRT holds a single Pending Set per core, so WeeFences
+        // serialize. Plain weak fences may overlap: the BS simply stays
+        // armed until the youngest one completes.
+        stallReason_ = Stall::Fence;
+        return;
+    }
+
+    FenceInstance f;
+    f.kind = kind;
+    f.id = ++nextFenceId_;
+    f.lastPreStoreSeq = wb_.lastSeq();
+    f.executedAt = eq_.now();
+
+    thread_.setPc(thread_.pc() + 1);
+
+    switch (kind) {
+      case FenceKind::Strong:
+        stats_.scalar("fencesStrong").inc();
+        break;
+      case FenceKind::Weak:
+        stats_.scalar("fencesWeak").inc();
+        if (cfg_.design == FenceDesign::WPlus) {
+            f.checkpoint = thread_;
+            f.hasCheckpoint = true;
+        }
+        break;
+      case FenceKind::WeeWeak: {
+        stats_.scalar("fencesWee").inc();
+        std::vector<Addr> ps = wb_.pendingLines(f.lastPreStoreSeq);
+        if (cfg_.weePrivateFiltering && isPrivate_) {
+            // Private Access Filtering: a store to a thread-private
+            // region cannot participate in a cross-thread cycle.
+            std::erase_if(ps,
+                          [this](Addr line) { return isPrivate_(line); });
+        }
+        if (ps.empty()) {
+            // Every pending store is private: nothing to deposit. The
+            // GRT module is bound lazily to the first post-fence load's
+            // home (the Remote PS must still be consulted for loads).
+            f.grtHome = invalidNode;
+            f.grtPending = false;
+            break;
+        }
+        NodeId home = homeNode(ps.front(), cfg_.numCores);
+        bool single_module = true;
+        for (Addr a : ps)
+            if (homeNode(a, cfg_.numCores) != home)
+                single_module = false;
+        if (!single_module) {
+            // PS spans directory modules: fall back to a conventional
+            // fence (paper Section 2.3).
+            f.demoted = true;
+            stats_.scalar("weeMultiModuleDemotions").inc();
+        } else {
+            f.grtHome = home;
+            f.grtPending = true;
+            Message m;
+            m.type = MsgType::GrtDeposit;
+            m.src = id_;
+            m.dst = home;
+            m.requester = id_;
+            m.addrSet = std::move(ps);
+            m.trafficClass = TrafficClass::Grt;
+            mesh_.send(std::move(m));
+        }
+        break;
+      }
+    }
+
+    fences_.push_back(std::move(f));
+    retiredThisCycle_++;
+    stats_.scalar("instrRetired").inc();
+}
+
+void
+Core::startRmw(const Instr &ins)
+{
+    Addr addr = thread_.reg(ins.ra) + uint64_t(ins.imm);
+    if (!isWordAligned(addr))
+        fatal("core %d: unaligned RMW at %#llx", id_,
+              (unsigned long long)addr);
+    rmw_ = RmwOp{};
+    rmw_.phase = RmwPhase::Drain;
+    rmw_.op = ins.op;
+    rmw_.addr = addr;
+    rmw_.line = lineAlign(addr);
+    rmw_.rd = ins.rd;
+    if (ins.op == Op::Cas) {
+        rmw_.expect = thread_.reg(ins.rb);
+        rmw_.desired = thread_.reg(ins.rc);
+    } else {
+        rmw_.desired = thread_.reg(ins.rb);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol plumbing
+// ---------------------------------------------------------------------
+
+BsMatch
+Core::bsProbe(Addr line, WordMask words)
+{
+    // Only SW+ keeps (and compares) word-granularity BS information;
+    // every other design matches at line granularity.
+    WordMask m = cfg_.design == FenceDesign::SWPlus ? words : WordMask(0);
+    return bs_.match(line, m);
+}
+
+void
+Core::onBsBounce(Addr line)
+{
+    (void)line;
+    stats_.scalar("bsBounces").inc();
+    if (FenceInstance *wf = activeWeakFence())
+        wf->bouncedSomeone = true;
+}
+
+void
+Core::onLineInvalidated(Addr line)
+{
+    if ((load_.phase == LoadPhase::Performed ||
+         load_.phase == LoadPhase::Held) &&
+        load_.line == line && !load_.forwarded) {
+        // Conflicting invalidation squashes the speculative load; it
+        // re-performs (and will observe the new value).
+        load_.phase = LoadPhase::AccessPending;
+        load_.inBs = false;
+        stats_.scalar("loadSquashes").inc();
+    }
+}
+
+void
+Core::onL1Reply(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::DataE:
+      case MsgType::DataS:
+        getSOutstanding_ = false;
+        if (load_.phase == LoadPhase::MissPending &&
+            load_.line == msg.addr) {
+            uint64_t v;
+            if (!l1_.readWord(load_.addr, v))
+                panic("core %d: fill did not install line", id_);
+            load_.value = v;
+            load_.phase = LoadPhase::Performed;
+        }
+        return;
+
+      case MsgType::DataX:
+      case MsgType::AckX:
+      case MsgType::AckOrder:
+        if (StoreTxn *txn = txnForLine(msg.addr)) {
+            WriteBuffer::Entry *e = wb_.issuedEntryForLine(msg.addr);
+            if (!e)
+                panic("core %d: store grant with no issued entry", id_);
+            if (msg.type != MsgType::AckOrder) {
+                if (!l1_.writeWordExclusive(txn->addr, txn->value))
+                    panic("core %d: store grant without writable line",
+                          id_);
+            }
+            // AckOrder installed a Shared line with the update already
+            // merged by the directory.
+            if (txn->pinned)
+                l1_.unpin(txn->line);
+            txn->active = false;
+            finishStore(*e);
+        } else if (rmw_.phase == RmwPhase::WaitLine &&
+                   rmw_.line == msg.addr) {
+            performRmwLocal();
+        } else {
+            panic("core %d: unmatched write grant %s", id_,
+                  msg.toString().c_str());
+        }
+        return;
+
+      case MsgType::NackX:
+      case MsgType::NackCO:
+        if (StoreTxn *txn = txnForLine(msg.addr)) {
+            WriteBuffer::Entry *e = wb_.issuedEntryForLine(msg.addr);
+            if (!e)
+                panic("core %d: store nack with no issued entry", id_);
+            e->issued = false;
+            StoreRetryState &rs = storeRetry_[e->seq];
+            rs.retries++;
+            rs.everNacked = true;
+            if (msg.type == MsgType::NackCO)
+                rs.coMode = true;
+            rs.nextTryAt = eq_.now() + backoff(rs.retries);
+            if (txn->pinned)
+                l1_.unpin(txn->line);
+            txn->active = false;
+            stats_.scalar("storeNacks").inc();
+        } else if (rmw_.phase == RmwPhase::WaitLine &&
+                   rmw_.line == msg.addr) {
+            if (rmw_.pinned) {
+                l1_.unpin(rmw_.line);
+                rmw_.pinned = false;
+            }
+            rmw_.phase = RmwPhase::Access;
+            rmw_.retries++;
+            rmw_.nextTryAt = eq_.now() + backoff(rmw_.retries);
+            stats_.scalar("rmwNacks").inc();
+        } else {
+            panic("core %d: unmatched nack %s", id_,
+                  msg.toString().c_str());
+        }
+        return;
+
+      default:
+        panic("core %d: unexpected L1 reply %s", id_,
+              msg.toString().c_str());
+    }
+}
+
+void
+Core::onGrtMessage(const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::GrtFetchReply:
+        for (auto &f : fences_) {
+            if (f.kind == FenceKind::WeeWeak && f.grtPending &&
+                f.grtHome == msg.src) {
+                f.remotePs = msg.addrSet;
+                f.grtPending = false;
+                return;
+            }
+        }
+        return; // fence already completed; stale reply
+      case MsgType::GrtCheckReply:
+        if (!msg.blocked) {
+            for (auto &f : fences_) {
+                if (f.kind != FenceKind::WeeWeak)
+                    continue;
+                auto it = std::find(f.remotePs.begin(), f.remotePs.end(),
+                                    msg.addr);
+                if (it != f.remotePs.end())
+                    f.remotePs.erase(it);
+            }
+        }
+        return;
+      default:
+        panic("core %d: unexpected GRT message %s", id_,
+              msg.toString().c_str());
+    }
+}
+
+} // namespace asf

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * The core timing model. Executes one guest thread under TSO (or,
+ * optionally, RC with parallel store merging - see SystemConfig):
+ *
+ *  - in-order issue of up to issueWidth non-memory ops per cycle;
+ *  - retired stores enter the write buffer and drain one at a time
+ *    under TSO, or through several concurrent store units under RC;
+ *  - loads block the thread (interpreter semantics) but may *perform*
+ *    while older fences are incomplete - whether the performed value may
+ *    be *delivered* early is exactly what the fence designs differ on;
+ *  - atomics (CAS/XCHG) drain the write buffer first (x86 LOCK
+ *    semantics) and then acquire the line exclusively.
+ *
+ * Fence semantics implemented (paper Section 3):
+ *  - sf: post-fence loads perform speculatively but deliver only when the
+ *    fence completes; conflicting invalidations squash and re-perform.
+ *  - wf: post-fence loads deliver (complete) immediately; their addresses
+ *    enter the Bypass Set, which bounces conflicting invalidations until
+ *    the fence completes.
+ *  - WS+: bounced pre-wf writes retry as OrderWrites.
+ *  - SW+: bounced pre-wf writes retry as CondOrderWrites (word masks).
+ *  - W+: register checkpoint at the wf; two-way bounce sustained past a
+ *    timeout triggers rollback-and-drain recovery.
+ *  - Wee: Pending Set deposited in the home GRT module; fences whose PS
+ *    spans multiple modules demote to sf; post-fence accesses stall on
+ *    Remote-PS matches or non-home lines.
+ */
+
+#ifndef ASF_CPU_CORE_HH
+#define ASF_CPU_CORE_HH
+
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "cpu/write_buffer.hh"
+#include "fence/bypass_set.hh"
+#include "fence/fence_kind.hh"
+#include "mem/l1_cache.hh"
+#include "noc/mesh.hh"
+#include "prog/instr.hh"
+#include "prog/thread_state.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sys/config.hh"
+
+namespace asf
+{
+
+class Core
+{
+  public:
+    Core(NodeId id, const SystemConfig &cfg, L1Cache &l1, Mesh &mesh,
+         EventQueue &eq);
+
+    /** Bind the guest program; thread starts at pc 0. */
+    void setProgram(const Program *prog, uint64_t prng_seed = 0);
+
+    /** Pre-run register initialization (thread id, base addresses...). */
+    void setReg(Reg r, uint64_t v);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Thread halted and all buffered/in-flight work has drained. */
+    bool done() const;
+    bool threadHalted() const { return thread_.halted(); }
+
+    NodeId id() const { return id_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Guest Mark-instruction counters. */
+    const std::map<int64_t, uint64_t> &markCounters() const
+    {
+        return markCounters_;
+    }
+    void clearMarkCounters() { markCounters_.clear(); }
+
+    /** GRT replies routed here by the system dispatch. */
+    void onGrtMessage(const Message &msg);
+
+    /**
+     * Privacy oracle for WeeFence Private Access Filtering: returns true
+     * if the address lies in a region only this thread ever touches
+     * (page-table-derived in the original; declared by the workload
+     * here). Unset means nothing is private.
+     */
+    void setPrivateChecker(std::function<bool(Addr)> fn)
+    {
+        isPrivate_ = std::move(fn);
+    }
+
+    // Test access.
+    ThreadState &thread() { return thread_; }
+    const BypassSet &bypassSet() const { return bs_; }
+    const WriteBuffer &writeBuffer() const { return wb_; }
+
+  private:
+    // --- pipeline stages, called in tick() order ----------------------
+    void tickFences();
+    void tickLoadUnit();
+    void tickRmw();
+    void tickExecute();
+    void classifyCycle();
+
+    // --- execution helpers --------------------------------------------
+    /** Returns false when execution must block this cycle. */
+    bool executeOne(unsigned &budget);
+    void startLoad(const Instr &ins);
+    void startFence(const Instr &ins);
+    void startRmw(const Instr &ins);
+
+    // --- fence helpers -------------------------------------------------
+    struct FenceInstance
+    {
+        FenceKind kind;
+        bool demoted = false;
+        uint64_t id = 0; ///< per-core epoch; tags BS entries
+        uint64_t lastPreStoreSeq = 0;
+        Tick executedAt = 0;
+        // W+ recovery support.
+        bool hasCheckpoint = false;
+        ThreadCheckpoint checkpoint;
+        bool bouncedSomeone = false;
+        bool timing = false;
+        Tick timeoutStart = 0;
+        // Wee support.
+        bool grtPending = false;
+        NodeId grtHome = invalidNode;
+        std::vector<Addr> remotePs;
+
+        bool isWeak() const { return kind != FenceKind::Strong && !demoted; }
+    };
+
+    FenceInstance *activeWeakFence();
+    void completeFence(FenceInstance &f);
+    void checkDeadlockTimeout(FenceInstance &f);
+    void recoverWPlus(FenceInstance &f);
+    void demoteWee(FenceInstance &f);
+
+    // --- load unit ------------------------------------------------------
+    enum class LoadPhase
+    {
+        Inactive,
+        WaitForward,   ///< same-address pre-fence store must drain first
+        AccessPending, ///< (re)try the L1 access
+        PerformWait,   ///< L1 hit; value captured at readyAt
+        MissPending,   ///< GetS outstanding
+        Performed,     ///< value in hand; delivery gate pending
+        Held,          ///< gated by a fence design rule
+    };
+
+    enum class HoldReason
+    {
+        None,
+        StrongFence, ///< an incomplete sf precedes the load
+        BsFull,      ///< wf path, but the Bypass Set is full
+        GrtPending,  ///< Wee: waiting for the GRT fetch reply
+        NonHomeLine, ///< Wee: line outside the fence's GRT module
+        RemotePs,    ///< Wee: line matches the Remote Pending Set
+    };
+
+    struct LoadOp
+    {
+        LoadPhase phase = LoadPhase::Inactive;
+        HoldReason hold = HoldReason::None;
+        Addr addr = 0;
+        Addr line = 0;
+        Reg rd = 0;
+        uint64_t value = 0;
+        uint64_t waitStoreSeq = 0; ///< WaitForward target
+        Tick readyAt = 0;
+        Tick nextGrtCheckAt = 0;
+        bool inBs = false;
+        /** Value forwarded from this core's own buffered store; such a
+         *  value cannot be invalidated by remote writes. */
+        bool forwarded = false;
+    };
+
+    void loadAccess();
+    void evaluateLoadGate();
+    void deliverLoad();
+
+    // --- store units ------------------------------------------------------
+    /** One in-flight write transaction. TSO has a single unit draining
+     *  the buffer head; RC runs several concurrently. */
+    struct StoreTxn
+    {
+        bool active = false;
+        Addr line = 0;
+        Addr addr = 0;
+        uint64_t value = 0;
+        uint64_t seq = 0;
+        bool pinned = false;
+    };
+
+    /** Per-store bounce/retry bookkeeping, keyed by store seq. */
+    struct StoreRetryState
+    {
+        unsigned retries = 0;
+        bool everNacked = false;
+        bool coMode = false;
+        Tick nextTryAt = 0;
+    };
+
+    void issueStores();
+    void finishStore(WriteBuffer::Entry &entry);
+    StoreTxn *txnForLine(Addr line);
+    StoreTxn *freeStoreTxn();
+    bool anyStoreBounced() const;
+    Tick backoff(unsigned retries) const;
+
+    // --- RMW unit --------------------------------------------------------
+    enum class RmwPhase
+    {
+        Inactive,
+        Drain,    ///< wait for fences + write buffer to empty
+        Access,   ///< try local exclusive access / issue GetX
+        WaitLine, ///< GetX outstanding
+    };
+
+    struct RmwOp
+    {
+        RmwPhase phase = RmwPhase::Inactive;
+        Op op = Op::Cas;
+        Addr addr = 0;
+        Addr line = 0;
+        Reg rd = 0;
+        uint64_t expect = 0;
+        uint64_t desired = 0;
+        unsigned retries = 0;
+        Tick nextTryAt = 0;
+        bool pinned = false;
+    };
+
+    void performRmwLocal();
+
+    // --- protocol plumbing -----------------------------------------------
+    void onL1Reply(const Message &msg);
+    void onLineInvalidated(Addr line);
+    void onBsBounce(Addr line);
+    BsMatch bsProbe(Addr line, WordMask words);
+
+    // --- members ---------------------------------------------------------
+    NodeId id_;
+    const SystemConfig &cfg_;
+    L1Cache &l1_;
+    Mesh &mesh_;
+    EventQueue &eq_;
+
+    const Program *prog_ = nullptr;
+    ThreadState thread_;
+
+    WriteBuffer wb_;
+    BypassSet bs_;
+    std::deque<FenceInstance> fences_;
+    LoadOp load_;
+    std::vector<StoreTxn> storeTxns_;
+    std::map<uint64_t, StoreRetryState> storeRetry_;
+    Tick storeDrainFreeAt_ = 0;
+    bool tsoOrder_ = true;
+    RmwOp rmw_;
+
+    bool getSOutstanding_ = false;
+    uint64_t computeRemaining_ = 0;
+    uint64_t nextFenceId_ = 0;
+    bool recovering_ = false;
+    std::function<bool(Addr)> isPrivate_;
+
+    unsigned retiredThisCycle_ = 0;
+    enum class Stall { Other, Fence, RmwDrain };
+    Stall stallReason_ = Stall::Other;
+
+    std::map<int64_t, uint64_t> markCounters_;
+    /** Marks executed while a checkpointed (W+) weak fence was active:
+     *  committed when the last weak fence completes. Each entry carries
+     *  the epoch (id) of the youngest weak fence active when it was
+     *  journaled; recovery to fence f discards exactly the entries with
+     *  epoch >= f.id - the ones the rollback squashes. */
+    std::vector<std::pair<uint64_t, int64_t>> journaledMarks_;
+    StatGroup stats_;
+};
+
+} // namespace asf
+
+#endif // ASF_CPU_CORE_HH

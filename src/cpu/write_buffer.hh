@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The per-core write buffer. Under TSO, retired stores sit here in FIFO
+ * order and merge with the memory system one at a time. Fences complete
+ * when every store older than the fence has drained. Store->load
+ * forwarding is allowed unless an active fence separates the store from
+ * the load in program order.
+ */
+
+#ifndef ASF_CPU_WRITE_BUFFER_HH
+#define ASF_CPU_WRITE_BUFFER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace asf
+{
+
+class WriteBuffer
+{
+  public:
+    struct Entry
+    {
+        Addr addr;      ///< word-aligned byte address
+        uint64_t value;
+        uint64_t seq;   ///< program-order store sequence number
+        /** Issued to the memory system (a write transaction is in
+         *  flight). Under TSO only the head issues; under RC several
+         *  entries may be in flight at once. */
+        bool issued = false;
+        /** Merged with the memory system. Entries complete out of order
+         *  under RC; completed entries leave the buffer once everything
+         *  older has also completed. */
+        bool done = false;
+    };
+
+    explicit WriteBuffer(unsigned capacity);
+
+    bool full() const { return entries_.size() >= capacity_; }
+    bool empty() const { return entries_.empty(); }
+    size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Enqueue a retired store; returns its sequence number. */
+    uint64_t push(Addr addr, uint64_t value);
+
+    const Entry &front() const;
+    void popFront();
+
+    /**
+     * Next issue candidate: under `tso_order` the head entry if it is
+     * unissued; otherwise (RC) the oldest unissued entry with seq >
+     * after_seq whose line has no older in-flight or incomplete entry
+     * (same-line writes must merge in program order). Entries with
+     * seq > max_seq are never returned - the core passes the oldest
+     * incomplete fence's pre-store bound so post-fence stores wait for
+     * the fence even under RC. `after_seq` lets the caller skip past a
+     * resource-blocked entry and drain ready younger ones (RC does not
+     * preserve store order anyway). Returns nullptr if none.
+     */
+    Entry *nextIssuable(bool tso_order, uint64_t max_seq = ~uint64_t(0),
+                        uint64_t after_seq = 0);
+
+    /** Locate the (unique) in-flight entry for a line. */
+    Entry *issuedEntryForLine(Addr line_addr);
+
+    /** Mark an entry merged and drop the completed prefix. */
+    void complete(Entry &entry);
+
+    /** Sequence number of the most recently enqueued store (0 if none). */
+    uint64_t lastSeq() const { return nextSeq_ - 1; }
+
+    /**
+     * Youngest entry matching a word address; nullptr if none.
+     * (Word-granularity accesses only, so partial overlap cannot occur.)
+     */
+    const Entry *forwardLookup(Addr addr) const;
+
+    /** True once every store with seq <= upto has drained. */
+    bool drainedUpTo(uint64_t upto) const;
+
+    /** Drop all entries with seq > upto (W+ recovery). */
+    void dropYoungerThan(uint64_t upto);
+
+    /** Distinct line addresses of entries with seq <= upto (Wee PS). */
+    std::vector<Addr> pendingLines(uint64_t upto) const;
+
+  private:
+    unsigned capacity_;
+    std::deque<Entry> entries_;
+    uint64_t nextSeq_ = 1;
+};
+
+} // namespace asf
+
+#endif // ASF_CPU_WRITE_BUFFER_HH

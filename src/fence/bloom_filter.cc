@@ -1,0 +1,37 @@
+#include "fence/bloom_filter.hh"
+
+namespace asf
+{
+
+unsigned
+BloomFilter::hash(Addr line_addr, unsigned which) const
+{
+    uint64_t x = line_addr >> 5; // drop line-offset bits
+    x *= which ? 0x9e3779b97f4a7c15ULL : 0xc2b2ae3d27d4eb4fULL;
+    x ^= x >> 29;
+    return unsigned(x % numBits);
+}
+
+void
+BloomFilter::insert(Addr line_addr)
+{
+    for (unsigned h = 0; h < numHashes; h++)
+        bits_.set(hash(line_addr, h));
+}
+
+bool
+BloomFilter::mightContain(Addr line_addr) const
+{
+    for (unsigned h = 0; h < numHashes; h++)
+        if (!bits_.test(hash(line_addr, h)))
+            return false;
+    return true;
+}
+
+void
+BloomFilter::clear()
+{
+    bits_.reset();
+}
+
+} // namespace asf

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Front-end Bloom filter for the Bypass Set (as in WeeFence): incoming
+ * coherence transactions first test the filter; only hits proceed to the
+ * associative BS comparison. Functionally transparent; it exists to model
+ * (and count) the comparisons the hardware avoids.
+ */
+
+#ifndef ASF_FENCE_BLOOM_FILTER_HH
+#define ASF_FENCE_BLOOM_FILTER_HH
+
+#include <bitset>
+
+#include "sim/types.hh"
+
+namespace asf
+{
+
+class BloomFilter
+{
+  public:
+    static constexpr unsigned numBits = 256;
+    static constexpr unsigned numHashes = 2;
+
+    void insert(Addr line_addr);
+    bool mightContain(Addr line_addr) const;
+    void clear();
+    bool empty() const { return bits_.none(); }
+
+  private:
+    unsigned hash(Addr line_addr, unsigned which) const;
+
+    std::bitset<numBits> bits_;
+};
+
+} // namespace asf
+
+#endif // ASF_FENCE_BLOOM_FILTER_HH

@@ -1,0 +1,97 @@
+#include "fence/bypass_set.hh"
+
+#include <algorithm>
+
+#include "mem/address.hh"
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+BypassSet::BypassSet(unsigned capacity) : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("BypassSet with zero capacity");
+    entries_.reserve(capacity);
+}
+
+bool
+BypassSet::insert(Addr addr, uint64_t epoch)
+{
+    Addr line = lineAlign(addr);
+    WordMask word = wordMaskFor(addr);
+    for (auto &e : entries_) {
+        if (e.line == line) {
+            e.words |= word;
+            if (epoch > e.epoch)
+                e.epoch = epoch;
+            return true;
+        }
+    }
+    if (full())
+        return false;
+    entries_.push_back(Entry{line, word, epoch});
+    bloom_.insert(line);
+    return true;
+}
+
+bool
+BypassSet::containsLine(Addr line_addr) const
+{
+    if (!bloom_.mightContain(line_addr)) {
+        bloomFiltered_++;
+        return false;
+    }
+    for (const auto &e : entries_)
+        if (e.line == line_addr)
+            return true;
+    return false;
+}
+
+BsMatch
+BypassSet::match(Addr line_addr, WordMask request_words) const
+{
+    if (!bloom_.mightContain(line_addr)) {
+        bloomFiltered_++;
+        return BsMatch::None;
+    }
+    for (const auto &e : entries_) {
+        if (e.line != line_addr)
+            continue;
+        if (request_words == 0)
+            return BsMatch::TrueShare;
+        return (e.words & request_words) ? BsMatch::TrueShare
+                                         : BsMatch::FalseShare;
+    }
+    return BsMatch::None;
+}
+
+void
+BypassSet::clear()
+{
+    entries_.clear();
+    bloom_.clear();
+}
+
+void
+BypassSet::clearUpTo(uint64_t epoch)
+{
+    auto it = std::remove_if(entries_.begin(), entries_.end(),
+                             [epoch](const Entry &e) {
+                                 return e.epoch <= epoch;
+                             });
+    if (it == entries_.end())
+        return;
+    entries_.erase(it, entries_.end());
+    rebuildBloom();
+}
+
+void
+BypassSet::rebuildBloom()
+{
+    bloom_.clear();
+    for (const auto &e : entries_)
+        bloom_.insert(e.line);
+}
+
+} // namespace asf

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Bypass Set (BS): a small hardware list in the L1 cache controller
+ * holding the addresses of post-fence accesses that completed before
+ * their weak fence did. Incoming invalidating coherence requests that
+ * match are bounced (or, for Order/CO requests, answered with monitoring
+ * / sharing information). Entries keep word-granularity masks so the SW+
+ * design can discriminate true from false sharing; WS+/W+ match at line
+ * granularity only.
+ */
+
+#ifndef ASF_FENCE_BYPASS_SET_HH
+#define ASF_FENCE_BYPASS_SET_HH
+
+#include <vector>
+
+#include "fence/bloom_filter.hh"
+#include "mem/message.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace asf
+{
+
+class BypassSet
+{
+  public:
+    explicit BypassSet(unsigned capacity = 32);
+
+    /**
+     * Record a completed post-fence access, tagged with the epoch (id)
+     * of the youngest weak fence it bypassed. Entries die when that
+     * fence completes (fences complete in order), so overlapping fences
+     * each protect exactly their own accesses. Returns false (and
+     * records nothing) if the BS is full - the caller must then fall
+     * back to strong-fence behavior for that access.
+     */
+    bool insert(Addr addr, uint64_t epoch = 0);
+
+    /** True if any entry matches the line address. */
+    bool containsLine(Addr line_addr) const;
+
+    /**
+     * Match an incoming request against the BS.
+     * Line-granularity miss -> None. Line hit with overlapping words ->
+     * TrueShare; line hit with disjoint words -> FalseShare. A zero
+     * request mask is treated as a full-line request (TrueShare on any
+     * line hit), which is the WS+/W+ line-granularity behavior.
+     */
+    BsMatch match(Addr line_addr, WordMask request_words) const;
+
+    /** Drop every entry (W+ recovery, watchdog demotion). */
+    void clear();
+
+    /** Drop entries whose epoch is <= the completed fence's id. */
+    void clearUpTo(uint64_t epoch);
+
+    bool empty() const { return entries_.empty(); }
+    bool full() const { return entries_.size() >= capacity_; }
+    unsigned size() const { return unsigned(entries_.size()); }
+    unsigned capacity() const { return capacity_; }
+
+    /** Distinct line addresses currently held (Table 4 occupancy). */
+    unsigned lineCount() const { return unsigned(entries_.size()); }
+
+    /** Bloom-filter negative short-circuits since construction. */
+    uint64_t bloomFiltered() const { return bloomFiltered_; }
+
+  private:
+    struct Entry
+    {
+        Addr line;
+        WordMask words;
+        uint64_t epoch;
+    };
+
+    void rebuildBloom();
+
+    unsigned capacity_;
+    std::vector<Entry> entries_;
+    BloomFilter bloom_;
+    mutable uint64_t bloomFiltered_ = 0;
+};
+
+} // namespace asf
+
+#endif // ASF_FENCE_BYPASS_SET_HH

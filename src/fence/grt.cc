@@ -1,0 +1,60 @@
+#include "fence/grt.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+Grt::Grt(NodeId node) : node_(node), stats_(format("grt%d", node))
+{
+}
+
+void
+Grt::deposit(NodeId core, const std::vector<Addr> &pending_set)
+{
+    table_[core] = pending_set;
+    stats_.scalar("deposits").inc();
+}
+
+void
+Grt::clear(NodeId core)
+{
+    table_.erase(core);
+    stats_.scalar("clears").inc();
+}
+
+std::vector<Addr>
+Grt::remotePendingSet(NodeId core) const
+{
+    std::vector<Addr> out;
+    for (const auto &[owner, set] : table_) {
+        if (owner == core)
+            continue;
+        out.insert(out.end(), set.begin(), set.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+}
+
+bool
+Grt::blocks(NodeId core, Addr line) const
+{
+    for (const auto &[owner, set] : table_) {
+        if (owner == core)
+            continue;
+        if (std::find(set.begin(), set.end(), line) != set.end())
+            return true;
+    }
+    return false;
+}
+
+bool
+Grt::hasDeposit(NodeId core) const
+{
+    return table_.count(core) != 0;
+}
+
+} // namespace asf

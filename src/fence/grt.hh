@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The Global Reorder Table (GRT) of the WeeFence baseline: one module per
+ * directory slice. A WeeFence deposits its Pending Set (the line
+ * addresses of its incomplete pre-fence stores) here and receives back
+ * the union of the Pending Sets other cores currently have deposited at
+ * this module (its Remote PS). The module also answers re-check probes
+ * for post-fence accesses that stalled on a Remote PS match.
+ *
+ * As in the paper, consistency is only achievable within a single module,
+ * so a fence whose PS/BS footprint spans more than one directory module
+ * is demoted to a conventional fence by the core (Section 2.3).
+ */
+
+#ifndef ASF_FENCE_GRT_HH
+#define ASF_FENCE_GRT_HH
+
+#include <map>
+#include <vector>
+
+#include "mem/message.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace asf
+{
+
+class Grt
+{
+  public:
+    explicit Grt(NodeId node);
+
+    /** Deposit `core`'s pending set, replacing any previous deposit. */
+    void deposit(NodeId core, const std::vector<Addr> &pending_set);
+
+    /** Remove `core`'s deposit (its fence completed). */
+    void clear(NodeId core);
+
+    /** Union of all pending sets deposited by cores other than `core`. */
+    std::vector<Addr> remotePendingSet(NodeId core) const;
+
+    /** Is `line` in any pending set deposited by a core other than us? */
+    bool blocks(NodeId core, Addr line) const;
+
+    bool hasDeposit(NodeId core) const;
+    size_t numDeposits() const { return table_.size(); }
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    NodeId node_;
+    std::map<NodeId, std::vector<Addr>> table_;
+    StatGroup stats_;
+};
+
+} // namespace asf
+
+#endif // ASF_FENCE_GRT_HH

@@ -1,0 +1,204 @@
+#include "harness/experiment.hh"
+
+#include "runtime/marks.hh"
+#include "sim/logging.hh"
+
+namespace asf::harness
+{
+
+double
+ExperimentResult::throughputTxnPerKcycle() const
+{
+    return cycles ? 1000.0 * double(commits) / double(cycles) : 0.0;
+}
+
+double
+ExperimentResult::trafficOverheadPct() const
+{
+    uint64_t base = bytesBase;
+    return base ? 100.0 * double(bytesRetry + bytesGrt) / double(base)
+                : 0.0;
+}
+
+double
+ExperimentResult::fencesPer1000Instr(uint64_t count) const
+{
+    return instrRetired ? 1000.0 * double(count) / double(instrRetired)
+                        : 0.0;
+}
+
+void
+harvestStats(System &sys, ExperimentResult &r)
+{
+    r.cores = sys.numCores();
+    r.breakdown = sys.breakdown();
+    r.instrRetired = sys.totalInstrRetired();
+
+    r.tasks = sys.guestCounter(marks::taskDone);
+    r.steals = sys.guestCounter(marks::taskStolen);
+    r.commits = sys.guestCounter(marks::txCommit);
+    r.commitsRw = sys.guestCounter(workloads::markTxCommitRw);
+    r.aborts = sys.guestCounter(marks::txAbort);
+
+    uint64_t bs_samples = 0;
+    double bs_sum = 0.0;
+    uint64_t retry_samples = 0;
+    double retry_sum = 0.0;
+    for (unsigned i = 0; i < sys.numCores(); i++) {
+        const StatGroup &cs = sys.core(NodeId(i)).stats();
+        r.fencesStrong += cs.get("fencesStrong");
+        r.fencesWeak += cs.get("fencesWeak") + cs.get("fencesWee");
+        r.weeDemotions += cs.get("weeMultiModuleDemotions") +
+                          cs.get("weeWatchdogDemotions");
+        r.bouncedWrites += cs.get("bouncedWrites");
+        r.wPlusRecoveries += cs.get("wPlusRecoveries");
+        r.loadSquashes += cs.get("loadSquashes");
+        // Merge the per-core averages weighted by sample count.
+        StatGroup &mut = sys.core(NodeId(i)).stats();
+        bs_samples += mut.average("bsLinesPerWf").count();
+        bs_sum += mut.average("bsLinesPerWf").sum();
+        retry_samples += mut.average("retriesPerBouncedWrite").count();
+        retry_sum += mut.average("retriesPerBouncedWrite").sum();
+    }
+    r.bsLinesPerWf = bs_samples ? bs_sum / double(bs_samples) : 0.0;
+    r.retriesPerBouncedWrite =
+        retry_samples ? retry_sum / double(retry_samples) : 0.0;
+
+    const StatGroup &ns = sys.mesh().stats();
+    r.bytesBase = ns.get("bytesBase");
+    r.bytesRetry = ns.get("bytesRetry");
+    r.bytesGrt = ns.get("bytesGrt");
+}
+
+ExperimentResult
+runCilkExperiment(const workloads::CilkApp &app, FenceDesign design,
+                  unsigned cores, Tick max_cycles,
+                  std::ostream *stats_out)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.design = design;
+    System sys(cfg);
+    auto setup = workloads::setupCilkApp(sys, app);
+
+    ExperimentResult r;
+    r.workload = app.name;
+    r.design = design;
+
+    auto result = sys.run(max_cycles);
+    r.cycles = sys.now();
+    harvestStats(sys, r);
+    if (stats_out)
+        sys.dumpStats(*stats_out);
+
+    if (result != System::RunResult::AllDone) {
+        r.validationError = "did not finish within the cycle budget";
+    } else if (r.tasks != setup.expectedTasks) {
+        r.validationError =
+            format("executed %llu tasks, expected %llu (SC violation or "
+                   "lost/duplicated task)",
+                   (unsigned long long)r.tasks,
+                   (unsigned long long)setup.expectedTasks);
+    } else {
+        r.valid = true;
+    }
+    return r;
+}
+
+namespace
+{
+
+/** Shared TLRW validation: lock-protected increments must balance. */
+void
+validateTlrw(System &sys, const workloads::TlrwBench &bench,
+             const workloads::TlrwSetup &setup, bool exact,
+             ExperimentResult &r)
+{
+    uint64_t sum = workloads::sumTlrwData(sys, setup);
+    uint64_t expect = uint64_t(bench.writesRw) * r.commitsRw;
+    // Mid-run snapshots race the protocol. The observable sum may UNDER-
+    // count by any amount (a dirty line in flight inside an InvAck hides
+    // every increment it accumulated), so only drained runs check the
+    // lower bound. Overcounting is bounded by the in-flight transactions
+    // (unmarked increments), one per core.
+    uint64_t slack =
+        exact ? 0 : uint64_t(bench.writesRw) * sys.numCores();
+    uint64_t lower = exact ? expect : 0;
+    if (sum < lower || sum > expect + slack) {
+        r.validationError = format(
+            "data sum %llu outside [%llu, %llu]: serializability broken",
+            (unsigned long long)sum, (unsigned long long)lower,
+            (unsigned long long)(expect + slack));
+    } else {
+        r.valid = true;
+    }
+}
+
+} // namespace
+
+ExperimentResult
+runUstmExperiment(const workloads::TlrwBench &bench, FenceDesign design,
+                  unsigned cores, Tick run_cycles,
+                  std::ostream *stats_out)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.design = design;
+    System sys(cfg);
+    auto setup = workloads::setupTlrwWorkload(sys, bench, 0);
+
+    ExperimentResult r;
+    r.workload = bench.name;
+    r.design = design;
+
+    sys.run(run_cycles);
+    r.cycles = sys.now();
+    harvestStats(sys, r);
+    if (stats_out)
+        sys.dumpStats(*stats_out);
+    // In-flight transactions may have performed their increments but not
+    // yet reached the commit mark, hence the per-thread slack.
+    validateTlrw(sys, bench, setup, false, r);
+    return r;
+}
+
+ExperimentResult
+runStampExperiment(const workloads::StampApp &app, FenceDesign design,
+                   unsigned cores, Tick max_cycles,
+                   std::ostream *stats_out)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.design = design;
+    System sys(cfg);
+    auto setup = workloads::setupTlrwWorkload(sys, app.bench,
+                                              app.txnsPerThread);
+
+    ExperimentResult r;
+    r.workload = app.bench.name;
+    r.design = design;
+
+    auto result = sys.run(max_cycles);
+    r.cycles = sys.now();
+    harvestStats(sys, r);
+    if (stats_out)
+        sys.dumpStats(*stats_out);
+
+    if (result != System::RunResult::AllDone) {
+        r.validationError = "did not finish within the cycle budget";
+        return r;
+    }
+    uint64_t expected_commits =
+        uint64_t(app.txnsPerThread) * sys.numCores();
+    if (r.commits != expected_commits) {
+        r.validationError =
+            format("committed %llu txns, expected %llu",
+                   (unsigned long long)r.commits,
+                   (unsigned long long)expected_commits);
+        return r;
+    }
+    validateTlrw(sys, app.bench, setup, true, r);
+    return r;
+}
+
+} // namespace asf::harness

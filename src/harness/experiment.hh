@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment driver: builds a system with a given fence design and core
+ * count, installs a workload, runs it, validates the functional result,
+ * and collects the metrics the paper's figures and Table 4 report.
+ */
+
+#ifndef ASF_HARNESS_EXPERIMENT_HH
+#define ASF_HARNESS_EXPERIMENT_HH
+
+#include <string>
+
+#include "workloads/cilk_apps.hh"
+#include "workloads/stamp.hh"
+#include "workloads/ustm.hh"
+
+namespace asf::harness
+{
+
+struct ExperimentResult
+{
+    std::string workload;
+    FenceDesign design = FenceDesign::SPlus;
+    unsigned cores = 0;
+
+    /** Wall-clock cycles of the measured region. */
+    Tick cycles = 0;
+    CycleBreakdown breakdown;
+
+    // Guest-visible progress.
+    uint64_t tasks = 0;
+    uint64_t steals = 0;
+    uint64_t commits = 0;
+    uint64_t commitsRw = 0;
+    uint64_t aborts = 0;
+
+    // Fence characterization (Table 4).
+    uint64_t instrRetired = 0;
+    uint64_t fencesStrong = 0;
+    uint64_t fencesWeak = 0; ///< weak + wee-weak
+    uint64_t weeDemotions = 0; ///< multi-module + watchdog demotions
+    uint64_t bouncedWrites = 0;
+    double retriesPerBouncedWrite = 0.0;
+    double bsLinesPerWf = 0.0;
+    uint64_t wPlusRecoveries = 0;
+    uint64_t loadSquashes = 0;
+
+    // Network traffic.
+    uint64_t bytesBase = 0;
+    uint64_t bytesRetry = 0;
+    uint64_t bytesGrt = 0;
+
+    bool valid = false;
+    std::string validationError;
+
+    double throughputTxnPerKcycle() const;
+    double trafficOverheadPct() const;
+    double fencesPer1000Instr(uint64_t count) const;
+};
+
+/** Run one Cilk app to completion. `stats_out`, if set, receives a
+ *  full System::dumpStats() dump before the system is torn down. */
+ExperimentResult runCilkExperiment(const workloads::CilkApp &app,
+                                   FenceDesign design, unsigned cores,
+                                   Tick max_cycles = 30'000'000,
+                                   std::ostream *stats_out = nullptr);
+
+/** Run one ustm microbenchmark for a fixed cycle budget (throughput). */
+ExperimentResult runUstmExperiment(const workloads::TlrwBench &bench,
+                                   FenceDesign design, unsigned cores,
+                                   Tick run_cycles = 300'000,
+                                   std::ostream *stats_out = nullptr);
+
+/** Run one STAMP app to completion (fixed transactions per thread). */
+ExperimentResult runStampExperiment(const workloads::StampApp &app,
+                                    FenceDesign design, unsigned cores,
+                                    Tick max_cycles = 30'000'000,
+                                    std::ostream *stats_out = nullptr);
+
+/** Shared post-run stat harvesting (exposed for tests). */
+void harvestStats(System &sys, ExperimentResult &r);
+
+} // namespace asf::harness
+
+#endif // ASF_HARNESS_EXPERIMENT_HH

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Report formatting: aligned ASCII tables for terminals and CSV rows for
+ * post-processing, used by every bench binary.
+ */
+
+#ifndef ASF_HARNESS_REPORT_HH
+#define ASF_HARNESS_REPORT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace asf::harness
+{
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Aligned ASCII rendering. */
+    void print(std::ostream &os) const;
+
+    /** Comma-separated rendering (header + rows). */
+    void printCsv(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Fixed-precision double formatting. */
+std::string fmtDouble(double v, int precision = 2);
+
+/** Percentage with sign, e.g. "+13.2%". */
+std::string fmtPct(double fraction, int precision = 1);
+
+} // namespace asf::harness
+
+#endif // ASF_HARNESS_REPORT_HH

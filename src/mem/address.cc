@@ -1,0 +1,52 @@
+#include "mem/address.hh"
+
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+Addr
+lineAlign(Addr addr)
+{
+    return addr & ~Addr(lineBytes - 1);
+}
+
+bool
+isLineAligned(Addr addr)
+{
+    return (addr & (lineBytes - 1)) == 0;
+}
+
+bool
+isWordAligned(Addr addr)
+{
+    return (addr & (wordBytes - 1)) == 0;
+}
+
+unsigned
+wordInLine(Addr addr)
+{
+    return unsigned((addr & (lineBytes - 1)) / wordBytes);
+}
+
+WordMask
+wordMaskFor(Addr addr)
+{
+    return WordMask(1u << wordInLine(addr));
+}
+
+WordMask
+fullLineMask()
+{
+    return WordMask((1u << wordsPerLine) - 1);
+}
+
+NodeId
+homeNode(Addr addr, unsigned num_nodes)
+{
+    if (num_nodes == 0)
+        panic("homeNode with zero nodes");
+    return NodeId((addr / homeGranuleBytes) % num_nodes);
+}
+
+} // namespace asf

@@ -1,0 +1,377 @@
+#include "mem/directory.hh"
+
+#include "mem/address.hh"
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+Directory::Directory(NodeId node, unsigned num_nodes, Mesh &mesh,
+                     EventQueue &eq, MemoryImage &memory, L2Bank &l2,
+                     Tick lookup_latency)
+    : node_(node), numNodes_(num_nodes), mesh_(mesh), eq_(eq),
+      memory_(memory), l2_(l2), lookupLatency_(lookup_latency),
+      stats_(format("dir%d", node))
+{
+}
+
+bool
+Directory::isSharer(Addr line, NodeId node) const
+{
+    auto it = entries_.find(line);
+    return it != entries_.end() && it->second.sharers.count(node) != 0;
+}
+
+bool
+Directory::isExclusive(Addr line, NodeId owner) const
+{
+    auto it = entries_.find(line);
+    return it != entries_.end() && it->second.exclusiveGranted &&
+           it->second.owner == owner;
+}
+
+size_t
+Directory::queuedRequests(Addr line) const
+{
+    auto it = waiting_.find(line);
+    return it == waiting_.end() ? 0 : it->second.size();
+}
+
+void
+Directory::handle(const Message &msg)
+{
+    if (traceEnabledFor(msg.addr))
+        traceEvent(eq_.now(), format("dir%d", node_).c_str(), "recv %s",
+                   msg.toString().c_str());
+    switch (msg.type) {
+      case MsgType::GetS:
+      case MsgType::GetX:
+      case MsgType::OrderWrite:
+      case MsgType::CondOrderWrite:
+        if (active_.count(msg.addr)) {
+            waiting_[msg.addr].push_back(msg);
+            stats_.scalar("queued").inc();
+        } else {
+            startTxn(msg);
+        }
+        break;
+      case MsgType::PutM:
+      case MsgType::PutE:
+        handlePut(msg);
+        break;
+      case MsgType::InvAck:
+      case MsgType::DwngrAck:
+        onProbeAck(msg);
+        break;
+      default:
+        panic("directory %d: unexpected message %s", node_,
+              msg.toString().c_str());
+    }
+}
+
+void
+Directory::startTxn(const Message &req)
+{
+    Addr line = req.addr;
+    Txn &txn = active_[line];
+    txn.req = req;
+    stats_.scalar(msgTypeName(req.type)).inc();
+    // The directory looks the line up before anything goes out.
+    eq_.scheduleIn(lookupLatency_, [this, line]() { issueTxn(line); });
+}
+
+void
+Directory::issueTxn(Addr line)
+{
+    auto it = active_.find(line);
+    if (it == active_.end())
+        panic("issueTxn for dead txn %#llx", (unsigned long long)line);
+    Txn &txn = it->second;
+    const Message &req = txn.req;
+    Entry &entry = entries_[line];
+
+    // Storage (L2 hit or off-chip memory) proceeds in parallel with the
+    // probes; the transaction finalizes when both are done.
+    Tick lat = l2_.access(line);
+    eq_.scheduleIn(lat, [this, line]() {
+        auto sit = active_.find(line);
+        if (sit == active_.end())
+            panic("storage callback for dead txn %#llx",
+                  (unsigned long long)line);
+        sit->second.storageReady = true;
+        tryFinalize(line);
+    });
+
+    // Issue probes.
+    switch (req.type) {
+      case MsgType::GetS:
+        if (entry.exclusiveGranted && entry.owner != req.src) {
+            sendProbe(entry.owner, req, MsgType::Dwngr, false, 0);
+            txn.pendingAcks = 1;
+        }
+        break;
+      case MsgType::GetX:
+        for (NodeId s : entry.sharers) {
+            if (s == req.src)
+                continue;
+            sendProbe(s, req, MsgType::Inv, false, 0);
+            txn.pendingAcks++;
+        }
+        break;
+      case MsgType::OrderWrite:
+        for (NodeId s : entry.sharers) {
+            if (s == req.src)
+                continue;
+            sendProbe(s, req, MsgType::Inv, true, 0);
+            txn.pendingAcks++;
+        }
+        break;
+      case MsgType::CondOrderWrite:
+        for (NodeId s : entry.sharers) {
+            if (s == req.src)
+                continue;
+            sendProbe(s, req, MsgType::Inv, true, req.wordMask);
+            txn.pendingAcks++;
+        }
+        break;
+      default:
+        panic("startTxn on %s", msgTypeName(req.type));
+    }
+
+    tryFinalize(line);
+}
+
+void
+Directory::sendProbe(NodeId target, const Message &req, MsgType type,
+                     bool order_bit, WordMask mask)
+{
+    Message probe;
+    probe.type = type;
+    probe.src = node_;
+    probe.dst = target;
+    probe.addr = req.addr;
+    probe.requester = req.src;
+    probe.orderBit = order_bit;
+    probe.wordMask = mask;
+    probe.trafficClass = req.trafficClass;
+    mesh_.send(std::move(probe));
+    stats_.scalar("probes").inc();
+}
+
+void
+Directory::onProbeAck(const Message &ack)
+{
+    auto it = active_.find(ack.addr);
+    if (it == active_.end())
+        panic("directory %d: probe ack with no txn: %s", node_,
+              ack.toString().c_str());
+    Txn &txn = it->second;
+    if (txn.pendingAcks == 0)
+        panic("directory %d: unexpected extra ack", node_);
+    txn.pendingAcks--;
+
+    // Dirty data travels back with the ack and is merged into memory
+    // right away; by per-(src,dst) FIFO delivery, any writeback racing
+    // with the probe has already arrived, so memory is always current by
+    // finalize time.
+    if (ack.hasData)
+        memory_.writeLine(ack.addr, ack.data);
+
+    if (ack.bounced) {
+        txn.anyBounce = true;
+        stats_.scalar("bounces").inc();
+    } else if (ack.type == MsgType::InvAck) {
+        if (ack.keepSharer)
+            txn.keepAsSharers.insert(ack.src);
+        else
+            txn.invalidated.insert(ack.src);
+        if (ack.bsMatch == BsMatch::TrueShare)
+            txn.anyTrueShare = true;
+    }
+    // DwngrAck: the owner keeps a Shared copy; nothing to record.
+
+    tryFinalize(ack.addr);
+}
+
+void
+Directory::tryFinalize(Addr line)
+{
+    auto it = active_.find(line);
+    if (it == active_.end())
+        return;
+    Txn &txn = it->second;
+    if (!txn.storageReady || txn.pendingAcks != 0)
+        return;
+    finalize(txn);
+    finishLine(line);
+}
+
+void
+Directory::finalize(Txn &txn)
+{
+    Entry &entry = entries_[txn.req.addr];
+    switch (txn.req.type) {
+      case MsgType::GetS:
+        finalizeGetS(txn, entry);
+        break;
+      case MsgType::GetX:
+        finalizeGetX(txn, entry);
+        break;
+      case MsgType::OrderWrite:
+      case MsgType::CondOrderWrite:
+        finalizeOrder(txn, entry);
+        break;
+      default:
+        panic("finalize on %s", msgTypeName(txn.req.type));
+    }
+}
+
+void
+Directory::finalizeGetS(Txn &txn, Entry &entry)
+{
+    NodeId req = txn.req.src;
+    if (entry.exclusiveGranted) {
+        // Owner was downgraded (or its writeback already arrived).
+        entry.exclusiveGranted = false;
+        entry.owner = invalidNode;
+    }
+    bool grant_exclusive = entry.sharers.empty();
+    entry.sharers.insert(req);
+    if (grant_exclusive) {
+        entry.exclusiveGranted = true;
+        entry.owner = req;
+        reply(txn, MsgType::DataE, true);
+    } else {
+        reply(txn, MsgType::DataS, true);
+    }
+}
+
+void
+Directory::finalizeGetX(Txn &txn, Entry &entry)
+{
+    NodeId req = txn.req.src;
+    // Sharers that acknowledged invalidation leave the list; bouncing
+    // sharers stay (they still hold the line).
+    for (NodeId s : txn.invalidated)
+        entry.sharers.erase(s);
+    for (NodeId s : txn.keepAsSharers)
+        entry.sharers.erase(s);
+
+    if (txn.anyBounce) {
+        stats_.scalar("getxNacked").inc();
+        reply(txn, MsgType::NackX, false, TrafficClass::Retry);
+        return;
+    }
+
+    bool was_sharer = entry.sharers.count(req) != 0;
+    if (entry.exclusiveGranted && entry.owner != req) {
+        entry.exclusiveGranted = false;
+        entry.owner = invalidNode;
+    }
+    entry.sharers.clear();
+    entry.sharers.insert(req);
+    entry.exclusiveGranted = true;
+    entry.owner = req;
+
+    if (txn.req.reqHasLine && was_sharer)
+        reply(txn, MsgType::AckX, false);
+    else
+        reply(txn, MsgType::DataX, true);
+}
+
+void
+Directory::finalizeOrder(Txn &txn, Entry &entry)
+{
+    NodeId req = txn.req.src;
+    bool conditional = txn.req.type == MsgType::CondOrderWrite;
+
+    // All probed caches invalidated their copies; BS-matching ones stay
+    // in the sharer list so they keep seeing future writes.
+    for (NodeId s : txn.invalidated)
+        entry.sharers.erase(s);
+    if (entry.exclusiveGranted) {
+        entry.exclusiveGranted = false;
+        entry.owner = invalidNode;
+    }
+
+    if (conditional && txn.anyTrueShare) {
+        // CO fails: discard the update, requester retries as CO.
+        stats_.scalar("coFailed").inc();
+        reply(txn, MsgType::NackCO, false, TrafficClass::Retry);
+        return;
+    }
+
+    // Complete as an Order transaction: merge the word update into
+    // memory and leave the requester with a Shared copy.
+    memory_.mergeWord(txn.req.addr, txn.req.updateWord, txn.req.updateValue);
+    entry.sharers.insert(req);
+    stats_.scalar("orderCompleted").inc();
+    reply(txn, MsgType::AckOrder, true);
+}
+
+void
+Directory::finishLine(Addr line)
+{
+    active_.erase(line);
+    auto wit = waiting_.find(line);
+    if (wit == waiting_.end() || wit->second.empty()) {
+        waiting_.erase(line);
+        return;
+    }
+    Message next = wit->second.front();
+    wit->second.pop_front();
+    if (wit->second.empty())
+        waiting_.erase(line);
+    // Start the next transaction synchronously: deferring would let a
+    // newly arriving request jump the queue, which breaks per-line
+    // request ordering (and with it the FIFO reply order cores rely on).
+    startTxn(next);
+}
+
+void
+Directory::handlePut(const Message &msg)
+{
+    Entry &entry = entries_[msg.addr];
+    stats_.scalar(msgTypeName(msg.type)).inc();
+
+    if (msg.type == MsgType::PutM) {
+        if (!msg.hasData)
+            panic("PutM without data");
+        memory_.writeLine(msg.addr, msg.data);
+        // The writeback allocates in the home L2 bank (no one waits on
+        // this latency).
+        l2_.access(msg.addr);
+    }
+    if (entry.exclusiveGranted && entry.owner == msg.src) {
+        entry.exclusiveGranted = false;
+        entry.owner = invalidNode;
+    }
+    if (msg.keepSharer)
+        entry.sharers.insert(msg.src);
+    else
+        entry.sharers.erase(msg.src);
+}
+
+void
+Directory::reply(const Txn &txn, MsgType type, bool with_data,
+                 TrafficClass tc)
+{
+    if (traceEnabledFor(txn.req.addr))
+        traceEvent(eq_.now(), format("dir%d", node_).c_str(),
+                   "reply %s to %d%s", msgTypeName(type), txn.req.src,
+                   with_data ? " +data" : "");
+    Message m;
+    m.type = type;
+    m.src = node_;
+    m.dst = txn.req.src;
+    m.addr = txn.req.addr;
+    m.requester = txn.req.src;
+    m.trafficClass = tc == TrafficClass::Base ? txn.req.trafficClass : tc;
+    if (with_data) {
+        m.hasData = true;
+        m.data = memory_.readLine(txn.req.addr);
+    }
+    mesh_.send(std::move(m));
+}
+
+} // namespace asf

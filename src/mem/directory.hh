@@ -1,0 +1,111 @@
+/**
+ * @file
+ * One slice of the distributed full-map MESI directory (one per node,
+ * lines interleaved by address). Directory-centric 4-hop protocol with
+ * per-line transaction serialization: a request for a line with an active
+ * transaction queues behind it.
+ *
+ * Paper-specific behavior implemented here:
+ *  - an invalidation probe answered with `bounced` (Bypass Set hit at the
+ *    target) aborts the transaction and NACKs the requester, who retries;
+ *  - OrderWrite: invalidate sharers but keep BS-matching ones in the
+ *    sharer list, merge the carried word update into memory, leave the
+ *    requester a Sharer (the store completes without ownership);
+ *  - CondOrderWrite: like OrderWrite, but fails (NackCO, update
+ *    discarded) if any probed BS reports true sharing;
+ *  - PutM/PutE with keepSharer: evicted-but-monitoring caches stay in the
+ *    sharer list so their BS keeps seeing future invalidations.
+ *
+ * Sharer lists are conservative: Shared-state evictions are silent, so a
+ * listed sharer may no longer hold the line; probing it is harmless.
+ */
+
+#ifndef ASF_MEM_DIRECTORY_HH
+#define ASF_MEM_DIRECTORY_HH
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "mem/l2_bank.hh"
+#include "mem/memory_image.hh"
+#include "mem/message.hh"
+#include "noc/mesh.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+
+namespace asf
+{
+
+class Directory
+{
+  public:
+    Directory(NodeId node, unsigned num_nodes, Mesh &mesh, EventQueue &eq,
+              MemoryImage &memory, L2Bank &l2, Tick lookup_latency = 6);
+
+    /** Entry point for every directory-bound message at this node. */
+    void handle(const Message &msg);
+
+    StatGroup &stats() { return stats_; }
+
+    // --- introspection for tests --------------------------------------
+    bool isSharer(Addr line, NodeId node) const;
+    bool isExclusive(Addr line, NodeId owner) const;
+    bool lineBusy(Addr line) const { return active_.count(line) != 0; }
+    size_t queuedRequests(Addr line) const;
+
+  private:
+    struct Entry
+    {
+        /** A single node was granted E or M rights. */
+        bool exclusiveGranted = false;
+        NodeId owner = invalidNode;
+        /** Conservative sharer set (includes owner when exclusive). */
+        std::set<NodeId> sharers;
+    };
+
+    struct Txn
+    {
+        Message req;
+        bool storageReady = false;
+        unsigned pendingAcks = 0;
+        bool anyBounce = false;
+        bool anyTrueShare = false;
+        std::set<NodeId> keepAsSharers;
+        std::set<NodeId> invalidated;
+    };
+
+    void startTxn(const Message &req);
+    void issueTxn(Addr line);
+    void onProbeAck(const Message &ack);
+    void tryFinalize(Addr line);
+    void finalize(Txn &txn);
+    void finishLine(Addr line);
+
+    void finalizeGetS(Txn &txn, Entry &entry);
+    void finalizeGetX(Txn &txn, Entry &entry);
+    void finalizeOrder(Txn &txn, Entry &entry);
+
+    void handlePut(const Message &msg);
+
+    void reply(const Txn &txn, MsgType type, bool with_data,
+               TrafficClass tc = TrafficClass::Base);
+    void sendProbe(NodeId target, const Message &req, MsgType type,
+                   bool order_bit, WordMask mask);
+
+    NodeId node_;
+    unsigned numNodes_;
+    Mesh &mesh_;
+    EventQueue &eq_;
+    MemoryImage &memory_;
+    L2Bank &l2_;
+    Tick lookupLatency_;
+    std::map<Addr, Entry> entries_;
+    std::map<Addr, Txn> active_;
+    std::map<Addr, std::deque<Message>> waiting_;
+    StatGroup stats_;
+};
+
+} // namespace asf
+
+#endif // ASF_MEM_DIRECTORY_HH

@@ -1,0 +1,303 @@
+#include "mem/l1_cache.hh"
+
+#include "mem/address.hh"
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+L1Cache::L1Cache(NodeId node, unsigned num_nodes, Mesh &mesh,
+                 unsigned size_bytes, unsigned assoc)
+    : node_(node), numNodes_(num_nodes), mesh_(mesh),
+      array_(size_bytes, assoc), stats_(format("l1_%d", node))
+{
+}
+
+bool
+L1Cache::readWord(Addr addr, uint64_t &value)
+{
+    CacheLine *l = array_.find(lineAlign(addr));
+    if (!l) {
+        stats_.scalar("loadMisses").inc();
+        return false;
+    }
+    array_.touch(*l);
+    value = l->data[wordInLine(addr)];
+    stats_.scalar("loadHits").inc();
+    return true;
+}
+
+bool
+L1Cache::writeWordExclusive(Addr addr, uint64_t value)
+{
+    CacheLine *l = array_.find(lineAlign(addr));
+    if (!l || (l->state != MesiState::Modified &&
+               l->state != MesiState::Exclusive))
+        return false;
+    if (traceEnabledFor(lineAlign(addr)))
+        traceEvent(0, format("l1_%d", node_).c_str(),
+                   "write word %u = %llu (state %s)", wordInLine(addr),
+                   (unsigned long long)value, mesiName(l->state));
+    l->state = MesiState::Modified;
+    l->data[wordInLine(addr)] = value;
+    array_.touch(*l);
+    stats_.scalar("storeHits").inc();
+    return true;
+}
+
+bool
+L1Cache::hasShared(Addr line_addr) const
+{
+    const CacheLine *l = array_.find(line_addr);
+    return l && l->state == MesiState::Shared;
+}
+
+void
+L1Cache::sendGetS(Addr line_addr)
+{
+    Message m;
+    m.type = MsgType::GetS;
+    m.src = node_;
+    m.dst = homeNode(line_addr, numNodes_);
+    m.addr = line_addr;
+    m.requester = node_;
+    mesh_.send(std::move(m));
+}
+
+void
+L1Cache::sendWriteReq(MsgType type, Addr addr, uint64_t value,
+                      bool req_has_line, TrafficClass tc)
+{
+    Addr line = lineAlign(addr);
+    Message m;
+    m.type = type;
+    m.src = node_;
+    m.dst = homeNode(line, numNodes_);
+    m.addr = line;
+    m.requester = node_;
+    m.reqHasLine = req_has_line;
+    m.trafficClass = tc;
+    if (type == MsgType::OrderWrite || type == MsgType::CondOrderWrite) {
+        m.updateWord = wordInLine(addr);
+        m.updateValue = value;
+        m.wordMask = wordMaskFor(addr);
+    }
+    mesh_.send(std::move(m));
+}
+
+void
+L1Cache::pin(Addr line_addr)
+{
+    pinned_.push_back(line_addr);
+}
+
+void
+L1Cache::unpin(Addr line_addr)
+{
+    for (auto it = pinned_.begin(); it != pinned_.end(); ++it) {
+        if (*it == line_addr) {
+            pinned_.erase(it);
+            return;
+        }
+    }
+}
+
+CacheLine &
+L1Cache::allocate(Addr line_addr)
+{
+    bool victim_valid = false;
+    CacheLine &slot = array_.victimFor(
+        line_addr, victim_valid, [this](Addr a) {
+            for (Addr p : pinned_)
+                if (p == a)
+                    return true;
+            return false;
+        });
+    if (victim_valid)
+        evict(slot);
+    return slot;
+}
+
+void
+L1Cache::evict(CacheLine &victim)
+{
+    stats_.scalar("evictions").inc();
+    if (traceEnabledFor(victim.addr))
+        traceEvent(0, format("l1_%d", node_).c_str(), "evict %s line",
+                   mesiName(victim.state));
+    // Any speculative load on the victim must be squashed: once the line
+    // leaves the cache we can no longer rely on probes reaching it.
+    if (onLineInvalidated)
+        onLineInvalidated(victim.addr);
+
+    bool monitored =
+        bsMatch && bsMatch(victim.addr, 0) != BsMatch::None;
+
+    if (victim.state == MesiState::Modified) {
+        Message m;
+        m.type = MsgType::PutM;
+        m.src = node_;
+        m.dst = homeNode(victim.addr, numNodes_);
+        m.addr = victim.addr;
+        m.requester = node_;
+        m.hasData = true;
+        m.data = victim.data;
+        m.keepSharer = monitored;
+        mesh_.send(std::move(m));
+    } else if (victim.state == MesiState::Exclusive) {
+        // Clean-exclusive eviction notice: keeps the directory's
+        // exclusive tracking coherent (Shared evictions stay silent).
+        Message m;
+        m.type = MsgType::PutE;
+        m.src = node_;
+        m.dst = homeNode(victim.addr, numNodes_);
+        m.addr = victim.addr;
+        m.requester = node_;
+        m.keepSharer = monitored;
+        mesh_.send(std::move(m));
+    }
+    // Shared evictions are silent; the stale directory entry keeps us
+    // receiving invalidations, which is exactly what BS monitoring needs.
+    victim.state = MesiState::Invalid;
+}
+
+void
+L1Cache::handle(const Message &msg)
+{
+    if (traceEnabledFor(msg.addr))
+        traceEvent(0, format("l1_%d", node_).c_str(), "recv %s",
+                   msg.toString().c_str());
+    switch (msg.type) {
+      case MsgType::DataE:
+        handleFill(msg, MesiState::Exclusive);
+        break;
+      case MsgType::DataS:
+        handleFill(msg, MesiState::Shared);
+        break;
+      case MsgType::DataX:
+        handleFill(msg, MesiState::Modified);
+        break;
+      case MsgType::AckX: {
+        CacheLine *l = array_.find(msg.addr);
+        if (!l)
+            panic("L1 %d: AckX for absent line %#llx", node_,
+                  (unsigned long long)msg.addr);
+        l->state = MesiState::Modified;
+        array_.touch(*l);
+        break;
+      }
+      case MsgType::AckOrder:
+        handleFill(msg, MesiState::Shared);
+        break;
+      case MsgType::NackX:
+      case MsgType::NackCO:
+        break; // bookkeeping happens in the core
+      case MsgType::Inv:
+        handleInv(msg);
+        return;
+      case MsgType::Dwngr:
+        handleDwngr(msg);
+        return;
+      default:
+        panic("L1 %d: unexpected message %s", node_,
+              msg.toString().c_str());
+    }
+    if (onReply)
+        onReply(msg);
+}
+
+void
+L1Cache::handleFill(const Message &msg, MesiState state)
+{
+    CacheLine *l = array_.find(msg.addr);
+    if (!l) {
+        CacheLine &slot = allocate(msg.addr);
+        array_.install(slot, msg.addr, state, msg.data);
+    } else {
+        // A read fill must never clobber a locally dirty line: per-line
+        // FIFO makes this unreachable, but it is the difference between
+        // a protocol hiccup and a silently lost store, so guard it.
+        if (l->state == MesiState::Modified &&
+            (state == MesiState::Shared || state == MesiState::Exclusive))
+            panic("L1 %d: stale read fill would clobber M line %#llx",
+                  node_, (unsigned long long)msg.addr);
+        // AckOrder can arrive while we still hold a Shared copy.
+        l->state = state;
+        l->data = msg.data;
+        array_.touch(*l);
+    }
+    stats_.scalar("fills").inc();
+}
+
+void
+L1Cache::handleInv(const Message &msg)
+{
+    Message ack;
+    ack.type = MsgType::InvAck;
+    ack.src = node_;
+    ack.dst = msg.src;
+    ack.addr = msg.addr;
+    ack.requester = msg.requester;
+    ack.trafficClass = msg.trafficClass;
+
+    BsMatch match =
+        bsMatch ? bsMatch(msg.addr, msg.wordMask) : BsMatch::None;
+
+    if (match != BsMatch::None && !msg.orderBit) {
+        // Bypass Set hit on a plain invalidation: bounce it, keep the
+        // line.
+        ack.bounced = true;
+        ack.bsMatch = match;
+        stats_.scalar("invsBounced").inc();
+        if (onBsBounce)
+            onBsBounce(msg.addr);
+        mesh_.send(std::move(ack));
+        return;
+    }
+
+    // The invalidation proceeds (possibly as an Order/CO invalidation
+    // that keeps us registered as a sharer for monitoring).
+    CacheLine *l = array_.find(msg.addr);
+    if (l) {
+        ack.hadLine = true;
+        if (l->state == MesiState::Modified) {
+            ack.hasData = true;
+            ack.data = l->data;
+        }
+        l->state = MesiState::Invalid;
+    }
+    ack.bsMatch = match;
+    ack.keepSharer = match != BsMatch::None;
+    stats_.scalar("invsServiced").inc();
+    if (onLineInvalidated)
+        onLineInvalidated(msg.addr);
+    mesh_.send(std::move(ack));
+}
+
+void
+L1Cache::handleDwngr(const Message &msg)
+{
+    // Reads are always serviced; a downgrade does not affect the BS's
+    // ability to intercept future writes (the node stays a sharer).
+    Message ack;
+    ack.type = MsgType::DwngrAck;
+    ack.src = node_;
+    ack.dst = msg.src;
+    ack.addr = msg.addr;
+    ack.requester = msg.requester;
+    ack.trafficClass = msg.trafficClass;
+
+    CacheLine *l = array_.find(msg.addr);
+    if (l) {
+        ack.hadLine = true;
+        if (l->state == MesiState::Modified) {
+            ack.hasData = true;
+            ack.data = l->data;
+        }
+        l->state = MesiState::Shared;
+    }
+    stats_.scalar("downgrades").inc();
+    mesh_.send(std::move(ack));
+}
+
+} // namespace asf

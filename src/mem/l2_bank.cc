@@ -1,0 +1,39 @@
+#include "mem/l2_bank.hh"
+
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+L2Bank::L2Bank(NodeId node, unsigned size_bytes, unsigned assoc,
+               Tick hit_latency, Tick mem_latency)
+    : tags_(size_bytes, assoc), hitLatency_(hit_latency),
+      memLatency_(mem_latency), stats_(format("l2bank%d", node))
+{
+}
+
+Tick
+L2Bank::access(Addr line_addr)
+{
+    CacheLine *line = tags_.find(line_addr);
+    if (line) {
+        tags_.touch(*line);
+        stats_.scalar("hits").inc();
+        return hitLatency_;
+    }
+    stats_.scalar("misses").inc();
+    bool victim_valid = false;
+    CacheLine &slot = tags_.victimFor(line_addr, victim_valid);
+    if (victim_valid)
+        stats_.scalar("evictions").inc();
+    tags_.install(slot, line_addr, MesiState::Shared, LineData{});
+    return memLatency_;
+}
+
+bool
+L2Bank::contains(Addr line_addr) const
+{
+    return tags_.find(line_addr) != nullptr;
+}
+
+} // namespace asf

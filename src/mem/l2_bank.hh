@@ -1,0 +1,48 @@
+/**
+ * @file
+ * One bank of the shared L2 at a home node. The bank acts as a latency
+ * filter between the directory and off-chip memory: an access that hits
+ * in the bank's tags costs the L2 round trip (11 cycles), a miss costs
+ * the off-chip round trip (200 cycles) and allocates the tag. Data
+ * authority lives in the MemoryImage (dirty writebacks land there
+ * immediately), so the bank only tracks tags.
+ */
+
+#ifndef ASF_MEM_L2_BANK_HH
+#define ASF_MEM_L2_BANK_HH
+
+#include "mem/cache_array.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace asf
+{
+
+class L2Bank
+{
+  public:
+    L2Bank(NodeId node, unsigned size_bytes, unsigned assoc,
+           Tick hit_latency, Tick mem_latency);
+
+    /**
+     * Account one access to line_addr: returns the storage latency
+     * (hit or miss+fill) and allocates the tag on a miss.
+     */
+    Tick access(Addr line_addr);
+
+    /** Tag presence without side effects (tests). */
+    bool contains(Addr line_addr) const;
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    CacheArray tags_;
+    Tick hitLatency_;
+    Tick memLatency_;
+    StatGroup stats_;
+};
+
+} // namespace asf
+
+#endif // ASF_MEM_L2_BANK_HH

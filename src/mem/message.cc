@@ -1,0 +1,61 @@
+#include "mem/message.hh"
+
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS: return "GetS";
+      case MsgType::GetX: return "GetX";
+      case MsgType::OrderWrite: return "OrderWrite";
+      case MsgType::CondOrderWrite: return "CondOrderWrite";
+      case MsgType::PutM: return "PutM";
+      case MsgType::PutE: return "PutE";
+      case MsgType::DataE: return "DataE";
+      case MsgType::DataS: return "DataS";
+      case MsgType::DataX: return "DataX";
+      case MsgType::AckX: return "AckX";
+      case MsgType::AckOrder: return "AckOrder";
+      case MsgType::NackX: return "NackX";
+      case MsgType::NackCO: return "NackCO";
+      case MsgType::Inv: return "Inv";
+      case MsgType::Dwngr: return "Dwngr";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::DwngrAck: return "DwngrAck";
+      case MsgType::GrtDeposit: return "GrtDeposit";
+      case MsgType::GrtFetchReply: return "GrtFetchReply";
+      case MsgType::GrtClear: return "GrtClear";
+      case MsgType::GrtCheck: return "GrtCheck";
+      case MsgType::GrtCheckReply: return "GrtCheckReply";
+    }
+    return "<bad-msg>";
+}
+
+unsigned
+Message::sizeBytes() const
+{
+    // 8 bytes of header/address for every message.
+    unsigned bytes = 8;
+    if (hasData)
+        bytes += lineBytes;
+    // Order/CO requests carry the word update in the message.
+    if (type == MsgType::OrderWrite || type == MsgType::CondOrderWrite)
+        bytes += wordBytes;
+    // GRT traffic carries address sets, 4 bytes per line address.
+    bytes += 4 * addrSet.size();
+    return bytes;
+}
+
+std::string
+Message::toString() const
+{
+    return format("%s[%d->%d addr=%#llx%s%s]", msgTypeName(type), src, dst,
+                  (unsigned long long)addr, hasData ? " +data" : "",
+                  orderBit ? " O" : "");
+}
+
+} // namespace asf

@@ -1,0 +1,128 @@
+#include "noc/mesh.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+Mesh::Mesh(EventQueue &eq, unsigned num_nodes, Tick hop_latency,
+           unsigned link_bytes)
+    : eq_(eq), numNodes_(num_nodes), hopLatency_(hop_latency),
+      linkBytes_(link_bytes), sinks_(num_nodes),
+      stats_("noc")
+{
+    if (num_nodes == 0)
+        fatal("mesh with zero nodes");
+    cols_ = static_cast<unsigned>(std::ceil(std::sqrt(double(num_nodes))));
+    rows_ = (num_nodes + cols_ - 1) / cols_;
+    // Routers exist at every grid position: XY routes may pass through
+    // positions that hold no endpoint (e.g. 8 nodes on a 3x3 grid).
+    linkFree_.assign(size_t(cols_) * rows_ * numDirs, 0);
+}
+
+void
+Mesh::setSink(NodeId node, Sink sink)
+{
+    if (node < 0 || unsigned(node) >= numNodes_)
+        panic("setSink: bad node %d", node);
+    sinks_[node] = std::move(sink);
+}
+
+Mesh::XY
+Mesh::coords(NodeId n) const
+{
+    return XY{int(unsigned(n) % cols_), int(unsigned(n) / cols_)};
+}
+
+NodeId
+Mesh::nodeAt(int x, int y) const
+{
+    return NodeId(unsigned(y) * cols_ + unsigned(x));
+}
+
+Tick &
+Mesh::linkFree(NodeId from, Dir dir)
+{
+    return linkFree_[size_t(from) * numDirs + dir];
+}
+
+unsigned
+Mesh::hopCount(NodeId from, NodeId to) const
+{
+    XY a = coords(from);
+    XY b = coords(to);
+    return unsigned(std::abs(a.x - b.x) + std::abs(a.y - b.y));
+}
+
+Tick
+Mesh::route(const Message &msg, unsigned flits, unsigned &hops)
+{
+    Tick t = eq_.now();
+    XY cur = coords(msg.src);
+    XY dst = coords(msg.dst);
+    hops = 0;
+    // X first, then Y (deterministic dimension-order routing).
+    while (cur.x != dst.x || cur.y != dst.y) {
+        Dir dir;
+        XY next = cur;
+        if (cur.x != dst.x) {
+            dir = cur.x < dst.x ? East : West;
+            next.x += cur.x < dst.x ? 1 : -1;
+        } else {
+            dir = cur.y < dst.y ? South : North;
+            next.y += cur.y < dst.y ? 1 : -1;
+        }
+        Tick &free = linkFree(nodeAt(cur.x, cur.y), dir);
+        Tick start = std::max(t, free);
+        free = start + flits;
+        t = start + hopLatency_;
+        cur = next;
+        hops++;
+    }
+    return t;
+}
+
+void
+Mesh::send(Message msg)
+{
+    if (msg.src < 0 || unsigned(msg.src) >= numNodes_ || msg.dst < 0 ||
+        unsigned(msg.dst) >= numNodes_)
+        panic("mesh send with bad endpoints: %s", msg.toString().c_str());
+
+    unsigned flits = flitsFor(msg, linkBytes_);
+    unsigned bytes = msg.sizeBytes();
+    stats_.scalar("packets").inc();
+    stats_.scalar("bytes").inc(bytes);
+    switch (msg.trafficClass) {
+      case TrafficClass::Base:
+        stats_.scalar("bytesBase").inc(bytes);
+        break;
+      case TrafficClass::Retry:
+        stats_.scalar("bytesRetry").inc(bytes);
+        break;
+      case TrafficClass::Grt:
+        stats_.scalar("bytesGrt").inc(bytes);
+        break;
+    }
+
+    Tick deliver;
+    unsigned hops = 0;
+    if (msg.src == msg.dst) {
+        // Local loopback: one cycle through the node's own port.
+        deliver = eq_.now() + 1;
+    } else {
+        deliver = route(msg, flits, hops);
+    }
+    latency_.sample(double(deliver - eq_.now()));
+
+    NodeId dst = msg.dst;
+    eq_.schedule(deliver, [this, dst, m = std::move(msg)]() {
+        if (!sinks_[dst])
+            panic("no sink registered for node %d", dst);
+        sinks_[dst](m);
+    });
+}
+
+} // namespace asf

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * 2D mesh on-chip network with XY (dimension-order) routing, 5 cycles per
+ * hop and 256-bit (32-byte) links, as in Table 2 of the paper.
+ *
+ * The model is an analytic pipeline: at injection the packet reserves each
+ * directed link on its XY path in order. A link transfers one flit per
+ * cycle, so a packet occupies a link for `flits` cycles starting when the
+ * link frees; head latency per hop is `hopLatency`. Reservation order at
+ * injection time preserves FIFO per link, which (with deterministic XY
+ * routes) guarantees in-order delivery per (src, dst) pair - a property
+ * the coherence protocol relies on.
+ */
+
+#ifndef ASF_NOC_MESH_HH
+#define ASF_NOC_MESH_HH
+
+#include <functional>
+#include <vector>
+
+#include "noc/packet.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace asf
+{
+
+class Mesh
+{
+  public:
+    using Sink = std::function<void(const Message &)>;
+
+    Mesh(EventQueue &eq, unsigned num_nodes, Tick hop_latency = 5,
+         unsigned link_bytes = 32);
+
+    /** Register the component that receives messages addressed to node. */
+    void setSink(NodeId node, Sink sink);
+
+    /** Inject a message now; it is delivered via the event queue. */
+    void send(Message msg);
+
+    unsigned numNodes() const { return numNodes_; }
+    unsigned cols() const { return cols_; }
+    unsigned rows() const { return rows_; }
+
+    /** Hop count of the XY route between two nodes. */
+    unsigned hopCount(NodeId from, NodeId to) const;
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Mean delivered-packet latency in cycles. */
+    double avgLatency() const { return latency_.mean(); }
+
+  private:
+    enum Dir { East, West, North, South, numDirs };
+
+    struct XY
+    {
+        int x;
+        int y;
+    };
+
+    XY coords(NodeId n) const;
+    NodeId nodeAt(int x, int y) const;
+    Tick &linkFree(NodeId from, Dir dir);
+
+    /** Route msg, reserving links; returns delivery tick. */
+    Tick route(const Message &msg, unsigned flits, unsigned &hops);
+
+    EventQueue &eq_;
+    unsigned numNodes_;
+    unsigned cols_;
+    unsigned rows_;
+    Tick hopLatency_;
+    unsigned linkBytes_;
+    std::vector<Sink> sinks_;
+    std::vector<Tick> linkFree_;
+    StatGroup stats_;
+    StatAverage latency_;
+};
+
+} // namespace asf
+
+#endif // ASF_NOC_MESH_HH

@@ -1,0 +1,13 @@
+#include "noc/packet.hh"
+
+namespace asf
+{
+
+unsigned
+flitsFor(const Message &msg, unsigned link_bytes)
+{
+    unsigned bytes = msg.sizeBytes();
+    return (bytes + link_bytes - 1) / link_bytes;
+}
+
+} // namespace asf

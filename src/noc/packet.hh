@@ -1,0 +1,32 @@
+/**
+ * @file
+ * A packet in flight on the mesh: a coherence Message plus the wire
+ * metadata the network model needs.
+ */
+
+#ifndef ASF_NOC_PACKET_HH
+#define ASF_NOC_PACKET_HH
+
+#include "mem/message.hh"
+#include "sim/types.hh"
+
+namespace asf
+{
+
+struct Packet
+{
+    Message msg;
+    Tick injectedAt = 0;
+    Tick deliveredAt = 0;
+    unsigned hops = 0;
+    unsigned flits = 0;
+
+    Tick latency() const { return deliveredAt - injectedAt; }
+};
+
+/** Number of link flits a message occupies given the link width. */
+unsigned flitsFor(const Message &msg, unsigned link_bytes);
+
+} // namespace asf
+
+#endif // ASF_NOC_PACKET_HH

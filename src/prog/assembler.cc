@@ -1,0 +1,226 @@
+#include "prog/assembler.hh"
+
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+Assembler::Assembler(std::string program_name) : name_(std::move(program_name))
+{
+}
+
+void
+Assembler::bind(const std::string &name)
+{
+    if (labels_.count(name))
+        fatal("assembler '%s': label '%s' bound twice", name_.c_str(),
+              name.c_str());
+    labels_[name] = here();
+}
+
+std::string
+Assembler::freshLabel(const std::string &stem)
+{
+    return format("%s$%llu", stem.c_str(),
+                  (unsigned long long)freshCounter_++);
+}
+
+void
+Assembler::emit(Instr ins)
+{
+    if (finished_)
+        panic("assembler '%s': emit after finish()", name_.c_str());
+    instrs_.push_back(ins);
+}
+
+void Assembler::nop() { emit({.op = Op::Nop}); }
+
+void
+Assembler::li(Reg rd, int64_t imm)
+{
+    emit({.op = Op::Li, .rd = rd, .imm = imm});
+}
+
+void
+Assembler::mov(Reg rd, Reg ra)
+{
+    emit({.op = Op::Mov, .rd = rd, .ra = ra});
+}
+
+void
+Assembler::add(Reg rd, Reg ra, Reg rb)
+{
+    emit({.op = Op::Add, .rd = rd, .ra = ra, .rb = rb});
+}
+
+void
+Assembler::sub(Reg rd, Reg ra, Reg rb)
+{
+    emit({.op = Op::Sub, .rd = rd, .ra = ra, .rb = rb});
+}
+
+void
+Assembler::mul(Reg rd, Reg ra, Reg rb)
+{
+    emit({.op = Op::Mul, .rd = rd, .ra = ra, .rb = rb});
+}
+
+void
+Assembler::and_(Reg rd, Reg ra, Reg rb)
+{
+    emit({.op = Op::And, .rd = rd, .ra = ra, .rb = rb});
+}
+
+void
+Assembler::or_(Reg rd, Reg ra, Reg rb)
+{
+    emit({.op = Op::Or, .rd = rd, .ra = ra, .rb = rb});
+}
+
+void
+Assembler::xor_(Reg rd, Reg ra, Reg rb)
+{
+    emit({.op = Op::Xor, .rd = rd, .ra = ra, .rb = rb});
+}
+
+void
+Assembler::addi(Reg rd, Reg ra, int64_t imm)
+{
+    emit({.op = Op::Addi, .rd = rd, .ra = ra, .imm = imm});
+}
+
+void
+Assembler::andi(Reg rd, Reg ra, int64_t imm)
+{
+    emit({.op = Op::Andi, .rd = rd, .ra = ra, .imm = imm});
+}
+
+void
+Assembler::muli(Reg rd, Reg ra, int64_t imm)
+{
+    emit({.op = Op::Muli, .rd = rd, .ra = ra, .imm = imm});
+}
+
+void
+Assembler::shli(Reg rd, Reg ra, int64_t imm)
+{
+    emit({.op = Op::Shli, .rd = rd, .ra = ra, .imm = imm});
+}
+
+void
+Assembler::shri(Reg rd, Reg ra, int64_t imm)
+{
+    emit({.op = Op::Shri, .rd = rd, .ra = ra, .imm = imm});
+}
+
+void
+Assembler::ld(Reg rd, Reg ra, int64_t offset)
+{
+    emit({.op = Op::Ld, .rd = rd, .ra = ra, .imm = offset});
+}
+
+void
+Assembler::st(Reg ra, int64_t offset, Reg rs)
+{
+    emit({.op = Op::St, .ra = ra, .rb = rs, .imm = offset});
+}
+
+void
+Assembler::cas(Reg rd, Reg ra, int64_t offset, Reg expect, Reg desired)
+{
+    emit({.op = Op::Cas, .rd = rd, .ra = ra, .rb = expect, .rc = desired,
+          .imm = offset});
+}
+
+void
+Assembler::xchg(Reg rd, Reg ra, int64_t offset, Reg rs)
+{
+    emit({.op = Op::Xchg, .rd = rd, .ra = ra, .rb = rs, .imm = offset});
+}
+
+void
+Assembler::fence(FenceRole role)
+{
+    emit({.op = Op::Fence, .role = role});
+}
+
+void
+Assembler::emitBranch(Op op, Reg ra, Reg rb, const std::string &label)
+{
+    fixups_.emplace_back(here(), label);
+    emit({.op = op, .ra = ra, .rb = rb, .imm = 0});
+}
+
+void
+Assembler::beq(Reg ra, Reg rb, const std::string &label)
+{
+    emitBranch(Op::Beq, ra, rb, label);
+}
+
+void
+Assembler::bne(Reg ra, Reg rb, const std::string &label)
+{
+    emitBranch(Op::Bne, ra, rb, label);
+}
+
+void
+Assembler::blt(Reg ra, Reg rb, const std::string &label)
+{
+    emitBranch(Op::Blt, ra, rb, label);
+}
+
+void
+Assembler::bge(Reg ra, Reg rb, const std::string &label)
+{
+    emitBranch(Op::Bge, ra, rb, label);
+}
+
+void
+Assembler::jmp(const std::string &label)
+{
+    fixups_.emplace_back(here(), label);
+    emit({.op = Op::Jmp, .imm = 0});
+}
+
+void
+Assembler::compute(int64_t cycles)
+{
+    if (cycles < 0)
+        fatal("assembler '%s': negative compute latency", name_.c_str());
+    emit({.op = Op::Compute, .imm = cycles});
+}
+
+void
+Assembler::rand(Reg rd)
+{
+    emit({.op = Op::Rand, .rd = rd});
+}
+
+void
+Assembler::mark(int64_t counter)
+{
+    emit({.op = Op::Mark, .imm = counter});
+}
+
+void Assembler::halt() { emit({.op = Op::Halt}); }
+
+Program
+Assembler::finish()
+{
+    if (finished_)
+        panic("assembler '%s': finish() called twice", name_.c_str());
+    for (const auto &[pos, label] : fixups_) {
+        auto it = labels_.find(label);
+        if (it == labels_.end())
+            fatal("assembler '%s': undefined label '%s'", name_.c_str(),
+                  label.c_str());
+        instrs_[pos].imm = static_cast<int64_t>(it->second);
+    }
+    finished_ = true;
+    Program p;
+    p.name = name_;
+    p.instrs = std::move(instrs_);
+    return p;
+}
+
+} // namespace asf

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A tiny two-pass assembler / program builder for the guest mini-ISA.
+ * Runtime libraries (THE deque, TLRW, Bakery, ...) are emitted through
+ * this interface with string labels; branches to labels not yet bound are
+ * fixed up at finish().
+ */
+
+#ifndef ASF_PROG_ASSEMBLER_HH
+#define ASF_PROG_ASSEMBLER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prog/instr.hh"
+
+namespace asf
+{
+
+class Assembler
+{
+  public:
+    explicit Assembler(std::string program_name);
+
+    // --- label management -------------------------------------------
+    /** Bind `name` to the current position. Each name binds once. */
+    void bind(const std::string &name);
+
+    /** A fresh unique label name (for emitters used multiple times). */
+    std::string freshLabel(const std::string &stem);
+
+    // --- instruction emitters ---------------------------------------
+    void nop();
+    void li(Reg rd, int64_t imm);
+    void mov(Reg rd, Reg ra);
+    void add(Reg rd, Reg ra, Reg rb);
+    void sub(Reg rd, Reg ra, Reg rb);
+    void mul(Reg rd, Reg ra, Reg rb);
+    void and_(Reg rd, Reg ra, Reg rb);
+    void or_(Reg rd, Reg ra, Reg rb);
+    void xor_(Reg rd, Reg ra, Reg rb);
+    void addi(Reg rd, Reg ra, int64_t imm);
+    void andi(Reg rd, Reg ra, int64_t imm);
+    void muli(Reg rd, Reg ra, int64_t imm);
+    void shli(Reg rd, Reg ra, int64_t imm);
+    void shri(Reg rd, Reg ra, int64_t imm);
+    void ld(Reg rd, Reg ra, int64_t offset = 0);
+    void st(Reg ra, int64_t offset, Reg rs);
+    void cas(Reg rd, Reg ra, int64_t offset, Reg expect, Reg desired);
+    void xchg(Reg rd, Reg ra, int64_t offset, Reg rs);
+    void fence(FenceRole role);
+    void beq(Reg ra, Reg rb, const std::string &label);
+    void bne(Reg ra, Reg rb, const std::string &label);
+    void blt(Reg ra, Reg rb, const std::string &label);
+    void bge(Reg ra, Reg rb, const std::string &label);
+    void jmp(const std::string &label);
+    void compute(int64_t cycles);
+    void rand(Reg rd);
+    void mark(int64_t counter);
+    void halt();
+
+    /** Current emission position (== PC of the next instruction). */
+    uint64_t here() const { return instrs_.size(); }
+
+    /** Resolve all label references and produce the program. */
+    Program finish();
+
+  private:
+    void emit(Instr ins);
+    void emitBranch(Op op, Reg ra, Reg rb, const std::string &label);
+
+    std::string name_;
+    std::vector<Instr> instrs_;
+    std::map<std::string, uint64_t> labels_;
+    std::vector<std::pair<uint64_t, std::string>> fixups_;
+    uint64_t freshCounter_ = 0;
+    bool finished_ = false;
+};
+
+} // namespace asf
+
+#endif // ASF_PROG_ASSEMBLER_HH

@@ -1,0 +1,131 @@
+#include "prog/fuzz.hh"
+
+#include "mem/address.hh"
+#include "runtime/layout.hh"
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+namespace
+{
+
+/** Byte stride between shared locations. */
+unsigned
+locStride(const FuzzConfig &cfg)
+{
+    return cfg.packLocations ? wordBytes : lineBytes;
+}
+
+} // namespace
+
+Addr
+FuzzSetup::locAddr(unsigned i) const
+{
+    return sharedBase + Addr(i) * locStride(cfg);
+}
+
+Addr
+FuzzSetup::checksumAddr(unsigned tid) const
+{
+    return resultBase + Addr(tid) * lineBytes;
+}
+
+Addr
+FuzzSetup::loadCountAddr(unsigned tid) const
+{
+    return checksumAddr(tid) + wordBytes;
+}
+
+uint64_t
+FuzzSetup::token(unsigned tid, unsigned round, unsigned idx)
+{
+    return (uint64_t(tid + 1) << 24) | (uint64_t(round) << 8) |
+           uint64_t(idx + 1);
+}
+
+bool
+FuzzSetup::tokenValid(uint64_t v, unsigned num_threads)
+{
+    if (v == 0)
+        return true;
+    uint64_t tid_part = v >> 24;
+    return tid_part >= 1 && tid_part <= num_threads && (v & 0xff) != 0;
+}
+
+FuzzSetup
+buildFuzz(const FuzzConfig &cfg)
+{
+    if (cfg.numThreads == 0 || cfg.numLocations == 0 || cfg.rounds == 0)
+        fatal("degenerate fuzz config");
+    if (cfg.singleWriterPerLoc && cfg.numLocations < cfg.numThreads)
+        fatal("single-writer fuzzing needs >= one location per thread");
+
+    FuzzSetup setup;
+    setup.cfg = cfg;
+    GuestLayout layout;
+    setup.sharedBase =
+        layout.block(cfg.numLocations * locStride(cfg) / wordBytes);
+    setup.resultBase = layout.paddedArray(cfg.numThreads);
+
+    Rng rng(cfg.seed);
+    setup.expectedFinal.assign(cfg.numLocations, 0);
+    for (unsigned tid = 0; tid < cfg.numThreads; tid++) {
+        Assembler a(format("fuzz_t%u_s%llu", tid,
+                           (unsigned long long)cfg.seed));
+        const Reg base = 16, checksum = 17, count = 18, tmp = 0,
+                  tmp2 = 1;
+        a.li(base, int64_t(setup.sharedBase));
+        a.li(checksum, 0);
+        a.li(count, 0);
+
+        FenceRole role = tid == 0 ? FenceRole::Critical
+                                  : FenceRole::Noncritical;
+
+        for (unsigned round = 0; round < cfg.rounds; round++) {
+            unsigned stores =
+                unsigned(rng.between(1, cfg.maxStoresPerRound));
+            unsigned loads = unsigned(rng.between(1, cfg.maxLoadsPerRound));
+
+            for (unsigned s = 0; s < stores; s++) {
+                unsigned loc;
+                if (cfg.singleWriterPerLoc) {
+                    // Partition the locations round-robin by thread id.
+                    unsigned mine =
+                        (cfg.numLocations + cfg.numThreads - 1 - tid) /
+                        cfg.numThreads;
+                    loc = tid + cfg.numThreads *
+                                    unsigned(rng.range(mine ? mine : 1));
+                } else {
+                    loc = unsigned(rng.range(cfg.numLocations));
+                }
+                uint64_t tok = FuzzSetup::token(tid, round, s);
+                a.li(tmp, int64_t(tok));
+                a.st(base, int64_t(Addr(loc) * locStride(cfg)), tmp);
+                if (cfg.singleWriterPerLoc)
+                    setup.expectedFinal[loc] = tok;
+            }
+
+            a.fence(role);
+
+            if (cfg.maxCompute > 0)
+                a.compute(int64_t(rng.range(cfg.maxCompute) + 1));
+
+            for (unsigned l = 0; l < loads; l++) {
+                unsigned loc = unsigned(rng.range(cfg.numLocations));
+                a.ld(tmp, base, int64_t(Addr(loc) * locStride(cfg)));
+                a.add(checksum, checksum, tmp);
+                a.addi(count, count, 1);
+            }
+        }
+
+        a.li(tmp2, int64_t(setup.checksumAddr(tid)));
+        a.st(tmp2, 0, checksum);
+        a.st(tmp2, int64_t(wordBytes), count);
+        a.halt();
+        setup.programs.push_back(a.finish());
+    }
+    return setup;
+}
+
+} // namespace asf

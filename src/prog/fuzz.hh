@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Random concurrent-program generation for property testing. Programs
+ * are "fence-disciplined": every shared store is separated from every
+ * subsequent shared load by a fence (the Shasha-Snir delay-set fully
+ * fenced), so under every fence design the execution must be
+ * SC-equivalent - making cross-design functional equivalence and
+ * invariant checks meaningful.
+ *
+ * Each thread runs a loop of rounds; per round it performs a random mix
+ * of shared stores (tagged with a unique token), a fence, and shared
+ * loads whose observations are accumulated into a per-thread checksum
+ * written to a private result area. Two invariants hold for ANY correct
+ * TSO implementation with fences:
+ *
+ *  1. token integrity: every loaded value is 0 or a token some thread
+ *     actually stored there;
+ *  2. per-location monotonicity when configured with one writer per
+ *     location (values only grow).
+ */
+
+#ifndef ASF_PROG_FUZZ_HH
+#define ASF_PROG_FUZZ_HH
+
+#include <vector>
+
+#include "prog/assembler.hh"
+#include "sim/rng.hh"
+#include "sim/types.hh"
+
+namespace asf
+{
+
+struct FuzzConfig
+{
+    unsigned numThreads = 4;
+    unsigned numLocations = 8;   ///< shared word slots
+    unsigned rounds = 12;        ///< fence groups per thread
+    unsigned maxStoresPerRound = 3;
+    unsigned maxLoadsPerRound = 3;
+    unsigned maxCompute = 20;    ///< random think time per round
+    bool packLocations = false;  ///< share cache lines (false sharing)
+    bool singleWriterPerLoc = false; ///< enables monotonicity checking
+    uint64_t seed = 1;
+};
+
+struct FuzzSetup
+{
+    FuzzConfig cfg;
+    Addr sharedBase = 0;   ///< numLocations shared words
+    Addr resultBase = 0;   ///< per-thread result line (checksum, count)
+    std::vector<Program> programs; ///< one per thread
+    /** With singleWriterPerLoc: the exact final value of each location
+     *  (its writer's program-order-last store), 0 if never written.
+     *  Lets tests check the drained memory image precisely. */
+    std::vector<uint64_t> expectedFinal;
+
+    Addr locAddr(unsigned i) const;
+    Addr checksumAddr(unsigned tid) const;
+    Addr loadCountAddr(unsigned tid) const;
+
+    /**
+     * Token encoding: stores write (tid+1) << 24 | round << 8 | idx,
+     * guaranteeing system-wide uniqueness and a recoverable writer id.
+     */
+    static uint64_t token(unsigned tid, unsigned round, unsigned idx);
+    static bool tokenValid(uint64_t v, unsigned num_threads);
+};
+
+/** Build the programs and layout for a fuzz run. */
+FuzzSetup buildFuzz(const FuzzConfig &cfg);
+
+} // namespace asf
+
+#endif // ASF_PROG_FUZZ_HH

@@ -1,0 +1,113 @@
+#include "runtime/bakery.hh"
+
+#include "runtime/marks.hh"
+#include "runtime/regs.hh"
+#include "sim/logging.hh"
+
+namespace asf::runtime
+{
+
+using namespace regs;
+
+BakeryLayout
+allocBakery(GuestLayout &layout, unsigned num_threads)
+{
+    BakeryLayout lay;
+    lay.numThreads = num_threads;
+    lay.eBase = layout.block(num_threads);
+    lay.nBase = layout.block(num_threads);
+    lay.counterAddr = layout.line();
+    return lay;
+}
+
+Program
+buildBakeryProgram(const BakeryLayout &lay, unsigned tid,
+                   unsigned iterations, unsigned think,
+                   unsigned priority_tid)
+{
+    FenceRole role = tid == priority_tid ? FenceRole::Critical
+                                         : FenceRole::Noncritical;
+    Assembler a(format("bakery_t%u", tid));
+
+    // s0 = remaining iterations, s1 = E base, s2 = N base, s3 = my E
+    // address, s4 = my N address, s5 = counter address, s6 = my ticket,
+    // s8 = my thread id, s9 = thread count (baked in as constants).
+    a.li(s0, int64_t(iterations));
+    a.li(s1, int64_t(lay.eBase));
+    a.li(s2, int64_t(lay.nBase));
+    a.li(s3, int64_t(lay.eAddr(tid)));
+    a.li(s4, int64_t(lay.nAddr(tid)));
+    a.li(s5, int64_t(lay.counterAddr));
+    a.li(s8, int64_t(tid));
+    a.li(s9, int64_t(lay.numThreads));
+
+    a.bind("iter");
+
+    // --- doorway: E[i] = 1; fence; ticket = 1 + max(N[]) --------------
+    a.li(t0, 1);
+    a.st(s3, 0, t0);
+    a.fence(role);
+    a.li(s6, 0); // running max
+    a.li(t1, 0); // j
+    a.bind("maxloop");
+    a.shli(t2, t1, 3);
+    a.add(t2, t2, s2);
+    a.ld(t3, t2, 0); // N[j]
+    a.bge(s6, t3, "maxnext");
+    a.mov(s6, t3);
+    a.bind("maxnext");
+    a.addi(t1, t1, 1);
+    a.blt(t1, s9, "maxloop");
+    a.addi(s6, s6, 1); // my ticket
+    a.st(s4, 0, s6);   // N[i] = ticket
+    a.li(t0, 0);
+    a.st(s3, 0, t0); // E[i] = 0
+    // Publish N[i]/E[i] before scanning the other threads.
+    a.fence(role);
+
+    // --- wait loop over every other thread ----------------------------
+    a.li(s7, 0); // j
+    a.bind("jloop");
+    a.beq(s7, s8, "jnext");
+    // wait until E[j] == 0
+    a.bind("waitE");
+    a.shli(t2, s7, 3);
+    a.add(t2, t2, s1);
+    a.ld(t3, t2, 0);
+    a.li(t0, 0);
+    a.bne(t3, t0, "waitE");
+    // wait until N[j] == 0 or (N[j], j) > (N[i], i)
+    a.bind("waitN");
+    a.shli(t2, s7, 3);
+    a.add(t2, t2, s2);
+    a.ld(t3, t2, 0); // N[j]
+    a.li(t0, 0);
+    a.beq(t3, t0, "jnext");   // N[j] == 0: j is not competing
+    a.blt(t3, s6, "waitN");   // N[j] < N[i]: j goes first, wait
+    a.bne(t3, s6, "jnext");   // N[j] > N[i]: we go first
+    a.blt(s7, s8, "waitN");   // tie: lower id goes first
+    a.bind("jnext");
+    a.addi(s7, s7, 1);
+    a.blt(s7, s9, "jloop");
+
+    // --- critical section ----------------------------------------------
+    a.mark(marks::lockAcquired);
+    a.ld(t0, s5, 0);
+    a.addi(t0, t0, 1);
+    a.st(s5, 0, t0);
+
+    // --- release ---------------------------------------------------------
+    a.li(t0, 0);
+    a.st(s4, 0, t0); // N[i] = 0
+
+    if (think > 0)
+        a.compute(int64_t(think));
+
+    a.addi(s0, s0, -1);
+    a.li(t0, 0);
+    a.blt(t0, s0, "iter");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace asf::runtime

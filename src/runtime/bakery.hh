@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Lamport's Bakery mutual-exclusion algorithm in the guest mini-ISA
+ * (paper Section 4.3). The E[] and N[] arrays are packed words, so
+ * neighbouring threads' entries share cache lines - which is exactly the
+ * false-sharing situation the paper's SW+/W+ designs must survive.
+ *
+ * Fence placement follows Figure 6a: a fence after the E[own] store
+ * (before scanning the other threads' entries) and another after the
+ * ticket publication. One thread can be designated priority: its fences
+ * carry FenceRole::Critical (a wf under WS+/SW+), the rest Noncritical.
+ */
+
+#ifndef ASF_RUNTIME_BAKERY_HH
+#define ASF_RUNTIME_BAKERY_HH
+
+#include "mem/memory_image.hh"
+#include "prog/assembler.hh"
+#include "runtime/layout.hh"
+
+namespace asf::runtime
+{
+
+struct BakeryLayout
+{
+    Addr eBase = 0;       ///< E[numThreads], packed words
+    Addr nBase = 0;       ///< N[numThreads], packed words
+    Addr counterAddr = 0; ///< shared counter incremented in the CS
+    unsigned numThreads = 0;
+
+    Addr eAddr(unsigned i) const { return eBase + Addr(i) * wordBytes; }
+    Addr nAddr(unsigned i) const { return nBase + Addr(i) * wordBytes; }
+};
+
+BakeryLayout allocBakery(GuestLayout &layout, unsigned num_threads);
+
+/**
+ * Build the program for thread `tid`: `iterations` times acquire the
+ * bakery lock, increment the shared counter (plain ld/add/st - mutual
+ * exclusion is what keeps it race-free), release, and do `think` cycles
+ * of local compute. Thread `priority_tid` gets Critical fences.
+ */
+Program buildBakeryProgram(const BakeryLayout &lay, unsigned tid,
+                           unsigned iterations, unsigned think,
+                           unsigned priority_tid);
+
+} // namespace asf::runtime
+
+#endif // ASF_RUNTIME_BAKERY_HH

@@ -1,0 +1,88 @@
+#include "runtime/biased_lock.hh"
+
+#include "runtime/spinlock.hh"
+
+namespace asf::runtime
+{
+
+namespace
+{
+constexpr int64_t biasOff = 0;
+constexpr int64_t revokersOff = 32;
+constexpr int64_t mutexOff = 64;
+} // namespace
+
+BiasedLock
+allocBiasedLock(GuestLayout &layout)
+{
+    BiasedLock l;
+    l.base = layout.granuleAlignedBlock(3 * lineBytes / wordBytes);
+    return l;
+}
+
+void
+emitBiasedOwnerAcquire(Assembler &a, Reg l, Reg took_fast, Reg t0, Reg t1)
+{
+    std::string done = a.freshLabel("bl_own_done");
+    a.li(took_fast, 1);
+    a.st(l, biasOff, took_fast); // biasFlag = 1
+    // The owner's Dekker fence: bias visible before reading revokers.
+    a.fence(FenceRole::Critical);
+    a.ld(t0, l, revokersOff);
+    a.li(t1, 0);
+    a.beq(t0, t1, done); // no revoker: fast path held
+    // Contended: undo the bias and fall back to the mutex.
+    a.li(took_fast, 0);
+    a.st(l, biasOff, took_fast);
+    emitSpinLockAcquire(a, l, mutexOff, t0, t1);
+    a.bind(done);
+}
+
+void
+emitBiasedOwnerRelease(Assembler &a, Reg l, Reg took_fast, Reg t0)
+{
+    std::string slow = a.freshLabel("bl_rel_slow");
+    std::string done = a.freshLabel("bl_rel_done");
+    a.li(t0, 0);
+    a.beq(took_fast, t0, slow);
+    a.st(l, biasOff, t0); // fast path: just clear the bias
+    a.jmp(done);
+    a.bind(slow);
+    emitSpinLockRelease(a, l, mutexOff, t0);
+    a.bind(done);
+}
+
+void
+emitBiasedOtherAcquire(Assembler &a, Reg l, Reg t0, Reg t1, Reg t2,
+                       Reg t3)
+{
+    std::string incr = a.freshLabel("bl_oth_incr");
+    std::string wait = a.freshLabel("bl_oth_wait");
+    // revokers++ (CAS loop; the atomic orders like a full fence).
+    a.bind(incr);
+    a.ld(t0, l, revokersOff);
+    a.addi(t1, t0, 1);
+    a.cas(t2, l, revokersOff, t0, t1);
+    a.bne(t2, t0, incr);
+    // Wait for the owner's fast path to drain, then serialize on the
+    // mutex with other revokers (and a fallen-back owner).
+    a.bind(wait);
+    a.ld(t0, l, biasOff);
+    a.li(t3, 0);
+    a.bne(t0, t3, wait);
+    emitSpinLockAcquire(a, l, mutexOff, t0, t1);
+}
+
+void
+emitBiasedOtherRelease(Assembler &a, Reg l, Reg t0, Reg t1, Reg t2)
+{
+    emitSpinLockRelease(a, l, mutexOff, t0);
+    std::string decr = a.freshLabel("bl_oth_decr");
+    a.bind(decr);
+    a.ld(t0, l, revokersOff);
+    a.addi(t1, t0, -1);
+    a.cas(t2, l, revokersOff, t0, t1);
+    a.bne(t2, t0, decr);
+}
+
+} // namespace asf::runtime

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A biased (quickly reacquirable) lock, the paper's Section 4.4 use
+ * case: the owner thread's fast path is a Dekker-style
+ * store-fence-load; other threads announce themselves with an atomic
+ * revoker count and fall back to a mutex.
+ *
+ *   owner acquire:  biasFlag = 1;  FENCE(Critical);  r = revokers;
+ *                   r == 0 -> fast-path held, else undo and take mutex
+ *   other acquire:  revokers++ (CAS);  spin biasFlag == 0;  take mutex
+ *
+ * The owner's fence is the performance-critical one (a wf under
+ * WS+/SW+); the revokers' ordering comes from their atomic increment.
+ *
+ * Layout: +0 biasFlag | +32 revokers | +64 mutex  (one line each).
+ */
+
+#ifndef ASF_RUNTIME_BIASED_LOCK_HH
+#define ASF_RUNTIME_BIASED_LOCK_HH
+
+#include "prog/assembler.hh"
+#include "runtime/layout.hh"
+
+namespace asf::runtime
+{
+
+struct BiasedLock
+{
+    Addr base = 0;
+
+    Addr biasAddr() const { return base; }
+    Addr revokersAddr() const { return base + 32; }
+    Addr mutexAddr() const { return base + 64; }
+};
+
+BiasedLock allocBiasedLock(GuestLayout &layout);
+
+/**
+ * Owner acquire: fast path or mutex fallback. `l` holds the lock base.
+ * Clobbers t0-t2. Uses FenceRole::Critical.
+ */
+void emitBiasedOwnerAcquire(Assembler &a, Reg l, Reg t0, Reg t1, Reg t2);
+
+/** Owner release: clears the bias flag (covers both paths: the fast
+ *  path set only the flag, the slow path set flag 0 before the mutex,
+ *  so the owner tracks which path it took in `took_fast`). */
+void emitBiasedOwnerRelease(Assembler &a, Reg l, Reg took_fast, Reg t0);
+
+/**
+ * Non-owner acquire: CAS-increment the revoker count, wait for the
+ * bias flag to drop, take the mutex. Clobbers t0-t3.
+ */
+void emitBiasedOtherAcquire(Assembler &a, Reg l, Reg t0, Reg t1, Reg t2,
+                            Reg t3);
+
+/** Non-owner release: drop the mutex, CAS-decrement the revokers. */
+void emitBiasedOtherRelease(Assembler &a, Reg l, Reg t0, Reg t1, Reg t2);
+
+} // namespace asf::runtime
+
+#endif // ASF_RUNTIME_BIASED_LOCK_HH

@@ -1,0 +1,93 @@
+#include "runtime/dekker.hh"
+
+#include "runtime/marks.hh"
+#include "runtime/regs.hh"
+#include "sim/logging.hh"
+
+namespace asf::runtime
+{
+
+using namespace regs;
+
+DekkerLayout
+allocDekker(GuestLayout &layout)
+{
+    DekkerLayout lay;
+    lay.flag0 = layout.line();
+    lay.flag1 = layout.line();
+    lay.turn = layout.line();
+    lay.counterAddr = layout.line();
+    return lay;
+}
+
+Program
+buildDekkerProgram(const DekkerLayout &lay, unsigned tid,
+                   unsigned iterations, unsigned think, bool fenced)
+{
+    if (tid > 1)
+        fatal("Dekker is a two-thread algorithm");
+    FenceRole role = tid == 0 ? FenceRole::Critical
+                              : FenceRole::Noncritical;
+    Addr my_flag = tid == 0 ? lay.flag0 : lay.flag1;
+    Addr other_flag = tid == 0 ? lay.flag1 : lay.flag0;
+
+    Assembler a(format("dekker_t%u", tid));
+    // s0 = iterations, s1 = my flag, s2 = other flag, s3 = turn,
+    // s4 = counter, s5 = my id.
+    a.li(s0, int64_t(iterations));
+    a.li(s1, int64_t(my_flag));
+    a.li(s2, int64_t(other_flag));
+    a.li(s3, int64_t(lay.turn));
+    a.li(s4, int64_t(lay.counterAddr));
+    a.li(s5, int64_t(tid));
+
+    a.bind("iter");
+
+    // --- lock -----------------------------------------------------------
+    a.li(t0, 1);
+    a.st(s1, 0, t0); // my_flag = 1
+    if (fenced)
+        a.fence(role); // the Dekker fence: flag store before flag load
+    a.bind("check");
+    a.ld(t1, s2, 0); // other_flag
+    a.li(t0, 0);
+    a.beq(t1, t0, "cs"); // other not interested -> enter
+    // Contention: if it's the other's turn, back off and retry.
+    a.ld(t2, s3, 0); // turn
+    a.beq(t2, s5, "check");
+    a.li(t0, 0);
+    a.st(s1, 0, t0); // my_flag = 0
+    a.bind("waitturn");
+    a.ld(t2, s3, 0);
+    a.bne(t2, s5, "waitturn");
+    a.li(t0, 1);
+    a.st(s1, 0, t0); // my_flag = 1
+    if (fenced)
+        a.fence(role);
+    a.jmp("check");
+
+    // --- critical section -------------------------------------------------
+    a.bind("cs");
+    a.mark(marks::lockAcquired);
+    a.ld(t0, s4, 0);
+    a.addi(t0, t0, 1);
+    a.st(s4, 0, t0);
+
+    // --- unlock ------------------------------------------------------------
+    a.li(t0, 1);
+    a.sub(t0, t0, s5); // other tid
+    a.st(s3, 0, t0);   // turn = other
+    a.li(t0, 0);
+    a.st(s1, 0, t0); // my_flag = 0
+
+    if (think > 0)
+        a.compute(int64_t(think));
+
+    a.addi(s0, s0, -1);
+    a.li(t0, 0);
+    a.blt(t0, s0, "iter");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace asf::runtime

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Dekker's two-thread mutual-exclusion algorithm in the guest mini-ISA.
+ * The flag-store -> fence -> flag-load sequence is the canonical
+ * two-fence group of the paper's Figure 1d; a shared counter incremented
+ * in the critical section detects mutual-exclusion violations.
+ */
+
+#ifndef ASF_RUNTIME_DEKKER_HH
+#define ASF_RUNTIME_DEKKER_HH
+
+#include "prog/assembler.hh"
+#include "runtime/layout.hh"
+
+namespace asf::runtime
+{
+
+struct DekkerLayout
+{
+    Addr flag0 = 0;
+    Addr flag1 = 0;
+    Addr turn = 0;
+    Addr counterAddr = 0;
+};
+
+DekkerLayout allocDekker(GuestLayout &layout);
+
+/**
+ * Build thread `tid` (0 or 1): `iterations` lock/increment/unlock rounds
+ * with `think` compute cycles outside the critical section. Thread 0's
+ * fences are Critical, thread 1's Noncritical. Set `fenced` false to
+ * demonstrate the SC violation (counter losses) under plain TSO.
+ */
+Program buildDekkerProgram(const DekkerLayout &lay, unsigned tid,
+                           unsigned iterations, unsigned think,
+                           bool fenced = true);
+
+} // namespace asf::runtime
+
+#endif // ASF_RUNTIME_DEKKER_HH

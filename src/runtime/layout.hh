@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Guest address-space layout helper: a bump allocator handing out words,
+ * lines, and blocks. Workload generators use it to place shared
+ * structures; nothing is ever freed (the address space is per-run).
+ */
+
+#ifndef ASF_RUNTIME_LAYOUT_HH
+#define ASF_RUNTIME_LAYOUT_HH
+
+#include "mem/address.hh"
+#include "mem/message.hh"
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace asf
+{
+
+class GuestLayout
+{
+  public:
+    explicit GuestLayout(Addr base = 0x10000) : next_(base)
+    {
+        if (!isLineAligned(base))
+            fatal("GuestLayout base must be line-aligned");
+    }
+
+    /** One 8-byte word. */
+    Addr word()
+    {
+        Addr a = next_;
+        next_ += wordBytes;
+        return a;
+    }
+
+    /** A fresh cache line (line-aligned word address). */
+    Addr line()
+    {
+        alignToLine();
+        Addr a = next_;
+        next_ += lineBytes;
+        return a;
+    }
+
+    /** `count` consecutive words, starting line-aligned. */
+    Addr block(unsigned count)
+    {
+        alignToLine();
+        Addr a = next_;
+        next_ += Addr(count) * wordBytes;
+        return a;
+    }
+
+    /** `count` words, each alone on its own line (no false sharing). */
+    Addr paddedArray(unsigned count)
+    {
+        alignToLine();
+        Addr a = next_;
+        next_ += Addr(count) * lineBytes;
+        return a;
+    }
+
+    /** Element address within a padded array. */
+    static Addr paddedElem(Addr base, unsigned idx)
+    {
+        return base + Addr(idx) * lineBytes;
+    }
+
+    /** `count` consecutive words starting at a granule boundary, so a
+     *  structure smaller than a granule maps to one directory module. */
+    Addr granuleAlignedBlock(unsigned count)
+    {
+        next_ = (next_ + homeGranuleBytes - 1) &
+                ~Addr(homeGranuleBytes - 1);
+        Addr a = next_;
+        next_ += Addr(count) * wordBytes;
+        return a;
+    }
+
+    /** A fresh line in a fresh home-interleaving granule (its own
+     *  directory module in an N <= nodes system). */
+    Addr granule()
+    {
+        next_ = (next_ + homeGranuleBytes - 1) &
+                ~Addr(homeGranuleBytes - 1);
+        Addr a = next_;
+        next_ += lineBytes;
+        return a;
+    }
+
+    Addr cursor() const { return next_; }
+
+  private:
+    void alignToLine()
+    {
+        next_ = (next_ + lineBytes - 1) & ~Addr(lineBytes - 1);
+    }
+
+    Addr next_;
+};
+
+} // namespace asf
+
+#endif // ASF_RUNTIME_LAYOUT_HH

@@ -1,0 +1,118 @@
+#include "runtime/litmus.hh"
+
+#include "runtime/regs.hh"
+#include "sim/logging.hh"
+
+namespace asf::runtime
+{
+
+using namespace regs;
+
+LitmusLayout
+allocLitmus(GuestLayout &layout)
+{
+    // Each variable in its own home granule: symmetric remoteness for
+    // the two threads, so their warmed-up patterns stay aligned.
+    LitmusLayout lay;
+    lay.x = layout.granule();
+    lay.y = layout.granule();
+    lay.res0 = layout.granule();
+    lay.res1 = layout.granule();
+    lay.res2 = layout.granule();
+    lay.res3 = layout.granule();
+    return lay;
+}
+
+Program
+buildSbThread(const LitmusLayout &lay, unsigned tid, bool fenced,
+              FenceRole role, unsigned warm_cycles)
+{
+    Addr mine = tid == 0 ? lay.x : lay.y;
+    Addr other = tid == 0 ? lay.y : lay.x;
+    Addr res = tid == 0 ? lay.res0 : lay.res1;
+
+    Assembler a(format("sb_t%u", tid));
+    a.li(a0, int64_t(mine));
+    a.li(a1, int64_t(other));
+    a.li(a2, int64_t(res));
+    if (warm_cycles > 0) {
+        a.ld(t0, a1, 0); // cache the load target
+        a.compute(int64_t(warm_cycles));
+    }
+    a.li(t0, 1);
+    a.st(a0, 0, t0); // st mine = 1
+    if (fenced)
+        a.fence(role);
+    a.ld(t1, a1, 0);  // r = ld other
+    a.st(a2, 0, t1);  // res = r
+    a.halt();
+    return a.finish();
+}
+
+Program
+buildMpWriter(const LitmusLayout &lay)
+{
+    Assembler a("mp_writer");
+    a.li(a0, int64_t(lay.x)); // data
+    a.li(a1, int64_t(lay.y)); // flag
+    a.li(t0, 1);
+    a.st(a0, 0, t0);
+    a.st(a1, 0, t0); // TSO keeps the stores ordered
+    a.halt();
+    return a.finish();
+}
+
+Program
+buildMpReader(const LitmusLayout &lay)
+{
+    Assembler a("mp_reader");
+    a.li(a0, int64_t(lay.x));
+    a.li(a1, int64_t(lay.y));
+    a.li(a2, int64_t(lay.res0));
+    a.bind("spin");
+    a.ld(t0, a1, 0);
+    a.li(t1, 0);
+    a.beq(t0, t1, "spin");
+    a.ld(t2, a0, 0); // must observe data = 1
+    a.st(a2, 0, t2);
+    a.halt();
+    return a.finish();
+}
+
+Program
+buildIriwWriter(const LitmusLayout &lay, bool write_x)
+{
+    Assembler a(write_x ? "iriw_wx" : "iriw_wy");
+    a.li(a0, int64_t(write_x ? lay.x : lay.y));
+    a.li(t0, 1);
+    a.st(a0, 0, t0);
+    a.halt();
+    return a.finish();
+}
+
+Program
+buildIriwReader(const LitmusLayout &lay, bool x_first)
+{
+    Assembler a(x_first ? "iriw_rxy" : "iriw_ryx");
+    Addr first = x_first ? lay.x : lay.y;
+    Addr second = x_first ? lay.y : lay.x;
+    Addr res_first = x_first ? lay.res0 : lay.res2;
+    Addr res_second = x_first ? lay.res1 : lay.res3;
+    a.li(a0, int64_t(first));
+    a.li(a1, int64_t(second));
+    a.li(a2, int64_t(res_first));
+    a.li(a3, int64_t(res_second));
+    // Spin until the first location is set, then immediately read the
+    // second; record both observations.
+    a.bind("spin");
+    a.ld(t0, a0, 0);
+    a.li(t1, 0);
+    a.beq(t0, t1, "spin");
+    a.ld(t2, a1, 0);
+    a.st(a2, 0, t0);
+    a.st(a3, 0, t2);
+    a.halt();
+    return a.finish();
+}
+
+} // namespace asf::runtime

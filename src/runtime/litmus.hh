@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Classic memory-model litmus tests as guest programs. These validate
+ * that the simulator exhibits exactly TSO - store->load reordering is
+ * observable without fences and forbidden with them, for every fence
+ * design - and that multi-copy atomicity holds (IRIW never observed).
+ */
+
+#ifndef ASF_RUNTIME_LITMUS_HH
+#define ASF_RUNTIME_LITMUS_HH
+
+#include "prog/assembler.hh"
+#include "runtime/layout.hh"
+
+namespace asf::runtime
+{
+
+/** Shared/result locations of a two-thread litmus. */
+struct LitmusLayout
+{
+    Addr x = 0;
+    Addr y = 0;
+    Addr res0 = 0; ///< thread 0's observed value
+    Addr res1 = 0;
+    Addr res2 = 0; ///< extra observers (IRIW)
+    Addr res3 = 0;
+};
+
+LitmusLayout allocLitmus(GuestLayout &layout);
+
+/**
+ * Store buffering (Dekker core): st x=1; [fence]; r=ld y; res=r.
+ * With fences, (res0,res1) == (0,0) is an SC violation and must never
+ * occur; without fences TSO permits (and our write buffers produce) it.
+ *
+ * `warm_cycles` > 0 prepends a warm-up that caches the *load* target and
+ * then spins for that many cycles, aligning the two threads. With warm
+ * loads and (cold) missing stores, the unfenced reorder is observed
+ * deterministically - the classic SB timing.
+ */
+Program buildSbThread(const LitmusLayout &lay, unsigned tid, bool fenced,
+                      FenceRole role, unsigned warm_cycles = 0);
+
+/**
+ * Message passing: writer does st data=1; st flag=1 (no fence needed
+ * under TSO); reader spins on flag then loads data into res0.
+ */
+Program buildMpWriter(const LitmusLayout &lay);
+Program buildMpReader(const LitmusLayout &lay);
+
+/**
+ * IRIW: two writers (x=1, y=1), two readers each reading both locations
+ * in opposite order (loads are already ordered under TSO). The outcome
+ * res0=1,res1=0,res2=1,res3=0 would violate multi-copy atomicity.
+ */
+Program buildIriwWriter(const LitmusLayout &lay, bool write_x);
+Program buildIriwReader(const LitmusLayout &lay, bool x_first);
+
+} // namespace asf::runtime
+
+#endif // ASF_RUNTIME_LITMUS_HH

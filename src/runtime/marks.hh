@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Guest event-counter ids used with the Mark instruction. The host reads
+ * them back through System::guestCounter().
+ */
+
+#ifndef ASF_RUNTIME_MARKS_HH
+#define ASF_RUNTIME_MARKS_HH
+
+#include <cstdint>
+
+namespace asf::marks
+{
+
+constexpr int64_t taskDone = 1;   ///< work-stealing: task executed
+constexpr int64_t taskStolen = 2; ///< work-stealing: task obtained by steal
+constexpr int64_t takeFallback = 3; ///< THE take() hit the lock path
+constexpr int64_t txCommit = 4;   ///< STM transaction committed
+constexpr int64_t txAbort = 5;    ///< STM transaction aborted (reader saw
+                                  ///< a writer and restarted)
+constexpr int64_t lockAcquired = 6; ///< bakery/spinlock acquisitions
+constexpr int64_t iteration = 7;  ///< generic per-iteration marker
+
+} // namespace asf::marks
+
+#endif // ASF_RUNTIME_MARKS_HH

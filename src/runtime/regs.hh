@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Register conventions for guest runtime libraries. The mini-ISA has 32
+ * general registers; runtime emitters document which aliases they read
+ * and clobber.
+ */
+
+#ifndef ASF_RUNTIME_REGS_HH
+#define ASF_RUNTIME_REGS_HH
+
+#include "prog/instr.hh"
+
+namespace asf::regs
+{
+
+// Temporaries: any emitter may clobber these.
+constexpr Reg t0 = 0;
+constexpr Reg t1 = 1;
+constexpr Reg t2 = 2;
+constexpr Reg t3 = 3;
+constexpr Reg t4 = 4;
+constexpr Reg t5 = 5;
+constexpr Reg t6 = 6;
+constexpr Reg t7 = 7;
+
+// Arguments / values: preserved unless an emitter says otherwise.
+constexpr Reg a0 = 8;
+constexpr Reg a1 = 9;
+constexpr Reg a2 = 10;
+constexpr Reg a3 = 11;
+constexpr Reg a4 = 12;
+constexpr Reg a5 = 13;
+constexpr Reg a6 = 14;
+constexpr Reg a7 = 15;
+
+// Saved registers for workload main loops.
+constexpr Reg s0 = 16;
+constexpr Reg s1 = 17;
+constexpr Reg s2 = 18;
+constexpr Reg s3 = 19;
+constexpr Reg s4 = 20;
+constexpr Reg s5 = 21;
+constexpr Reg s6 = 22;
+constexpr Reg s7 = 23;
+constexpr Reg s8 = 24;
+constexpr Reg s9 = 25;
+constexpr Reg s10 = 26;
+constexpr Reg s11 = 27;
+
+// Fixed environment registers, set by the host before the run.
+constexpr Reg tid = 28;     ///< this thread's id
+constexpr Reg nthreads = 29; ///< number of threads
+constexpr Reg env0 = 30;    ///< workload-specific base pointer
+constexpr Reg env1 = 31;    ///< workload-specific base pointer
+
+} // namespace asf::regs
+
+#endif // ASF_RUNTIME_REGS_HH

@@ -1,0 +1,33 @@
+#include "runtime/spinlock.hh"
+
+namespace asf::runtime
+{
+
+void
+emitSpinLockAcquire(Assembler &a, Reg lock_addr, int64_t offset, Reg t0,
+                    Reg t1)
+{
+    std::string retry = a.freshLabel("lock_retry");
+    std::string got = a.freshLabel("lock_got");
+    a.bind(retry);
+    // Test: spin on a plain load until the lock looks free.
+    a.ld(t0, lock_addr, offset);
+    a.li(t1, 0);
+    a.bne(t0, t1, retry);
+    // Test&set: try to take it atomically.
+    a.li(t1, 1);
+    a.xchg(t0, lock_addr, offset, t1);
+    a.li(t1, 0);
+    a.beq(t0, t1, got);
+    a.jmp(retry);
+    a.bind(got);
+}
+
+void
+emitSpinLockRelease(Assembler &a, Reg lock_addr, int64_t offset, Reg t0)
+{
+    a.li(t0, 0);
+    a.st(lock_addr, offset, t0);
+}
+
+} // namespace asf::runtime

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Guest test-and-test&set spinlock, emitted inline. The lock word holds 0
+ * (free) or 1 (taken); acquisition uses XCHG (atomic, full-fence
+ * semantics like x86 locked instructions).
+ */
+
+#ifndef ASF_RUNTIME_SPINLOCK_HH
+#define ASF_RUNTIME_SPINLOCK_HH
+
+#include "prog/assembler.hh"
+
+namespace asf::runtime
+{
+
+/**
+ * Acquire the spinlock whose word address is in `lock_addr` + offset.
+ * Clobbers t0, t1. Spins until acquired.
+ */
+void emitSpinLockAcquire(Assembler &a, Reg lock_addr, int64_t offset,
+                         Reg t0, Reg t1);
+
+/** Release the spinlock. Clobbers t0. */
+void emitSpinLockRelease(Assembler &a, Reg lock_addr, int64_t offset,
+                         Reg t0);
+
+} // namespace asf::runtime
+
+#endif // ASF_RUNTIME_SPINLOCK_HH

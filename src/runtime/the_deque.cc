@@ -1,0 +1,140 @@
+#include "runtime/the_deque.hh"
+
+#include "runtime/marks.hh"
+#include "runtime/spinlock.hh"
+#include "sim/logging.hh"
+
+namespace asf::runtime
+{
+
+namespace
+{
+constexpr int64_t headOff = 0;
+constexpr int64_t tailOff = 32;
+constexpr int64_t lockOff = 64;
+constexpr int64_t tasksOff = 96;
+} // namespace
+
+TheDeque
+allocTheDeque(GuestLayout &layout, unsigned capacity)
+{
+    if (capacity == 0 || (capacity & (capacity - 1)) != 0)
+        fatal("deque capacity %u must be a power of two", capacity);
+    TheDeque q;
+    q.capacity = capacity;
+    // Granule-aligned: a deque that fits in one home-interleaving
+    // granule lives entirely in one directory module.
+    q.base = layout.granuleAlignedBlock(unsigned(tasksOff / wordBytes) +
+                                        capacity);
+    return q;
+}
+
+void
+seedDeque(MemoryImage &mem, const TheDeque &q,
+          const std::vector<uint64_t> &tasks)
+{
+    if (tasks.size() > q.capacity)
+        fatal("seeding %zu tasks into a %u-entry deque", tasks.size(),
+              q.capacity);
+    mem.writeWord(q.headAddr(), 0);
+    mem.writeWord(q.tailAddr(), tasks.size());
+    mem.writeWord(q.lockAddr(), 0);
+    for (size_t i = 0; i < tasks.size(); i++)
+        mem.writeWord(q.taskSlot(i), tasks[i]);
+}
+
+/** rd = address of tasks[idx mod capacity]; idx in t_idx. */
+static void
+emitSlotAddr(Assembler &a, const TheDeque &q, Reg base, Reg t_idx, Reg rd)
+{
+    a.andi(rd, t_idx, int64_t(q.capacity - 1));
+    a.shli(rd, rd, 3);
+    a.add(rd, rd, base);
+}
+
+void
+emitTake(Assembler &a, const TheDeque &q, Reg qr, Reg rd, Reg t0, Reg t1,
+         Reg t2, Reg t3)
+{
+    std::string slow = a.freshLabel("take_slow");
+    std::string fail = a.freshLabel("take_fail");
+    std::string got = a.freshLabel("take_got");
+    std::string done = a.freshLabel("take_done");
+
+    // t = --T
+    a.ld(t0, qr, tailOff);
+    a.addi(t0, t0, -1);
+    a.st(qr, tailOff, t0);
+    // The THE fence: the tail decrement must be visible before we read
+    // the head. This is the owner's (performance-critical) fence.
+    a.fence(FenceRole::Critical);
+    a.ld(t1, qr, headOff); // h = H
+    // if (h > t) -> possible conflict with a thief
+    a.blt(t0, t1, slow);
+    a.bind(got);
+    emitSlotAddr(a, q, qr, t0, t2);
+    a.ld(rd, t2, tasksOff - 0); // rd = tasks[t]
+    a.jmp(done);
+
+    a.bind(slow);
+    // Restore the tail and arbitrate through the lock.
+    a.mark(marks::takeFallback);
+    a.addi(t2, t0, 1);
+    a.st(qr, tailOff, t2); // T = t + 1
+    emitSpinLockAcquire(a, qr, lockOff, t2, t3);
+    a.st(qr, tailOff, t0); // T = t again, now under the lock
+    a.fence(FenceRole::Critical);
+    a.ld(t1, qr, headOff);
+    a.blt(t0, t1, fail);
+    emitSpinLockRelease(a, qr, lockOff, t2);
+    a.jmp(got);
+
+    a.bind(fail);
+    a.addi(t2, t0, 1);
+    a.st(qr, tailOff, t2); // T = t + 1: leave the deque empty-consistent
+    emitSpinLockRelease(a, qr, lockOff, t2);
+    a.li(rd, int64_t(dequeEmpty));
+    a.bind(done);
+}
+
+void
+emitSteal(Assembler &a, const TheDeque &q, Reg qr, Reg rd, Reg t0, Reg t1,
+          Reg t2, Reg t3)
+{
+    std::string fail = a.freshLabel("steal_fail");
+    std::string done = a.freshLabel("steal_done");
+
+    emitSpinLockAcquire(a, qr, lockOff, t2, t3);
+    a.ld(t0, qr, headOff); // h = H
+    a.addi(t1, t0, 1);
+    a.st(qr, headOff, t1); // H = h + 1
+    // The thief's fence: the head increment must be visible before we
+    // read the tail. This is the non-critical fence of the group.
+    a.fence(FenceRole::Noncritical);
+    a.ld(t2, qr, tailOff); // t = T
+    // if (h >= t) -> nothing to steal
+    a.bge(t0, t2, fail);
+    emitSlotAddr(a, q, qr, t0, t2);
+    a.ld(rd, t2, tasksOff);
+    emitSpinLockRelease(a, qr, lockOff, t2);
+    a.mark(marks::taskStolen);
+    a.jmp(done);
+
+    a.bind(fail);
+    a.st(qr, headOff, t0); // H = h
+    emitSpinLockRelease(a, qr, lockOff, t2);
+    a.li(rd, int64_t(dequeEmpty));
+    a.bind(done);
+}
+
+void
+emitPush(Assembler &a, const TheDeque &q, Reg qr, Reg task, Reg t0, Reg t1)
+{
+    a.ld(t0, qr, tailOff);
+    emitSlotAddr(a, q, qr, t0, t1);
+    a.st(t1, tasksOff, task); // tasks[T] = task (ordered before T bump)
+    a.addi(t0, t0, 1);
+    a.st(qr, tailOff, t0); // T++
+}
+
+} // namespace asf::runtime

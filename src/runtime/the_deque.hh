@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The Cilk-5 THE work-stealing deque (Frigo, Leiserson, Randall 1998),
+ * written in the guest mini-ISA exactly as the paper's Figure 5a uses it:
+ * the owner's take() decrements the tail, fences, then reads the head;
+ * a thief's steal() increments the head (under the deque lock), fences,
+ * then reads the tail. The owner's fence carries FenceRole::Critical and
+ * the thief's FenceRole::Noncritical, so under WS+/SW+ the owner gets
+ * the weak fence, as Section 4.1 of the paper prescribes.
+ *
+ * Memory layout (per deque):
+ *   +0   head          (own line)
+ *   +32  tail          (own line)
+ *   +64  lock          (own line)
+ *   +96  tasks[capacity] (packed words)
+ */
+
+#ifndef ASF_RUNTIME_THE_DEQUE_HH
+#define ASF_RUNTIME_THE_DEQUE_HH
+
+#include "mem/memory_image.hh"
+#include "prog/assembler.hh"
+#include "runtime/layout.hh"
+
+namespace asf::runtime
+{
+
+/** Sentinel returned by take()/steal() when the deque is empty. */
+constexpr uint64_t dequeEmpty = ~uint64_t(0);
+
+struct TheDeque
+{
+    Addr base = 0;
+    unsigned capacity = 0; ///< power of two
+
+    Addr headAddr() const { return base; }
+    Addr tailAddr() const { return base + 32; }
+    Addr lockAddr() const { return base + 64; }
+    Addr tasksAddr() const { return base + 96; }
+    Addr taskSlot(uint64_t idx) const
+    {
+        return tasksAddr() + (idx & (capacity - 1)) * wordBytes;
+    }
+};
+
+/** Allocate a deque in the guest address space. */
+TheDeque allocTheDeque(GuestLayout &layout, unsigned capacity);
+
+/** Host-side helper: seed a deque with initial tasks (pre-run). */
+void seedDeque(MemoryImage &mem, const TheDeque &q,
+               const std::vector<uint64_t> &tasks);
+
+/**
+ * Emit take(): pop a task from the tail of the deque whose base address
+ * is in register `q`. Result (task or dequeEmpty) lands in `rd`.
+ * The THE fence is emitted with FenceRole::Critical.
+ * Clobbers t0-t3.
+ */
+void emitTake(Assembler &a, const TheDeque &layout, Reg q, Reg rd, Reg t0,
+              Reg t1, Reg t2, Reg t3);
+
+/**
+ * Emit steal(): take a task from the head of another worker's deque.
+ * Result (task or dequeEmpty) in `rd`. The THE fence is emitted with
+ * FenceRole::Noncritical. Clobbers t0-t3.
+ */
+void emitSteal(Assembler &a, const TheDeque &layout, Reg q, Reg rd, Reg t0,
+               Reg t1, Reg t2, Reg t3);
+
+/**
+ * Emit push(): append the task in `task` to the tail (owner only, no
+ * fence needed under TSO). Clobbers t0, t1.
+ */
+void emitPush(Assembler &a, const TheDeque &layout, Reg q, Reg task,
+              Reg t0, Reg t1);
+
+} // namespace asf::runtime
+
+#endif // ASF_RUNTIME_THE_DEQUE_HH

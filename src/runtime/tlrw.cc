@@ -1,0 +1,189 @@
+#include "runtime/tlrw.hh"
+
+#include "runtime/regs.hh"
+#include "runtime/spinlock.hh"
+#include "sim/logging.hh"
+
+namespace asf::runtime
+{
+
+namespace
+{
+constexpr int64_t writerOff = 0;
+constexpr int64_t wmutexOff = 32;
+constexpr int64_t readersOff = 64;
+} // namespace
+
+Addr
+TlrwTable::orecAddr(unsigned idx) const
+{
+    return orecBase + Addr(idx) * orecStride;
+}
+
+Addr
+TlrwTable::readerFlagAddr(unsigned idx, unsigned tid) const
+{
+    return orecAddr(idx) + Addr(readersOff) + Addr(tid) * wordBytes;
+}
+
+Addr
+TlrwTable::dataAddr(unsigned idx) const
+{
+    // The guarded word lives on its orec's writer line (word 1): the
+    // read barrier's `ld writer` brings the data along, and a writer
+    // that has published the writer field owns the line for its data
+    // store - both accesses hit, as they do with RSTM's compact orecs.
+    return orecAddr(idx) + wordBytes;
+}
+
+TlrwTable
+allocTlrwTable(GuestLayout &layout, unsigned num_orecs,
+               unsigned num_threads)
+{
+    if (num_orecs == 0 || num_threads == 0)
+        fatal("empty TLRW table");
+    TlrwTable t;
+    t.numOrecs = num_orecs;
+    t.numThreads = num_threads;
+    unsigned readers_bytes =
+        ((num_threads * wordBytes + lineBytes - 1) / lineBytes) * lineBytes;
+    t.orecStride = unsigned(readersOff) + readers_bytes;
+    t.orecBase = layout.block(num_orecs * t.orecStride / wordBytes);
+    t.dataBase = t.orecBase; // data words live inside the orecs
+    return t;
+}
+
+void
+emitTlrwReadAcquire(Assembler &a, Reg o, const std::string &abort_label,
+                    Reg t0, Reg t1)
+{
+    std::string ok = a.freshLabel("tlrw_rd_ok");
+    // readers[tid] = 1
+    a.shli(t0, regs::tid, 3);
+    a.add(t0, t0, o);
+    a.li(t1, 1);
+    a.st(t0, readersOff, t1);
+    // The read barrier's fence: flag visible before we check the writer.
+    a.fence(FenceRole::Critical);
+    a.ld(t1, o, writerOff);
+    a.li(t0, 0);
+    a.beq(t1, t0, ok);
+    // Conflict: release our flag and abort the transaction.
+    a.shli(t0, regs::tid, 3);
+    a.add(t0, t0, o);
+    a.li(t1, 0);
+    a.st(t0, readersOff, t1);
+    a.jmp(abort_label);
+    a.bind(ok);
+}
+
+void
+emitTlrwReadRelease(Assembler &a, Reg o, Reg t0, Reg t1)
+{
+    a.shli(t0, regs::tid, 3);
+    a.add(t0, t0, o);
+    a.li(t1, 0);
+    a.st(t0, readersOff, t1);
+}
+
+namespace
+{
+/** Write-mutex acquisition attempts before the transaction aborts. */
+constexpr int64_t wmutexSpinBound = 48;
+/** Reader-flag scan reads before the transaction aborts. */
+constexpr int64_t scanSpinBound = 256;
+} // namespace
+
+void
+emitTlrwWriteAcquire(Assembler &a, Reg o, const std::string &abort_label,
+                     Reg t0, Reg t1, Reg t2, Reg t3)
+{
+    std::string mretry = a.freshLabel("tlrw_wr_mretry");
+    std::string mtry = a.freshLabel("tlrw_wr_mtry");
+    std::string mgot = a.freshLabel("tlrw_wr_mgot");
+    std::string undo = a.freshLabel("tlrw_wr_undo");
+
+    // --- bounded write-mutex acquisition ------------------------------
+    a.li(t2, wmutexSpinBound);
+    a.bind(mretry);
+    a.addi(t2, t2, -1);
+    a.li(t1, 0);
+    a.beq(t2, t1, abort_label); // nothing held yet: abort directly
+    a.ld(t0, o, wmutexOff);
+    a.bne(t0, t1, mretry);
+    a.li(t1, 1);
+    a.xchg(t0, o, wmutexOff, t1);
+    a.li(t1, 0);
+    a.beq(t0, t1, mgot);
+    a.jmp(mretry);
+    a.bind(mgot);
+
+    // --- publish the writer field --------------------------------------
+    a.addi(t0, regs::tid, 1);
+    a.st(o, writerOff, t0);
+    // The write barrier's fence: writer field visible before we scan the
+    // reader flags (paper Figure 5b).
+    a.fence(FenceRole::Noncritical);
+
+    // --- bounded scan until every other reader flag clears -------------
+    std::string jloop = a.freshLabel("tlrw_wr_jloop");
+    std::string jwait = a.freshLabel("tlrw_wr_jwait");
+    std::string jnext = a.freshLabel("tlrw_wr_jnext");
+    std::string done = a.freshLabel("tlrw_wr_done");
+    a.li(t3, scanSpinBound);
+    a.li(t1, 0); // j = 0
+    a.bind(jloop);
+    a.beq(t1, regs::tid, jnext); // skip our own flag
+    a.bind(jwait);
+    a.shli(t2, t1, 3);
+    a.add(t2, t2, o);
+    a.ld(t2, t2, readersOff);
+    a.li(t0, 0);
+    a.beq(t2, t0, jnext); // flag clear: next reader
+    a.addi(t3, t3, -1);
+    a.li(t0, 0);
+    a.beq(t3, t0, undo); // scan budget exhausted: abort
+    a.jmp(jwait);
+    a.bind(jnext);
+    a.addi(t1, t1, 1);
+    a.blt(t1, regs::nthreads, jloop);
+    a.jmp(done);
+
+    // Undo this barrier's own state, then let the caller release the
+    // rest of the transaction's locks.
+    a.bind(undo);
+    a.li(t0, 0);
+    a.st(o, writerOff, t0);
+    emitSpinLockRelease(a, o, wmutexOff, t0);
+    a.jmp(abort_label);
+
+    a.bind(done);
+}
+
+void
+emitTlrwWriteRelease(Assembler &a, Reg o, Reg t0)
+{
+    a.li(t0, 0);
+    a.st(o, writerOff, t0);
+    emitSpinLockRelease(a, o, wmutexOff, t0);
+}
+
+void
+emitOrecAddr(Assembler &a, const TlrwTable &table, Reg base, Reg idx,
+             Reg rd)
+{
+    a.muli(rd, idx, int64_t(table.orecStride));
+    a.add(rd, rd, base);
+}
+
+void
+emitDataAddr(Assembler &a, const TlrwTable &table, Reg base, Reg idx,
+             Reg rd)
+{
+    // base must hold table.dataBase (== orecBase).
+    a.muli(rd, idx, int64_t(table.orecStride));
+    a.add(rd, rd, base);
+    a.addi(rd, rd, wordBytes);
+}
+
+} // namespace asf::runtime

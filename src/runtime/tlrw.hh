@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The TLRW (read/write lock based) STM barriers of Dice & Shavit, as used
+ * by RSTM and by Section 4.2 of the paper. One lock record (orec) guards
+ * one shared-memory word:
+ *
+ *   read(M, tid):   readers[tid] = 1;  FENCE;  w = writer;
+ *                   conflict (w != 0) -> release the flag and abort
+ *   write(M, tid):  writer = tid + 1;  FENCE;  wait for readers to drain
+ *
+ * The read-side fence is FenceRole::Critical and the write-side fence
+ * FenceRole::Noncritical (reads outnumber writes ~3.5x in the paper's
+ * workloads), so WS+/SW+ place the weak fence in the read barrier.
+ *
+ * Writers additionally serialize per-orec through a write mutex, and
+ * transactions acquire write orecs in ascending index order; readers
+ * never wait (they abort and the transaction retries), so the protocol
+ * is deadlock-free.
+ *
+ * Orec layout (stride depends on the thread count):
+ *   +0   writer                (own line)
+ *   +32  write mutex           (own line)
+ *   +64  readers[numThreads]   (packed words)
+ */
+
+#ifndef ASF_RUNTIME_TLRW_HH
+#define ASF_RUNTIME_TLRW_HH
+
+#include "mem/memory_image.hh"
+#include "prog/assembler.hh"
+#include "runtime/layout.hh"
+
+namespace asf::runtime
+{
+
+struct TlrwTable
+{
+    Addr orecBase = 0;
+    Addr dataBase = 0;
+    unsigned numOrecs = 0;
+    unsigned numThreads = 0;
+    unsigned orecStride = 0; ///< bytes between consecutive orecs
+
+    Addr orecAddr(unsigned idx) const;
+    Addr writerAddr(unsigned idx) const { return orecAddr(idx); }
+    Addr readerFlagAddr(unsigned idx, unsigned tid) const;
+    /** The guarded data word (one padded line per word). */
+    Addr dataAddr(unsigned idx) const;
+};
+
+/** Allocate orecs + data region for `num_orecs` locations. */
+TlrwTable allocTlrwTable(GuestLayout &layout, unsigned num_orecs,
+                         unsigned num_threads);
+
+/**
+ * Emit the read barrier for the orec whose base address is in `o`.
+ * On writer conflict the own flag is released and control jumps to
+ * `abort_label` (transaction retry point). Clobbers t0, t1.
+ * Reads regs::tid.
+ */
+void emitTlrwReadAcquire(Assembler &a, Reg o, const std::string &abort_label,
+                         Reg t0, Reg t1);
+
+/** Release this thread's reader flag on orec `o`. Clobbers t0, t1. */
+void emitTlrwReadRelease(Assembler &a, Reg o, Reg t0, Reg t1);
+
+/**
+ * Emit the write barrier: acquire the write mutex, publish the writer
+ * field, fence (Noncritical), then spin until every other thread's
+ * reader flag is clear. Both spins are *bounded*: on exhaustion the
+ * barrier undoes its own partial state (writer field, write mutex) and
+ * jumps to `abort_label`, where the transaction must release everything
+ * it already holds and retry - exactly how eager STMs avoid the
+ * reader/writer hold-and-wait deadlock. Clobbers t0-t3. Reads
+ * regs::tid, regs::nthreads.
+ */
+void emitTlrwWriteAcquire(Assembler &a, Reg o,
+                          const std::string &abort_label, Reg t0, Reg t1,
+                          Reg t2, Reg t3);
+
+/** Release the writer field and the write mutex. Clobbers t0. */
+void emitTlrwWriteRelease(Assembler &a, Reg o, Reg t0);
+
+/**
+ * Emit: rd = address of orec `idx` (index register), using the table
+ * geometry. Clobbers rd only. `base` must hold table.orecBase.
+ */
+void emitOrecAddr(Assembler &a, const TlrwTable &table, Reg base, Reg idx,
+                  Reg rd);
+
+/** Emit: rd = address of data word `idx`. `base` holds table.dataBase. */
+void emitDataAddr(Assembler &a, const TlrwTable &table, Reg base, Reg idx,
+                  Reg rd);
+
+} // namespace asf::runtime
+
+#endif // ASF_RUNTIME_TLRW_HH

@@ -1,0 +1,62 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    if (when < now_)
+        panic("scheduling event in the past (%llu < %llu)",
+              (unsigned long long)when, (unsigned long long)now_);
+    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+}
+
+void
+EventQueue::scheduleIn(Tick delay, Callback cb)
+{
+    schedule(now_ + delay, std::move(cb));
+}
+
+void
+EventQueue::runUntil(Tick upto)
+{
+    while (!heap_.empty() && heap_.top().when <= upto) {
+        // Copy out before pop: the callback may schedule new events.
+        Entry e = heap_.top();
+        heap_.pop();
+        now_ = e.when;
+        e.cb();
+    }
+    if (upto > now_)
+        now_ = upto;
+}
+
+void
+EventQueue::setNow(Tick t)
+{
+    if (t < now_)
+        panic("clock moved backwards");
+    now_ = t;
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    return heap_.empty() ? maxTick : heap_.top().when;
+}
+
+void
+EventQueue::clear()
+{
+    while (!heap_.empty())
+        heap_.pop();
+    now_ = 0;
+    nextSeq_ = 0;
+}
+
+} // namespace asf

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Discrete-event queue. The system's main loop is a synchronous per-cycle
+ * tick over all components, but latency-shaped completions (memory round
+ * trips, NoC deliveries, timeouts) are scheduled here and drained at the
+ * top of each cycle. Events at the same tick fire in scheduling order,
+ * which keeps the simulation deterministic.
+ */
+
+#ifndef ASF_SIM_EVENT_QUEUE_HH
+#define ASF_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace asf
+{
+
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedule cb to run at absolute tick `when` (>= now). */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule cb to run `delay` ticks from now. */
+    void scheduleIn(Tick delay, Callback cb);
+
+    /** Run every event scheduled at tick <= `upto`, advancing now. */
+    void runUntil(Tick upto);
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Advance the clock without running events (main-loop use). */
+    void setNow(Tick t);
+
+    bool empty() const { return heap_.empty(); }
+    size_t size() const { return heap_.size(); }
+
+    /** Tick of the earliest pending event, or maxTick if none. */
+    Tick nextEventTick() const;
+
+    /** Drop all pending events and reset the clock. */
+    void clear();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    Tick now_ = 0;
+    uint64_t nextSeq_ = 0;
+};
+
+} // namespace asf
+
+#endif // ASF_SIM_EVENT_QUEUE_HH

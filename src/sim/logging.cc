@@ -1,0 +1,120 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace asf
+{
+
+namespace
+{
+bool verboseOutput = true;
+uint64_t tracedLine = ~uint64_t(0);
+bool traceInitialized = false;
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseOutput = verbose;
+}
+
+void
+setTraceLine(uint64_t line_addr)
+{
+    tracedLine = line_addr;
+    traceInitialized = true;
+}
+
+bool
+traceEnabledFor(uint64_t line_addr)
+{
+    if (!traceInitialized) {
+        traceInitialized = true;
+        if (const char *env = std::getenv("ASF_TRACE_LINE"))
+            tracedLine = std::strtoull(env, nullptr, 0);
+    }
+    return line_addr == tracedLine;
+}
+
+void
+traceEvent(uint64_t now, const char *who, const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "trace @%llu %s: %s\n", (unsigned long long)now,
+                 who, msg.c_str());
+}
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int len = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (len < 0)
+        return "<format error>";
+    std::vector<char> buf(len + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), len);
+}
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string s = vformat(fmt, ap);
+    va_end(ap);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseOutput)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace asf

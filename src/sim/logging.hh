@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal discipline:
+ * panic() is for internal simulator bugs (aborts), fatal() is for user
+ * errors (clean exit), warn()/inform() are status messages.
+ */
+
+#ifndef ASF_SIM_LOGGING_HH
+#define ASF_SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdint>
+#include <string>
+
+namespace asf
+{
+
+/** Abort: something happened that indicates a simulator bug. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1): the simulation cannot continue due to a user/config error. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Non-fatal warning printed to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Informational message printed to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/**
+ * Line-granular protocol tracing (a tiny DPRINTF): when a traced line
+ * address is set (via setTraceLine() or the ASF_TRACE_LINE environment
+ * variable, e.g. ASF_TRACE_LINE=0x10000), components log every protocol
+ * event touching that line to stderr.
+ */
+void setTraceLine(uint64_t line_addr);
+bool traceEnabledFor(uint64_t line_addr);
+void traceEvent(uint64_t now, const char *who, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace asf
+
+#endif // ASF_SIM_LOGGING_HH

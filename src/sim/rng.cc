@@ -1,0 +1,66 @@
+#include "sim/rng.hh"
+
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+uint64_t
+xorshiftStep(uint64_t x)
+{
+    if (x == 0)
+        x = 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    return x;
+}
+
+Rng::Rng(uint64_t seed_value)
+{
+    seed(seed_value);
+}
+
+void
+Rng::seed(uint64_t s)
+{
+    state_ = s ? s : 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t
+Rng::next()
+{
+    state_ = xorshiftStep(state_);
+    return state_ * 0x2545f4914f6cdd1dULL;
+}
+
+uint64_t
+Rng::range(uint64_t bound)
+{
+    if (bound == 0)
+        panic("Rng::range with zero bound");
+    return next() % bound;
+}
+
+uint64_t
+Rng::between(uint64_t lo, uint64_t hi)
+{
+    if (lo > hi)
+        panic("Rng::between with lo > hi");
+    return lo + range(hi - lo + 1);
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits into the mantissa.
+    return (next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+} // namespace asf

@@ -1,0 +1,123 @@
+#include "sim/stats.hh"
+
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+void
+StatAverage::sample(double v)
+{
+    count_++;
+    sum_ += v;
+}
+
+void
+StatAverage::reset()
+{
+    count_ = 0;
+    sum_ = 0.0;
+}
+
+double
+StatAverage::mean() const
+{
+    return count_ ? sum_ / count_ : 0.0;
+}
+
+StatHistogram::StatHistogram(unsigned bucket_count, double bucket_width)
+    : buckets_(bucket_count, 0), bucketWidth_(bucket_width)
+{
+    if (bucket_count == 0 || bucket_width <= 0.0)
+        panic("StatHistogram with degenerate geometry");
+}
+
+void
+StatHistogram::sample(double v)
+{
+    count_++;
+    sum_ += v;
+    if (v > max_)
+        max_ = v;
+    auto idx = static_cast<size_t>(v / bucketWidth_);
+    if (idx >= buckets_.size())
+        overflow_++;
+    else
+        buckets_[idx]++;
+}
+
+void
+StatHistogram::reset()
+{
+    for (auto &b : buckets_)
+        b = 0;
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    max_ = 0.0;
+}
+
+double
+StatHistogram::mean() const
+{
+    return count_ ? sum_ / count_ : 0.0;
+}
+
+uint64_t
+StatHistogram::bucket(unsigned i) const
+{
+    if (i >= buckets_.size())
+        panic("StatHistogram bucket index %u out of range", i);
+    return buckets_[i];
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+}
+
+StatScalar &
+StatGroup::scalar(const std::string &name)
+{
+    return scalars_[name];
+}
+
+StatAverage &
+StatGroup::average(const std::string &name)
+{
+    return averages_[name];
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0 : it->second.value();
+}
+
+double
+StatGroup::getMean(const std::string &name) const
+{
+    auto it = averages_.find(name);
+    return it == averages_.end() ? 0.0 : it->second.mean();
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &kv : scalars_)
+        kv.second.reset();
+    for (auto &kv : averages_)
+        kv.second.reset();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+StatGroup::dumpScalars() const
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(scalars_.size());
+    for (const auto &kv : scalars_)
+        out.emplace_back(kv.first, kv.second.value());
+    return out;
+}
+
+} // namespace asf

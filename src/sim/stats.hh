@@ -1,0 +1,108 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's: named scalar
+ * counters, averages, and histograms registered in groups, dumped as
+ * name/value pairs.
+ */
+
+#ifndef ASF_SIM_STATS_HH
+#define ASF_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace asf
+{
+
+/** A named scalar statistic (a 64-bit counter). */
+class StatScalar
+{
+  public:
+    StatScalar() = default;
+
+    void inc(uint64_t n = 1) { value_ += n; }
+    void set(uint64_t v) { value_ = v; }
+    void reset() { value_ = 0; }
+    uint64_t value() const { return value_; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Running average: accumulates samples, reports sum/count/mean. */
+class StatAverage
+{
+  public:
+    void sample(double v);
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [0, bucketCount * bucketWidth). */
+class StatHistogram
+{
+  public:
+    StatHistogram(unsigned bucket_count = 16, double bucket_width = 1.0);
+
+    void sample(double v);
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double mean() const;
+    double max() const { return max_; }
+    uint64_t bucket(unsigned i) const;
+    unsigned numBuckets() const { return buckets_.size(); }
+    double bucketWidth() const { return bucketWidth_; }
+
+  private:
+    std::vector<uint64_t> buckets_;
+    uint64_t overflow_ = 0;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+    double bucketWidth_;
+};
+
+/**
+ * A group of named statistics. Components own a StatGroup and register
+ * their counters in it; the harness walks groups to produce reports.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name);
+
+    StatScalar &scalar(const std::string &name);
+    StatAverage &average(const std::string &name);
+
+    /** Value of a scalar (0 if never touched). */
+    uint64_t get(const std::string &name) const;
+
+    /** Mean of an average (0 if never sampled). */
+    double getMean(const std::string &name) const;
+
+    void resetAll();
+
+    const std::string &name() const { return name_; }
+
+    /** All scalar name/value pairs, sorted by name. */
+    std::vector<std::pair<std::string, uint64_t>> dumpScalars() const;
+
+  private:
+    std::string name_;
+    std::map<std::string, StatScalar> scalars_;
+    std::map<std::string, StatAverage> averages_;
+};
+
+} // namespace asf
+
+#endif // ASF_SIM_STATS_HH

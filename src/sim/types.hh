@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Basic scalar types shared across the simulator.
+ */
+
+#ifndef ASF_SIM_TYPES_HH
+#define ASF_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace asf
+{
+
+/** Simulated time, in core clock cycles. */
+using Tick = uint64_t;
+
+/** A tick value that no event ever reaches. */
+constexpr Tick maxTick = ~Tick(0);
+
+/** Byte address in the simulated physical address space. */
+using Addr = uint64_t;
+
+/** Index of a node (core + L1 + L2 bank + directory slice) in the mesh. */
+using NodeId = int;
+
+/** Marker for "no node". */
+constexpr NodeId invalidNode = -1;
+
+} // namespace asf
+
+#endif // ASF_SIM_TYPES_HH

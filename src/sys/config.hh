@@ -1,0 +1,111 @@
+/**
+ * @file
+ * System configuration: the architecture parameters of Table 2 of the
+ * paper, plus the fence-design selection and the tunables the paper
+ * leaves implicit (retry backoff, W+ timeout, GRT re-check period).
+ */
+
+#ifndef ASF_SYS_CONFIG_HH
+#define ASF_SYS_CONFIG_HH
+
+#include <string>
+
+#include "fence/fence_kind.hh"
+#include "sim/types.hh"
+
+namespace asf
+{
+
+/**
+ * Memory consistency model (paper Section 2.1). TSO merges one write at
+ * a time in program order; RC lets multiple writes merge concurrently.
+ * Weak-fence designs are defined for TSO; under RC they fall back to
+ * conventional fences (the paper leaves wf-under-RC as future work,
+ * Section 5.2).
+ */
+enum class MemoryModel : uint8_t
+{
+    TSO,
+    RC,
+};
+
+const char *memoryModelName(MemoryModel m);
+
+struct SystemConfig
+{
+    /** 4-32 cores; 8 is the paper's default. */
+    unsigned numCores = 8;
+
+    /** Active fence design (S+, WS+, SW+, W+, Wee). */
+    FenceDesign design = FenceDesign::SPlus;
+
+    /** Memory consistency model. */
+    MemoryModel memoryModel = MemoryModel::TSO;
+
+    /** Concurrent write-buffer merges under RC (TSO always uses 1).
+     *  Must stay below l1Assoc (in-flight upgrades pin their lines). */
+    unsigned storeUnits = 3;
+
+    // --- core ---------------------------------------------------------
+    unsigned issueWidth = 4;
+    unsigned robEntries = 140;  ///< documented bound; see DESIGN.md
+    unsigned wbEntries = 64;    ///< write-buffer entries
+
+    // --- caches -------------------------------------------------------
+    unsigned l1SizeBytes = 32 * 1024;
+    unsigned l1Assoc = 4;
+    Tick l1HitLatency = 2;      ///< round trip
+    unsigned l2BankSizeBytes = 128 * 1024;
+    unsigned l2Assoc = 8;
+    Tick l2HitLatency = 11;     ///< local-bank round trip
+    Tick memLatency = 200;      ///< off-chip round trip
+    Tick dirLookupLatency = 6;  ///< directory tag lookup before probes
+
+    // --- network ------------------------------------------------------
+    Tick hopLatency = 5;
+    unsigned linkBytes = 32;    ///< 256-bit links
+
+    // --- fence hardware -----------------------------------------------
+    unsigned bsEntries = 32;    ///< Bypass Set capacity per core
+
+    /** Linear backoff for bounced write retries. */
+    Tick retryBackoffBase = 16;
+    Tick retryBackoffStep = 8;
+    Tick retryBackoffMax = 96;
+
+    /** W+ deadlock-suspicion timeout (cycles of sustained two-way
+     *  bouncing before checkpoint recovery). */
+    Tick wPlusTimeout = 300;
+
+    /** Wee watchdog: sustained two-way bouncing before the fence is
+     *  demoted to strong behavior (false-sharing cycle escape). */
+    Tick weeTimeout = 2000;
+
+    /** Period of GRT re-check probes for Remote-PS-stalled accesses. */
+    Tick grtRecheckInterval = 30;
+
+    /**
+     * WeeFence Private Access Filtering: pending pre-fence stores whose
+     * line is held locally in M/E (no other sharer can observe them
+     * early) are excluded from the Pending Set, as in the WeeFence
+     * paper. Without it, private task data demotes most WeeFences to
+     * conventional fences.
+     */
+    bool weePrivateFiltering = true;
+
+    /** Store drain throughput on an L1 hit. */
+    Tick storeDrainLatency = 2;
+
+    /** Seed for all simulator-level randomness. */
+    uint64_t seed = 1;
+
+    /** Sanity-check parameter combinations; fatal() on nonsense. */
+    void validate() const;
+
+    /** One-line description for reports. */
+    std::string summary() const;
+};
+
+} // namespace asf
+
+#endif // ASF_SYS_CONFIG_HH

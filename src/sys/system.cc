@@ -1,0 +1,270 @@
+#include "sys/system.hh"
+
+#include "mem/address.hh"
+#include "sim/logging.hh"
+
+namespace asf
+{
+
+double
+CycleBreakdown::busyFrac() const
+{
+    return active() ? double(busy) / double(active()) : 0.0;
+}
+
+double
+CycleBreakdown::fenceFrac() const
+{
+    return active() ? double(fenceStall) / double(active()) : 0.0;
+}
+
+double
+CycleBreakdown::otherFrac() const
+{
+    return active() ? double(otherStall) / double(active()) : 0.0;
+}
+
+System::System(SystemConfig cfg) : cfg_(cfg)
+{
+    cfg_.validate();
+    mesh_ = std::make_unique<Mesh>(eq_, cfg_.numCores, cfg_.hopLatency,
+                                   cfg_.linkBytes);
+    for (unsigned i = 0; i < cfg_.numCores; i++) {
+        NodeId id = NodeId(i);
+        l2_.push_back(std::make_unique<L2Bank>(
+            id, cfg_.l2BankSizeBytes, cfg_.l2Assoc, cfg_.l2HitLatency,
+            cfg_.memLatency));
+        dirs_.push_back(std::make_unique<Directory>(
+            id, cfg_.numCores, *mesh_, eq_, memory_, *l2_[i],
+            cfg_.dirLookupLatency));
+        grts_.push_back(std::make_unique<Grt>(id));
+        l1s_.push_back(std::make_unique<L1Cache>(
+            id, cfg_.numCores, *mesh_, cfg_.l1SizeBytes, cfg_.l1Assoc));
+        cores_.push_back(
+            std::make_unique<Core>(id, cfg_, *l1s_[i], *mesh_, eq_));
+        mesh_->setSink(id, [this, id](const Message &msg) {
+            dispatch(id, msg);
+        });
+    }
+}
+
+Core &
+System::core(NodeId id)
+{
+    if (id < 0 || unsigned(id) >= cores_.size())
+        panic("bad core id %d", id);
+    return *cores_[id];
+}
+
+Directory &
+System::directory(NodeId id)
+{
+    return *dirs_.at(size_t(id));
+}
+
+L1Cache &
+System::l1(NodeId id)
+{
+    return *l1s_.at(size_t(id));
+}
+
+Grt &
+System::grt(NodeId id)
+{
+    return *grts_.at(size_t(id));
+}
+
+void
+System::loadProgram(NodeId core_id, std::shared_ptr<const Program> prog,
+                    uint64_t prng_seed)
+{
+    core(core_id).setProgram(prog.get(), prng_seed);
+    programs_.push_back(std::move(prog));
+}
+
+void
+System::dispatch(NodeId node, const Message &msg)
+{
+    switch (msg.type) {
+      case MsgType::GetS:
+      case MsgType::GetX:
+      case MsgType::OrderWrite:
+      case MsgType::CondOrderWrite:
+      case MsgType::PutM:
+      case MsgType::PutE:
+      case MsgType::InvAck:
+      case MsgType::DwngrAck:
+        dirs_[node]->handle(msg);
+        return;
+      case MsgType::DataE:
+      case MsgType::DataS:
+      case MsgType::DataX:
+      case MsgType::AckX:
+      case MsgType::AckOrder:
+      case MsgType::NackX:
+      case MsgType::NackCO:
+      case MsgType::Inv:
+      case MsgType::Dwngr:
+        l1s_[node]->handle(msg);
+        return;
+      case MsgType::GrtDeposit:
+      case MsgType::GrtClear:
+      case MsgType::GrtCheck:
+        handleGrtRequest(node, msg);
+        return;
+      case MsgType::GrtFetchReply:
+      case MsgType::GrtCheckReply:
+        cores_[node]->onGrtMessage(msg);
+        return;
+    }
+    panic("unroutable message %s", msg.toString().c_str());
+}
+
+void
+System::handleGrtRequest(NodeId node, const Message &msg)
+{
+    Grt &grt = *grts_[node];
+    switch (msg.type) {
+      case MsgType::GrtDeposit: {
+        grt.deposit(msg.src, msg.addrSet);
+        Message reply;
+        reply.type = MsgType::GrtFetchReply;
+        reply.src = node;
+        reply.dst = msg.src;
+        reply.requester = msg.src;
+        reply.addrSet = grt.remotePendingSet(msg.src);
+        reply.trafficClass = TrafficClass::Grt;
+        mesh_->send(std::move(reply));
+        return;
+      }
+      case MsgType::GrtClear:
+        grt.clear(msg.src);
+        return;
+      case MsgType::GrtCheck: {
+        Message reply;
+        reply.type = MsgType::GrtCheckReply;
+        reply.src = node;
+        reply.dst = msg.src;
+        reply.addr = msg.addr;
+        reply.requester = msg.src;
+        reply.blocked = grt.blocks(msg.src, msg.addr);
+        reply.trafficClass = TrafficClass::Grt;
+        mesh_->send(std::move(reply));
+        return;
+      }
+      default:
+        panic("bad GRT request %s", msg.toString().c_str());
+    }
+}
+
+bool
+System::allDone() const
+{
+    for (const auto &c : cores_)
+        if (!c->done())
+            return false;
+    return eq_.empty();
+}
+
+System::RunResult
+System::run(Tick max_cycles)
+{
+    Tick end = eq_.now() + max_cycles;
+    while (eq_.now() < end) {
+        if (allDone())
+            return RunResult::AllDone;
+        eq_.runUntil(eq_.now() + 1);
+        for (auto &c : cores_)
+            c->tick();
+    }
+    return allDone() ? RunResult::AllDone : RunResult::MaxCycles;
+}
+
+uint64_t
+System::guestCounter(int64_t idx) const
+{
+    uint64_t sum = 0;
+    for (const auto &c : cores_) {
+        auto it = c->markCounters().find(idx);
+        if (it != c->markCounters().end())
+            sum += it->second;
+    }
+    return sum;
+}
+
+CycleBreakdown
+System::breakdown() const
+{
+    CycleBreakdown b;
+    for (const auto &c : cores_) {
+        b.busy += c->stats().get("busyCycles");
+        b.fenceStall += c->stats().get("fenceStallCycles");
+        b.otherStall += c->stats().get("otherStallCycles");
+        b.idle += c->stats().get("idleCycles");
+    }
+    return b;
+}
+
+uint64_t
+System::totalInstrRetired() const
+{
+    uint64_t sum = 0;
+    for (const auto &c : cores_)
+        sum += c->stats().get("instrRetired");
+    return sum;
+}
+
+uint64_t
+System::debugReadWord(Addr addr) const
+{
+    // Youngest buffered (retired but unmerged) store wins; for data
+    // protected by a lock at most one write buffer can hold one.
+    for (const auto &c : cores_)
+        if (const auto *e = c->writeBuffer().forwardLookup(addr))
+            return e->value;
+    Addr line = lineAlign(addr);
+    for (const auto &l1 : l1s_) {
+        // find() is non-const but has no observable side effects here.
+        const CacheLine *l = const_cast<L1Cache &>(*l1).find(line);
+        if (l && l->state == MesiState::Modified)
+            return l->data[wordInLine(addr)];
+    }
+    return memory_.readWord(addr);
+}
+
+void
+System::dumpStats(std::ostream &os) const
+{
+    auto dump_group = [&os](const StatGroup &g) {
+        for (const auto &[name, value] : g.dumpScalars())
+            if (value != 0)
+                os << g.name() << '.' << name << ' ' << value << '\n';
+    };
+    for (const auto &c : cores_)
+        dump_group(c->stats());
+    for (const auto &l : l1s_)
+        dump_group(l->stats());
+    for (const auto &d : dirs_)
+        dump_group(d->stats());
+    for (const auto &g : grts_)
+        dump_group(g->stats());
+    dump_group(mesh_->stats());
+}
+
+void
+System::resetStats()
+{
+    for (auto &c : cores_) {
+        c->stats().resetAll();
+        c->clearMarkCounters();
+    }
+    for (auto &l : l1s_)
+        l->stats().resetAll();
+    for (auto &d : dirs_)
+        d->stats().resetAll();
+    for (auto &g : grts_)
+        g->stats().resetAll();
+    mesh_->stats().resetAll();
+}
+
+} // namespace asf

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The full simulated machine: cores, private L1s, shared banked L2,
+ * distributed directory, GRT modules (for WeeFence), and the mesh, all
+ * driven by one deterministic event queue with a synchronous per-cycle
+ * core tick. This is the library's primary public entry point.
+ */
+
+#ifndef ASF_SYS_SYSTEM_HH
+#define ASF_SYS_SYSTEM_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "fence/grt.hh"
+#include "mem/directory.hh"
+#include "mem/l1_cache.hh"
+#include "mem/l2_bank.hh"
+#include "mem/memory_image.hh"
+#include "noc/mesh.hh"
+#include "prog/instr.hh"
+#include "sim/event_queue.hh"
+#include "sys/config.hh"
+
+namespace asf
+{
+
+/** Aggregated per-core cycle classification. */
+struct CycleBreakdown
+{
+    uint64_t busy = 0;
+    uint64_t fenceStall = 0;
+    uint64_t otherStall = 0;
+    uint64_t idle = 0;
+
+    uint64_t active() const { return busy + fenceStall + otherStall; }
+    uint64_t total() const { return active() + idle; }
+
+    double busyFrac() const;
+    double fenceFrac() const;
+    double otherFrac() const;
+};
+
+class System
+{
+  public:
+    explicit System(SystemConfig cfg);
+
+    /** Bind a program to a core. The program is shared and kept alive. */
+    void loadProgram(NodeId core, std::shared_ptr<const Program> prog,
+                     uint64_t prng_seed = 0);
+
+    enum class RunResult
+    {
+        AllDone,   ///< every thread halted and all buffers drained
+        MaxCycles, ///< cycle budget exhausted
+    };
+
+    /** Advance up to max_cycles further cycles. */
+    RunResult run(Tick max_cycles);
+
+    Tick now() const { return eq_.now(); }
+
+    // --- component access ----------------------------------------------
+    const SystemConfig &config() const { return cfg_; }
+    unsigned numCores() const { return cfg_.numCores; }
+    Core &core(NodeId id);
+    Directory &directory(NodeId id);
+    L1Cache &l1(NodeId id);
+    Grt &grt(NodeId id);
+    Mesh &mesh() { return *mesh_; }
+    MemoryImage &memory() { return memory_; }
+    EventQueue &eventQueue() { return eq_; }
+
+    // --- results ---------------------------------------------------------
+    /** Sum of one guest Mark counter over all cores. */
+    uint64_t guestCounter(int64_t idx) const;
+
+    /** Cycle breakdown summed over all cores. */
+    CycleBreakdown breakdown() const;
+
+    /** Total retired guest instructions over all cores. */
+    uint64_t totalInstrRetired() const;
+
+    /** Reset all statistics and guest counters (post-warmup). */
+    void resetStats();
+
+    /**
+     * Coherent host-side read of a guest word: returns the value of the
+     * most up-to-date copy (a Modified L1 line if one exists, otherwise
+     * memory). For post-run validation; no timing side effects.
+     */
+    uint64_t debugReadWord(Addr addr) const;
+
+    /** Dump every component's statistic counters, gem5-stats style:
+     *  one `group.name value` line per nonzero scalar. */
+    void dumpStats(std::ostream &os) const;
+
+  private:
+    void dispatch(NodeId node, const Message &msg);
+    void handleGrtRequest(NodeId node, const Message &msg);
+    bool allDone() const;
+
+    SystemConfig cfg_;
+    EventQueue eq_;
+    MemoryImage memory_;
+    std::unique_ptr<Mesh> mesh_;
+    std::vector<std::unique_ptr<L2Bank>> l2_;
+    std::vector<std::unique_ptr<Directory>> dirs_;
+    std::vector<std::unique_ptr<Grt>> grts_;
+    std::vector<std::unique_ptr<L1Cache>> l1s_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<std::shared_ptr<const Program>> programs_;
+};
+
+} // namespace asf
+
+#endif // ASF_SYS_SYSTEM_HH

@@ -1,0 +1,221 @@
+#include "workloads/cilk_apps.hh"
+
+#include "runtime/layout.hh"
+#include "runtime/marks.hh"
+#include "runtime/regs.hh"
+#include "sim/logging.hh"
+
+namespace asf::workloads
+{
+
+using namespace regs;
+using runtime::TheDeque;
+
+const std::vector<CilkApp> &
+cilkApps()
+{
+    // name, grain, stores, loads, depth, branching, initial, dataLines
+    static const std::vector<CilkApp> apps = {
+        {"bucket", 160, 4, 5, 2, 2, 12, 2048},
+        {"cholesky", 280, 2, 6, 3, 2, 4, 4096},
+        {"cilksort", 160, 1, 5, 4, 2, 2, 2048},
+        {"fft", 280, 2, 6, 3, 2, 4, 4096},
+        {"fib", 90, 1, 1, 6, 2, 1, 256},
+        {"heat", 200, 5, 6, 2, 2, 16, 4096},
+        {"knapsack", 80, 1, 2, 5, 2, 2, 512},
+        {"lu", 260, 1, 6, 3, 2, 4, 4096},
+        {"matmul", 200, 1, 8, 3, 2, 4, 4096},
+        {"plu", 220, 3, 5, 3, 2, 4, 4096},
+    };
+    return apps;
+}
+
+const CilkApp &
+cilkAppByName(const std::string &name)
+{
+    for (const auto &app : cilkApps())
+        if (app.name == name)
+            return app;
+    fatal("unknown Cilk app '%s'", name.c_str());
+}
+
+uint64_t
+cilkSubtreeSize(unsigned depth, unsigned branching)
+{
+    // size(0) = 1; size(d) = 1 + branching * size(d-1)
+    uint64_t size = 1;
+    for (unsigned d = 0; d < depth; d++)
+        size = 1 + uint64_t(branching) * size;
+    return size;
+}
+
+namespace
+{
+
+/** Emit the task body: data traffic, compute, spawning, accounting. */
+void
+emitTaskBody(Assembler &a, const CilkApp &app, const TheDeque &deque_geom,
+             unsigned region_bytes)
+{
+    // A task reads its inputs (cold-ish lines, blocking), computes, and
+    // writes its results at the end. The result stores are still in the
+    // write buffer when the next take() fences: a conventional fence
+    // pays their full drain, a weak fence hides it under the next task.
+    unsigned slice =
+        app.loadsPerTask ? app.taskGrain / app.loadsPerTask : 0;
+    for (unsigned k = 0; k < app.loadsPerTask; k++) {
+        a.addi(t1, s3, int64_t(region_bytes / 2));
+        a.andi(t1, t1, int64_t(region_bytes - 1));
+        a.add(t1, t1, s2);
+        a.ld(t2, t1, 0);
+        a.addi(s3, s3, lineBytes);
+        a.andi(s3, s3, int64_t(region_bytes - 1));
+        if (slice > 0)
+            a.compute(int64_t(slice));
+    }
+    if (app.taskGrain > app.loadsPerTask * slice)
+        a.compute(int64_t(app.taskGrain - app.loadsPerTask * slice));
+    for (unsigned k = 0; k < app.storesPerTask; k++) {
+        a.add(t0, s2, s3);
+        a.st(t0, 0, s3);
+        a.addi(s3, s3, lineBytes);
+        a.andi(s3, s3, int64_t(region_bytes - 1));
+    }
+
+    // Spawn children while the task still has depth.
+    std::string nospawn = a.freshLabel("nospawn");
+    a.li(t0, 0);
+    a.beq(a0, t0, nospawn);
+    a.addi(a1, a0, -1);
+    for (unsigned c = 0; c < app.branching; c++)
+        runtime::emitPush(a, deque_geom, env0, a1, t0, t1);
+    a.bind(nospawn);
+
+    // Count the task locally; the count is published (s10 -> memory)
+    // only when the deque runs dry, keeping the hot take() path free of
+    // shared stores.
+    a.addi(s10, s10, 1);
+    a.mark(marks::taskDone);
+}
+
+} // namespace
+
+CilkSetup
+setupCilkApp(System &sys, const CilkApp &app)
+{
+    unsigned n = sys.numCores();
+    GuestLayout layout;
+    CilkSetup setup;
+
+    // Deques, contiguous so thieves can index them by victim id. A
+    // capacity of 32 keeps a whole deque (header + slots = 352 bytes)
+    // inside one home granule - one directory module per deque, as the
+    // WeeFence confinement rule wants. Depth-first execution keeps the
+    // queues shallow.
+    unsigned capacity = 32;
+    if (app.initialTasks + app.spawnDepth * app.branching + 4 > capacity)
+        fatal("cilk app '%s': deque capacity too small", app.name.c_str());
+    for (unsigned i = 0; i < n; i++)
+        setup.deques.push_back(runtime::allocTheDeque(layout, capacity));
+    unsigned deque_stride =
+        unsigned(setup.deques.size() > 1
+                     ? setup.deques[1].base - setup.deques[0].base
+                     : 0);
+
+    // Per-worker done counters (padded) and data regions.
+    setup.doneBase = layout.paddedArray(n);
+    unsigned region_bytes = app.dataLines * lineBytes;
+    if ((region_bytes & (region_bytes - 1)) != 0)
+        fatal("cilk app '%s': dataLines must be a power of two",
+              app.name.c_str());
+    Addr data_base = layout.block(n * region_bytes / wordBytes);
+
+    // Seed the deques: the first `seedWorkers` (default: all) start with
+    // initialTasks roots each; the rest begin stealing immediately.
+    unsigned seeded = app.seedWorkers == 0
+                          ? n
+                          : std::min(app.seedWorkers, n);
+    for (unsigned i = 0; i < n; i++) {
+        std::vector<uint64_t> roots(
+            i < seeded ? app.initialTasks : 0, uint64_t(app.spawnDepth));
+        runtime::seedDeque(sys.memory(), setup.deques[i], roots);
+        sys.memory().writeWord(GuestLayout::paddedElem(setup.doneBase, i),
+                               0);
+    }
+    setup.expectedTasks = uint64_t(seeded) * app.initialTasks *
+                          cilkSubtreeSize(app.spawnDepth, app.branching);
+
+    // --- the worker program (shared; per-core registers differ) -------
+    Assembler a(format("cilk_%s", app.name.c_str()));
+    const TheDeque &geom = setup.deques[0];
+
+    a.bind("loop");
+    runtime::emitTake(a, geom, env0, a0, t0, t1, t2, t3);
+    a.li(s9, int64_t(runtime::dequeEmpty));
+    a.bne(a0, s9, "exec");
+
+    // Steal phase: round-robin victim; when the pointer lands on
+    // ourselves, use the beat to check termination instead. The own
+    // deque stays empty until we execute a spawning task, so idle
+    // workers loop here rather than re-running take() (and its fence).
+    // Entering it, publish the local done count for the termination
+    // detector.
+    a.bind("stealphase");
+    a.st(s1, 0, s10);
+    a.addi(s4, s4, 1);
+    a.blt(s4, nthreads, "victim_ok");
+    a.li(s4, 0);
+    a.bind("victim_ok");
+    a.beq(s4, regs::tid, "termcheck");
+    a.muli(t0, s4, int64_t(deque_stride));
+    a.add(a2, t0, env1);
+    runtime::emitSteal(a, geom, a2, a0, t0, t1, t2, t3);
+    a.bne(a0, s9, "exec");
+    a.jmp("termcheck");
+
+    a.bind("exec");
+    emitTaskBody(a, app, geom, region_bytes);
+    a.jmp("loop");
+
+    a.bind("termcheck");
+    a.li(t0, 0); // sum
+    a.li(t1, 0); // j
+    a.bind("sumloop");
+    a.muli(t2, t1, lineBytes);
+    a.add(t2, t2, s0);
+    a.ld(t3, t2, 0);
+    a.add(t0, t0, t3);
+    a.addi(t1, t1, 1);
+    a.blt(t1, nthreads, "sumloop");
+    a.bge(t0, s5, "finish");
+    a.jmp("stealphase");
+
+    a.bind("finish");
+    a.halt();
+
+    auto prog = std::make_shared<const Program>(a.finish());
+
+    for (unsigned i = 0; i < n; i++) {
+        sys.loadProgram(NodeId(i), prog, 0x1234567 + i);
+        Core &c = sys.core(NodeId(i));
+        c.setReg(regs::tid, i);
+        c.setReg(regs::nthreads, n);
+        c.setReg(env0, setup.deques[i].base);
+        c.setReg(env1, setup.deques[0].base);
+        c.setReg(s0, setup.doneBase);
+        c.setReg(s1, GuestLayout::paddedElem(setup.doneBase, i));
+        c.setReg(s2, data_base + Addr(i) * region_bytes);
+        c.setReg(s3, 0);
+        c.setReg(s4, i); // victim pointer starts at self
+        c.setReg(s5, setup.expectedTasks);
+        // Each worker's data region is genuinely private (only it ever
+        // accesses it); declare that for WeeFence's PAF.
+        Addr lo = data_base + Addr(i) * region_bytes;
+        Addr hi = lo + region_bytes;
+        c.setPrivateChecker(
+            [lo, hi](Addr a) { return a >= lo && a < hi; });
+    }
+    return setup;
+}
+
+} // namespace asf::workloads

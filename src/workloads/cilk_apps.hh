@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Work-stealing workloads standing in for the paper's ten Cilk
+ * applications (bucket, cholesky, cilksort, fft, fib, heat, knapsack,
+ * lu, matmul, plu). Each worker owns a THE deque; take() uses the
+ * Critical fence and steal() the Noncritical one (paper Section 4.1).
+ * Task bodies do configurable amounts of compute and cache-missing
+ * loads/stores (the pending stores are what make take()'s fence
+ * expensive), and may spawn children, so a small fraction of tasks gets
+ * stolen - the paper reports < 0.5%.
+ *
+ * The ten named configurations differ in task granularity, memory
+ * footprint, spawn shape, and initial-task seeding; DESIGN.md documents
+ * this substitution.
+ */
+
+#ifndef ASF_WORKLOADS_CILK_APPS_HH
+#define ASF_WORKLOADS_CILK_APPS_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/the_deque.hh"
+#include "sys/system.hh"
+
+namespace asf::workloads
+{
+
+struct CilkApp
+{
+    std::string name;
+    unsigned taskGrain;      ///< compute cycles per task
+    unsigned storesPerTask;  ///< line-striding stores per task
+    unsigned loadsPerTask;   ///< line-striding loads per task
+    unsigned spawnDepth;     ///< task payload: remaining spawn depth
+    unsigned branching;      ///< children pushed per non-leaf task
+    unsigned initialTasks;   ///< seeded per seeded worker deque
+    unsigned dataLines;      ///< per-worker data region, in lines
+    /** Seed only the first N deques (0 = all); 1 models a single root
+     *  task and forces a steal-driven ramp-up. */
+    unsigned seedWorkers = 0;
+};
+
+/** The ten named application configurations. */
+const std::vector<CilkApp> &cilkApps();
+
+/** Lookup by name; fatal() if unknown. */
+const CilkApp &cilkAppByName(const std::string &name);
+
+/** Everything the host needs to validate a run. */
+struct CilkSetup
+{
+    uint64_t expectedTasks = 0;
+    std::vector<runtime::TheDeque> deques;
+    Addr doneBase = 0; ///< per-worker done counters, one line each
+};
+
+/**
+ * Build programs for every core of `sys`, seed the deques and data
+ * region, and return the expected task count. Workers run until all
+ * tasks in the system have executed, then halt.
+ */
+CilkSetup setupCilkApp(System &sys, const CilkApp &app);
+
+/** Tasks in a spawn subtree of the given depth. */
+uint64_t cilkSubtreeSize(unsigned depth, unsigned branching);
+
+} // namespace asf::workloads
+
+#endif // ASF_WORKLOADS_CILK_APPS_HH

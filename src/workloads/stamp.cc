@@ -1,0 +1,39 @@
+#include "workloads/stamp.hh"
+
+#include "sim/logging.hh"
+
+namespace asf::workloads
+{
+
+const std::vector<StampApp> &
+stampApps()
+{
+    // bench: name, orecs, readsRw, writesRw, readsRo, chained, hot,
+    //        computeInTxn, computeBetween
+    static const std::vector<StampApp> apps = {
+        {{"genome", 2048, 5, 1, 5, true, 64, 20, 150}, 150},
+        {{"intruder", 512, 3, 2, 3, false, 64, 10, 60}, 260},
+        {{"kmeans", 256, 2, 1, 2, false, 32, 15, 120}, 220},
+        {{"labyrinth", 4096, 4, 2, 4, false, 0, 60, 3000}, 40},
+        {{"ssca2", 4096, 2, 1, 2, false, 0, 5, 200}, 180},
+        {{"vacation", 2048, 6, 2, 6, false, 128, 25, 100}, 180},
+    };
+    return apps;
+}
+
+const StampApp &
+stampAppByName(const std::string &name)
+{
+    for (const auto &app : stampApps())
+        if (app.bench.name == name)
+            return app;
+    fatal("unknown STAMP app '%s'", name.c_str());
+}
+
+TlrwSetup
+setupStampApp(System &sys, const StampApp &app)
+{
+    return setupTlrwWorkload(sys, app.bench, app.txnsPerThread);
+}
+
+} // namespace asf::workloads

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * STAMP-like workloads (genome, intruder, kmeans, labyrinth, ssca2,
+ * vacation) modeled as transaction mixes on the TLRW engine, with
+ * per-application read/write shapes, contention, and non-transactional
+ * compute fractions chosen from STAMP's published characterization.
+ * Run in execution-time mode: each thread commits a fixed number of
+ * transactions and halts.
+ */
+
+#ifndef ASF_WORKLOADS_STAMP_HH
+#define ASF_WORKLOADS_STAMP_HH
+
+#include "workloads/ustm.hh"
+
+namespace asf::workloads
+{
+
+struct StampApp
+{
+    TlrwBench bench;       ///< transaction engine parameters
+    uint64_t txnsPerThread;///< transactions each thread commits
+};
+
+/** The six STAMP application configurations. */
+const std::vector<StampApp> &stampApps();
+const StampApp &stampAppByName(const std::string &name);
+
+/** Install a STAMP app on every core of `sys`. */
+TlrwSetup setupStampApp(System &sys, const StampApp &app);
+
+} // namespace asf::workloads
+
+#endif // ASF_WORKLOADS_STAMP_HH

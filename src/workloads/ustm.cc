@@ -1,0 +1,268 @@
+#include "workloads/ustm.hh"
+
+#include "runtime/layout.hh"
+#include "runtime/marks.hh"
+#include "runtime/regs.hh"
+#include "sim/logging.hh"
+
+namespace asf::workloads
+{
+
+using namespace regs;
+using runtime::TlrwTable;
+
+const std::vector<TlrwBench> &
+ustmBenches()
+{
+    // name, orecs, readsRw, writesRw, readsRo, chained, hot,
+    // computeInTxn, computeBetween
+    static const std::vector<TlrwBench> benches = {
+        {"Counter", 16, 0, 1, 1, false, 1, 5, 10},
+        {"DList", 256, 3, 2, 3, true, 16, 10, 15},
+        {"Forest", 512, 4, 2, 4, false, 32, 10, 15},
+        {"Hash", 256, 2, 1, 2, false, 16, 10, 15},
+        {"List", 256, 4, 1, 4, true, 16, 10, 15},
+        {"MCAS", 128, 2, 2, 2, false, 16, 5, 15},
+        {"ReadNWrite1", 512, 4, 1, 4, false, 32, 10, 15},
+        {"ReadWriteN", 256, 2, 2, 2, false, 32, 15, 15},
+        {"Tree", 512, 4, 1, 4, true, 32, 10, 15},
+        {"TreeOverwrite", 512, 4, 2, 4, true, 32, 10, 15},
+    };
+    return benches;
+}
+
+const TlrwBench &
+ustmBenchByName(const std::string &name)
+{
+    for (const auto &b : ustmBenches())
+        if (b.name == name)
+            return b;
+    fatal("unknown ustm benchmark '%s'", name.c_str());
+}
+
+namespace
+{
+
+/** Emit a bounded random backoff: 8..71 cycles of spin. */
+void
+emitBackoff(Assembler &a)
+{
+    std::string loop = a.freshLabel("backoff");
+    a.rand(t0);
+    a.andi(t0, t0, 63);
+    a.addi(t0, t0, 8);
+    a.li(t1, 0);
+    a.bind(loop);
+    a.addi(t0, t0, -1);
+    a.blt(t1, t0, loop);
+}
+
+/**
+ * Emit one transaction flavor (read-only or read-write) including its
+ * abort cascade. Read indices live in s0..s5, write indices in s6/s7.
+ */
+void
+emitTxn(Assembler &a, const TlrwTable &table, const TlrwBench &bench,
+        bool read_only, const std::string &commit_label)
+{
+    unsigned reads = read_only ? bench.readsRo : bench.readsRw;
+    unsigned writes = read_only ? 0 : bench.writesRw;
+    int64_t mask = int64_t(bench.numOrecs - 1);
+    std::string stem = read_only ? "ro" : "rw";
+    std::string retry = a.freshLabel(stem + "_retry");
+    std::vector<std::string> aborts;
+    for (unsigned k = 0; k <= reads; k++)
+        aborts.push_back(a.freshLabel(format("%s_abort%u", stem.c_str(), k)));
+    std::vector<std::string> waborts;
+    for (unsigned w = 0; w <= writes; w++)
+        waborts.push_back(
+            a.freshLabel(format("%s_wabort%u", stem.c_str(), w)));
+    std::string body_done = a.freshLabel(stem + "_ok");
+
+    a.bind(retry);
+
+    // --- pick read indices ---------------------------------------------
+    if (reads > 0) {
+        if (bench.chainedReads) {
+            a.rand(t0);
+            a.andi(t0, t0, mask);
+            for (unsigned k = 0; k < reads; k++) {
+                a.addi(Reg(s0 + k), t0, int64_t(k));
+                a.andi(Reg(s0 + k), Reg(s0 + k), mask);
+            }
+        } else {
+            for (unsigned k = 0; k < reads; k++) {
+                a.rand(t0);
+                a.andi(Reg(s0 + k), t0, mask);
+            }
+        }
+    }
+
+    // --- read barriers + data loads --------------------------------------
+    for (unsigned k = 0; k < reads; k++) {
+        runtime::emitOrecAddr(a, table, env0, Reg(s0 + k), a4);
+        runtime::emitTlrwReadAcquire(a, a4, aborts[k], t0, t1);
+        runtime::emitDataAddr(a, table, env1, Reg(s0 + k), a5);
+        a.ld(t0, a5, 0);
+    }
+
+    // --- write barriers (ascending index order) + data increments --------
+    if (writes > 0) {
+        a.rand(t0);
+        if (bench.hotOrecs > 0)
+            a.andi(s6, t0, int64_t(bench.hotOrecs - 1));
+        else
+            a.andi(s6, t0, mask);
+        if (writes > 1) {
+            // s7 = (s6 + 1 + r) & mask with r in [0, numOrecs-2]:
+            // always a distinct index.
+            a.rand(t0);
+            a.andi(t0, t0, mask - 1);
+            a.addi(t0, t0, 1);
+            a.add(s7, s6, t0);
+            a.andi(s7, s7, mask);
+            // Sort so every writer locks in ascending order.
+            std::string sorted = a.freshLabel("wsorted");
+            a.blt(s6, s7, sorted);
+            a.mov(t0, s6);
+            a.mov(s6, s7);
+            a.mov(s7, t0);
+            a.bind(sorted);
+        }
+        for (unsigned w = 0; w < writes; w++) {
+            Reg idx = w == 0 ? s6 : s7;
+            runtime::emitOrecAddr(a, table, env0, idx, a4);
+            runtime::emitTlrwWriteAcquire(a, a4, waborts[w], t0, t1, t2,
+                                          t3);
+            runtime::emitDataAddr(a, table, env1, idx, a5);
+            a.ld(t0, a5, 0);
+            a.addi(t0, t0, 1);
+            a.st(a5, 0, t0);
+        }
+    }
+
+    if (bench.computeInTxn > 0)
+        a.compute(int64_t(bench.computeInTxn));
+
+    // --- commit: release writes then reads --------------------------------
+    for (unsigned w = writes; w-- > 0;) {
+        Reg idx = w == 0 ? s6 : s7;
+        runtime::emitOrecAddr(a, table, env0, idx, a4);
+        runtime::emitTlrwWriteRelease(a, a4, t0);
+    }
+    for (unsigned k = reads; k-- > 0;) {
+        runtime::emitOrecAddr(a, table, env0, Reg(s0 + k), a4);
+        runtime::emitTlrwReadRelease(a, a4, t0, t1);
+    }
+    a.mark(marks::txCommit);
+    if (!read_only && writes > 0)
+        a.mark(markTxCommitRw);
+    a.jmp(body_done);
+
+    // --- write-abort cascade: wabort_w releases writes w-1 .. 0, then
+    // every read flag (a bounded write barrier gave up; see tlrw.cc) ----
+    for (unsigned w = writes; w-- > 0;) {
+        a.bind(waborts[w + 1]);
+        Reg idx = w == 0 ? s6 : s7;
+        // Barrier w failed, so barriers 0..w-1 succeeded and already
+        // applied their increments: roll the increment back while we
+        // still hold the write lock, then release it.
+        runtime::emitDataAddr(a, table, env1, idx, a5);
+        a.ld(t0, a5, 0);
+        a.addi(t0, t0, -1);
+        a.st(a5, 0, t0);
+        runtime::emitOrecAddr(a, table, env0, idx, a4);
+        runtime::emitTlrwWriteRelease(a, a4, t0);
+        // falls through to waborts[w]
+    }
+    a.bind(waborts[0]);
+    a.jmp(aborts[reads]); // release all read flags and retry
+
+    // --- read-abort cascade: abort_k releases reads k-1 .. 0 --------------
+    for (unsigned k = reads; k-- > 0;) {
+        a.bind(aborts[k + 1]);
+        runtime::emitOrecAddr(a, table, env0, Reg(s0 + k), a4);
+        runtime::emitTlrwReadRelease(a, a4, t0, t1);
+        // falls through to aborts[k]
+    }
+    a.bind(aborts[0]);
+    a.mark(marks::txAbort);
+    emitBackoff(a);
+    a.jmp(retry);
+
+    a.bind(body_done);
+    a.jmp(commit_label);
+}
+
+} // namespace
+
+TlrwSetup
+setupTlrwWorkload(System &sys, const TlrwBench &bench, uint64_t txn_limit)
+{
+    if (bench.readsRw > 6 || bench.readsRo > 6 || bench.writesRw > 2)
+        fatal("bench '%s': register budget allows <= 6 reads, <= 2 writes",
+              bench.name.c_str());
+    if ((bench.numOrecs & (bench.numOrecs - 1)) != 0)
+        fatal("bench '%s': numOrecs must be a power of two",
+              bench.name.c_str());
+    if (bench.hotOrecs && (bench.hotOrecs & (bench.hotOrecs - 1)) != 0)
+        fatal("bench '%s': hotOrecs must be a power of two",
+              bench.name.c_str());
+
+    unsigned n = sys.numCores();
+    GuestLayout layout;
+    TlrwSetup setup;
+    setup.table = runtime::allocTlrwTable(layout, bench.numOrecs, n);
+
+    Assembler a(format("tlrw_%s", bench.name.c_str()));
+    bool limited = txn_limit > 0;
+
+    a.bind("mainloop");
+    if (limited) {
+        a.li(t0, 0);
+        a.beq(s8, t0, "alldone");
+    }
+    // 50% lookups, rest read-write (paper Section 6).
+    a.rand(t0);
+    a.andi(t0, t0, 1);
+    a.li(t1, 0);
+    a.beq(t0, t1, "ro_txn");
+
+    emitTxn(a, setup.table, bench, false, "txn_done");
+    a.bind("ro_txn");
+    emitTxn(a, setup.table, bench, true, "txn_done");
+
+    a.bind("txn_done");
+    if (limited)
+        a.addi(s8, s8, -1);
+    if (bench.computeBetween > 0)
+        a.compute(int64_t(bench.computeBetween));
+    a.jmp("mainloop");
+
+    a.bind("alldone");
+    a.halt();
+
+    auto prog = std::make_shared<const Program>(a.finish());
+    for (unsigned i = 0; i < n; i++) {
+        sys.loadProgram(NodeId(i), prog, 0xabcdef01 + i * 7919);
+        Core &c = sys.core(NodeId(i));
+        c.setReg(regs::tid, i);
+        c.setReg(regs::nthreads, n);
+        c.setReg(env0, setup.table.orecBase);
+        c.setReg(env1, setup.table.dataBase);
+        if (limited)
+            c.setReg(s8, txn_limit);
+    }
+    return setup;
+}
+
+uint64_t
+sumTlrwData(System &sys, const TlrwSetup &setup)
+{
+    uint64_t sum = 0;
+    for (unsigned i = 0; i < setup.table.numOrecs; i++)
+        sum += sys.debugReadWord(setup.table.dataAddr(i));
+    return sum;
+}
+
+} // namespace asf::workloads

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * STM workloads built on the TLRW runtime, standing in for the paper's
+ * RSTM microbenchmarks (Counter, DList, Forest, Hash, List, MCAS,
+ * ReadNWrite1, ReadWriteN, Tree, TreeOverwrite). Each benchmark is a
+ * transaction-mix parameterization over an orec-protected array: 50% of
+ * transactions are lookups (read-only), the rest read-write (insert/
+ * delete equivalents), per the paper's Section 6.
+ *
+ * A read-write transaction increments each written data word under its
+ * write lock, so `sum(data) == writesPerTxn * committedRwTxns` is a
+ * machine-checkable serializability invariant.
+ */
+
+#ifndef ASF_WORKLOADS_USTM_HH
+#define ASF_WORKLOADS_USTM_HH
+
+#include <string>
+#include <vector>
+
+#include "runtime/tlrw.hh"
+#include "sys/system.hh"
+
+namespace asf::workloads
+{
+
+/** Extra guest counter: committed read-write transactions. */
+constexpr int64_t markTxCommitRw = 100;
+
+struct TlrwBench
+{
+    std::string name;
+    unsigned numOrecs;      ///< power of two
+    unsigned readsRw;       ///< read barriers in a RW txn (<= 6)
+    unsigned writesRw;      ///< write barriers in a RW txn (<= 2)
+    unsigned readsRo;       ///< read barriers in a lookup (<= 6)
+    bool chainedReads;      ///< reads walk consecutive indices
+    unsigned hotOrecs;      ///< 0 = uniform writes; else a hot subset
+    unsigned computeInTxn;  ///< cycles of compute inside the txn
+    unsigned computeBetween;///< cycles between transactions
+};
+
+/** The ten ustm microbenchmark configurations. */
+const std::vector<TlrwBench> &ustmBenches();
+const TlrwBench &ustmBenchByName(const std::string &name);
+
+struct TlrwSetup
+{
+    runtime::TlrwTable table;
+};
+
+/**
+ * Install the TLRW worker on every core. txn_limit == 0 builds an
+ * infinite loop (throughput mode: run a fixed cycle budget and read the
+ * txCommit counter); otherwise each thread halts after that many
+ * committed transactions (execution-time mode, used by STAMP).
+ */
+TlrwSetup setupTlrwWorkload(System &sys, const TlrwBench &bench,
+                            uint64_t txn_limit);
+
+/** Host-side sum of all data words (for the serializability check). */
+uint64_t sumTlrwData(System &sys, const TlrwSetup &setup);
+
+} // namespace asf::workloads
+
+#endif // ASF_WORKLOADS_USTM_HH

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "runtime/marks.hh"
+
+using namespace asf;
+using namespace asf::test;
+
+TEST(CoreBasic, RunsArithmeticProgram)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    Assembler a("arith");
+    a.li(1, 21);
+    a.muli(2, 1, 2);
+    a.li(3, 0x1000);
+    a.st(3, 0, 2);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(0x1000), 42u);
+}
+
+TEST(CoreBasic, StoreLoadForwarding)
+{
+    // A load must see its own preceding buffered store immediately.
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    Assembler a("fwd");
+    a.li(1, 0x1000);
+    a.li(2, 7);
+    a.st(1, 0, 2);
+    a.ld(3, 1, 0); // forwarded before the store even misses
+    a.li(4, 0x2000);
+    a.st(4, 0, 3);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(0x2000), 7u);
+}
+
+TEST(CoreBasic, ComputeCountsBusyCycles)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    Assembler a("busy");
+    a.compute(500);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_GE(sys.core(0).stats().get("busyCycles"), 500u);
+}
+
+TEST(CoreBasic, MarkCountersAggregate)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    Assembler a("marks");
+    a.mark(marks::iteration);
+    a.mark(marks::iteration);
+    a.halt();
+    auto p = share(a.finish());
+    sys.loadProgram(0, p);
+    sys.loadProgram(1, p);
+    runToCompletion(sys);
+    EXPECT_EQ(sys.guestCounter(marks::iteration), 4u);
+}
+
+TEST(CoreBasic, CasSucceedsAndFails)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    sys.memory().writeWord(0x1000, 5);
+    Assembler a("cas");
+    a.li(1, 0x1000);
+    a.li(2, 5);  // expect (matches)
+    a.li(3, 9);  // desired
+    a.cas(4, 1, 0, 2, 3); // succeeds: [x]=9, r4=5
+    a.li(2, 5);  // expect (stale now)
+    a.li(3, 11);
+    a.cas(5, 1, 0, 2, 3); // fails: [x] stays 9, r5=9
+    a.li(6, 0x2000);
+    a.st(6, 0, 4);
+    a.st(6, 8, 5);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(0x1000), 9u);
+    EXPECT_EQ(sys.debugReadWord(0x2000), 5u);
+    EXPECT_EQ(sys.debugReadWord(0x2008), 9u);
+}
+
+TEST(CoreBasic, XchgSwaps)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    sys.memory().writeWord(0x1000, 3);
+    Assembler a("xchg");
+    a.li(1, 0x1000);
+    a.li(2, 8);
+    a.xchg(3, 1, 0, 2);
+    a.li(4, 0x2000);
+    a.st(4, 0, 3);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(0x1000), 8u);
+    EXPECT_EQ(sys.debugReadWord(0x2000), 3u);
+}
+
+TEST(CoreBasic, GuestRandDeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        System sys(smallConfig(FenceDesign::SPlus, 1));
+        Assembler a("rand");
+        a.rand(1);
+        a.rand(2);
+        a.add(3, 1, 2);
+        a.li(4, 0x1000);
+        a.st(4, 0, 3);
+        a.halt();
+        sys.loadProgram(0, share(a.finish()), 777);
+        sys.run(100000);
+        return sys.debugReadWord(0x1000);
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(CoreBasic, InstrRetiredCountsEverything)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    Assembler a("count");
+    a.li(1, 1);     // 1
+    a.addi(1, 1, 1); // 2
+    a.li(2, 0x1000); // 3
+    a.st(2, 0, 1);  // 4
+    a.ld(3, 2, 0);  // 5
+    a.halt();       // 6
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.core(0).stats().get("instrRetired"), 6u);
+}
+
+TEST(CoreBasic, DoneRequiresDrainedBuffers)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    Assembler a("drain");
+    a.li(1, 0x1000);
+    a.li(2, 5);
+    a.st(1, 0, 2);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    // After completion, the store must have merged (not just retired).
+    EXPECT_TRUE(sys.core(0).writeBuffer().empty());
+    EXPECT_EQ(sys.debugReadWord(0x1000), 5u);
+}
+
+TEST(CoreBasic, UnalignedAccessIsFatal)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    Assembler a("unaligned");
+    a.li(1, 0x1004);
+    a.ld(2, 1, 0);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    EXPECT_EXIT(sys.run(1000), ::testing::ExitedWithCode(1), "unaligned");
+}

@@ -1,0 +1,209 @@
+/**
+ * Release-Consistency mode (paper Section 2.1): multiple writes merge
+ * concurrently and store->store order is NOT preserved, so message
+ * passing needs a fence between the stores - and fences get cheaper
+ * because the write buffer drains in parallel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "workloads/ustm.hh"
+
+using namespace asf;
+using namespace asf::test;
+
+namespace
+{
+
+SystemConfig
+rcConfig(unsigned cores = 2, unsigned store_units = 3)
+{
+    SystemConfig cfg = smallConfig(FenceDesign::SPlus, cores);
+    cfg.memoryModel = MemoryModel::RC;
+    cfg.storeUnits = store_units;
+    return cfg;
+}
+
+/**
+ * Writer: two cold blocker stores occupy both RC store units, the cold
+ * data store waits for a unit, and the flag store (a local exclusive
+ * hit) drains immediately through the free drain port - so the flag
+ * merges hundreds of cycles before the data. Under TSO the in-order
+ * drain makes the same program MP-correct.
+ */
+Program
+mpWriter(Addr data, Addr flag, bool fenced)
+{
+    Assembler a("rc_writer");
+    a.li(1, int64_t(data));
+    a.li(2, int64_t(flag));
+    a.ld(3, 2, 0); // warm the flag line (store becomes a local hit)
+    a.compute(300);
+    a.li(3, 1);
+    a.li(4, 0x200000); // blockers: cold, distinct granules
+    a.st(4, 0, 3);
+    a.st(4, 0x200, 3);
+    a.st(1, 0, 3); // data: cold, waits for a store unit
+    if (fenced)
+        a.fence(FenceRole::Noncritical);
+    a.st(2, 0, 3); // flag: exclusive hit, drains right away
+    a.halt();
+    return a.finish();
+}
+
+Program
+mpReader(Addr data, Addr flag, Addr res)
+{
+    Assembler a("rc_reader");
+    a.li(1, int64_t(data));
+    a.li(2, int64_t(flag));
+    a.li(4, int64_t(res));
+    a.ld(6, 1, 0); // warm data: the stale copy the reorder exposes
+    // Stay away from the flag line until after the writer's fast path
+    // has drained (touching it earlier would downgrade the writer's
+    // exclusive copy and serialize the stores through the directory).
+    a.compute(380);
+    a.bind("spin");
+    a.ld(3, 2, 0);
+    a.li(5, 0);
+    a.beq(3, 5, "spin");
+    a.ld(6, 1, 0);
+    a.st(4, 0, 6);
+    a.halt();
+    return a.finish();
+}
+
+} // namespace
+
+TEST(RcModel, ConfigValidatesStoreUnits)
+{
+    SystemConfig cfg = rcConfig();
+    cfg.storeUnits = 4; // == l1Assoc
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "storeUnits");
+    cfg.storeUnits = 0;
+    EXPECT_EXIT(cfg.validate(), ::testing::ExitedWithCode(1),
+                "storeUnits");
+}
+
+TEST(RcModel, MessagePassingBreaksWithoutAFence)
+{
+    // The flag (fast upgrade) merges before the data (cold miss): the
+    // reader observes the reorder that RC permits.
+    System sys(rcConfig(2, 2));
+    Addr data = 0x1200, flag = 0x1400, res = 0x3000;
+    sys.loadProgram(0, share(mpWriter(data, flag, false)));
+    sys.loadProgram(1, share(mpReader(data, flag, res)));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(res), 0u)
+        << "expected the RC store->store reorder to be visible";
+}
+
+TEST(RcModel, MessagePassingHoldsUnderTso)
+{
+    // Same program, TSO: stores merge in order; the reorder is gone.
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    Addr data = 0x1200, flag = 0x1400, res = 0x3000;
+    sys.loadProgram(0, share(mpWriter(data, flag, false)));
+    sys.loadProgram(1, share(mpReader(data, flag, res)));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(res), 1u);
+}
+
+TEST(RcModel, FenceRestoresMessagePassing)
+{
+    System sys(rcConfig(2, 2));
+    Addr data = 0x1200, flag = 0x1400, res = 0x3000;
+    sys.loadProgram(0, share(mpWriter(data, flag, true)));
+    sys.loadProgram(1, share(mpReader(data, flag, res)));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(res), 1u)
+        << "the fence must order the two stores under RC";
+}
+
+TEST(RcModel, ParallelDrainShortensFences)
+{
+    // Three cold stores to different granules, then a fence, then a
+    // warm load: TSO drains them serially (~3x memory), RC in parallel.
+    auto fence_stall = [](MemoryModel model) {
+        SystemConfig cfg = smallConfig(FenceDesign::SPlus, 2);
+        cfg.memoryModel = model;
+        System sys(cfg);
+        Assembler a("drain3");
+        a.li(1, 0x1200);
+        a.ld(2, 1, 0x40); // warm the post-fence load target
+        a.compute(100);
+        a.li(3, 1);
+        a.st(1, 0, 3);
+        a.li(1, 0x1400);
+        a.st(1, 0, 3);
+        a.li(1, 0x1600);
+        a.st(1, 0, 3);
+        a.fence(FenceRole::Critical);
+        a.li(1, 0x1200);
+        a.ld(2, 1, 0x40);
+        a.halt();
+        sys.loadProgram(0, share(a.finish()));
+        EXPECT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        return sys.core(0).stats().get("fenceStallCycles");
+    };
+    uint64_t tso = fence_stall(MemoryModel::TSO);
+    uint64_t rc = fence_stall(MemoryModel::RC);
+    EXPECT_GT(tso, 300u);      // ~3 serial misses
+    EXPECT_LT(rc, tso / 2);    // parallel merges
+    EXPECT_GT(rc, 50u);        // but still at least one miss
+}
+
+TEST(RcModel, WeakFencesDemoteToStrong)
+{
+    // wf-under-RC is the paper's future work; the implementation must
+    // fall back to conventional fences rather than silently misorder.
+    SystemConfig cfg = rcConfig();
+    cfg.design = FenceDesign::WPlus;
+    System sys(cfg);
+    Assembler a("demote");
+    a.li(1, 0x1200);
+    a.li(2, 1);
+    a.st(1, 0, 2);
+    a.fence(FenceRole::Critical);
+    a.ld(3, 1, 0x40);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.core(0).stats().get("rcFenceDemotions"), 1u);
+    EXPECT_EQ(sys.core(0).stats().get("fencesWeak"), 0u);
+}
+
+TEST(RcModel, SameLineStoresStayOrdered)
+{
+    // Program-order writes to the same word must merge in order even
+    // with parallel store units.
+    System sys(rcConfig(1));
+    Assembler a("samline");
+    a.li(1, 0x1200);
+    for (int i = 1; i <= 6; i++) {
+        a.li(2, i);
+        a.st(1, 0, 2);
+    }
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(0x1200), 6u);
+}
+
+TEST(RcModel, WorkloadsStaySoundUnderRc)
+{
+    // The spinlock/atomic-based pieces do not rely on TSO ordering, so
+    // the STM workload must still validate under RC (with its fences
+    // all strong).
+    SystemConfig cfg = rcConfig(4);
+    System sys(cfg);
+    const auto &bench = workloads::ustmBenchByName("Hash");
+    auto setup = workloads::setupTlrwWorkload(sys, bench, 0);
+    sys.run(60'000);
+    uint64_t commits_rw = sys.guestCounter(workloads::markTxCommitRw);
+    uint64_t sum = workloads::sumTlrwData(sys, setup);
+    EXPECT_LE(sum, bench.writesRw * commits_rw + bench.writesRw * 4);
+    EXPECT_GT(commits_rw, 0u);
+}

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "runtime/layout.hh"
+#include "runtime/litmus.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::runtime;
+
+namespace
+{
+
+struct SbOutcome
+{
+    uint64_t r0;
+    uint64_t r1;
+};
+
+SbOutcome
+runSb(FenceDesign design, bool fenced, unsigned warm = 600)
+{
+    System sys(smallConfig(design, 2));
+    GuestLayout layout;
+    LitmusLayout lay = allocLitmus(layout);
+    sys.loadProgram(0, share(buildSbThread(lay, 0, fenced,
+                                           FenceRole::Critical, warm)));
+    sys.loadProgram(1, share(buildSbThread(lay, 1, fenced,
+                                           FenceRole::Noncritical, warm)));
+    EXPECT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+    return SbOutcome{sys.debugReadWord(lay.res0),
+                     sys.debugReadWord(lay.res1)};
+}
+
+} // namespace
+
+TEST(TsoLitmus, StoreBufferingReorderObservableWithoutFences)
+{
+    // Under plain TSO the store->load reorder makes both threads read 0.
+    SbOutcome o = runSb(FenceDesign::SPlus, false);
+    EXPECT_EQ(o.r0, 0u);
+    EXPECT_EQ(o.r1, 0u);
+}
+
+class SbFenceDesigns : public ::testing::TestWithParam<FenceDesign>
+{
+};
+
+TEST_P(SbFenceDesigns, FencesForbidBothZero)
+{
+    // With fences, (0, 0) is the SC violation every design must prevent.
+    SbOutcome o = runSb(GetParam(), true);
+    EXPECT_FALSE(o.r0 == 0 && o.r1 == 0)
+        << "SC violation under " << fenceDesignName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, SbFenceDesigns,
+                         ::testing::ValuesIn(allFenceDesigns),
+                         [](const auto &info) {
+                             std::string n = fenceDesignName(info.param);
+                             for (auto &c : n)
+                                 if (c == '+')
+                                     c = 'p';
+                             return n;
+                         });
+
+TEST(TsoLitmus, MessagePassingAlwaysOrdered)
+{
+    // TSO never reorders two stores; the reader that sees the flag sees
+    // the data. No fences involved.
+    for (FenceDesign d : allFenceDesigns) {
+        System sys(smallConfig(d, 2));
+        GuestLayout layout;
+        LitmusLayout lay = allocLitmus(layout);
+        sys.loadProgram(0, share(buildMpWriter(lay)));
+        sys.loadProgram(1, share(buildMpReader(lay)));
+        ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        EXPECT_EQ(sys.debugReadWord(lay.res0), 1u)
+            << "MP violated under " << fenceDesignName(d);
+    }
+}
+
+TEST(TsoLitmus, IriwNeverViolatesMultiCopyAtomicity)
+{
+    // Readers that each saw the first location set must not disagree on
+    // the order of the two writes.
+    for (int trial = 0; trial < 4; trial++) {
+        System sys(smallConfig(FenceDesign::SPlus, 4));
+        GuestLayout layout;
+        LitmusLayout lay = allocLitmus(layout);
+        sys.loadProgram(0, share(buildIriwWriter(lay, true)));
+        sys.loadProgram(1, share(buildIriwWriter(lay, false)));
+        sys.loadProgram(2, share(buildIriwReader(lay, true)));
+        sys.loadProgram(3, share(buildIriwReader(lay, false)));
+        ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        uint64_t r0 = sys.debugReadWord(lay.res0);
+        uint64_t r1 = sys.debugReadWord(lay.res1);
+        uint64_t r2 = sys.debugReadWord(lay.res2);
+        uint64_t r3 = sys.debugReadWord(lay.res3);
+        // Both readers spun until their first load was 1.
+        EXPECT_EQ(r0, 1u);
+        EXPECT_EQ(r2, 1u);
+        // Forbidden: reader A saw x before y AND reader B saw y before x.
+        EXPECT_FALSE(r1 == 0 && r3 == 0) << "IRIW violation";
+    }
+}
+
+TEST(TsoLitmus, SbWithFenceStallsUnderSPlus)
+{
+    // The strong fence must actually cost cycles: an uncontended SB half
+    // (warm load target, missing store) stalls its post-fence load until
+    // the store drains.
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    GuestLayout layout;
+    LitmusLayout lay = allocLitmus(layout);
+    sys.loadProgram(0, share(buildSbThread(lay, 0, true,
+                                           FenceRole::Critical, 600)));
+    ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+    EXPECT_GT(sys.core(0).stats().get("fenceStallCycles"), 100u);
+}

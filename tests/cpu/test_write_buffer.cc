@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "cpu/write_buffer.hh"
+
+using namespace asf;
+
+TEST(WriteBuffer, FifoOrder)
+{
+    WriteBuffer wb(4);
+    uint64_t s1 = wb.push(0x1000, 1);
+    uint64_t s2 = wb.push(0x2000, 2);
+    EXPECT_LT(s1, s2);
+    EXPECT_EQ(wb.front().addr, 0x1000u);
+    wb.popFront();
+    EXPECT_EQ(wb.front().addr, 0x2000u);
+}
+
+TEST(WriteBuffer, CapacityTracking)
+{
+    WriteBuffer wb(2);
+    EXPECT_FALSE(wb.full());
+    wb.push(0x1000, 1);
+    wb.push(0x2000, 2);
+    EXPECT_TRUE(wb.full());
+    EXPECT_DEATH(wb.push(0x3000, 3), "overflow");
+}
+
+TEST(WriteBuffer, ForwardingFindsYoungestMatch)
+{
+    WriteBuffer wb(8);
+    wb.push(0x1000, 1);
+    wb.push(0x1000, 2);
+    wb.push(0x2000, 3);
+    const auto *e = wb.forwardLookup(0x1000);
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->value, 2u);
+    EXPECT_EQ(wb.forwardLookup(0x3000), nullptr);
+}
+
+TEST(WriteBuffer, DrainedUpTo)
+{
+    WriteBuffer wb(8);
+    uint64_t s1 = wb.push(0x1000, 1);
+    uint64_t s2 = wb.push(0x2000, 2);
+    EXPECT_FALSE(wb.drainedUpTo(s1));
+    wb.popFront();
+    EXPECT_TRUE(wb.drainedUpTo(s1));
+    EXPECT_FALSE(wb.drainedUpTo(s2));
+    wb.popFront();
+    EXPECT_TRUE(wb.drainedUpTo(s2));
+}
+
+TEST(WriteBuffer, DropYoungerThanForRecovery)
+{
+    WriteBuffer wb(8);
+    uint64_t s1 = wb.push(0x1000, 1);
+    wb.push(0x2000, 2);
+    wb.push(0x3000, 3);
+    wb.dropYoungerThan(s1);
+    EXPECT_EQ(wb.size(), 1u);
+    EXPECT_EQ(wb.front().addr, 0x1000u);
+}
+
+TEST(WriteBuffer, PendingLinesDeduplicates)
+{
+    WriteBuffer wb(8);
+    wb.push(0x1000, 1);
+    wb.push(0x1008, 2); // same line
+    uint64_t s3 = wb.push(0x2000, 3);
+    wb.push(0x3000, 4); // younger than s3
+    auto lines = wb.pendingLines(s3);
+    ASSERT_EQ(lines.size(), 2u);
+    EXPECT_EQ(lines[0], 0x1000u);
+    EXPECT_EQ(lines[1], 0x2000u);
+}
+
+TEST(WriteBuffer, EmptyAccessorsDie)
+{
+    WriteBuffer wb(2);
+    EXPECT_DEATH(wb.front(), "empty");
+    EXPECT_DEATH(wb.popFront(), "empty");
+}

@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include "fence/bloom_filter.hh"
+
+using namespace asf;
+
+TEST(BloomFilter, NoFalseNegatives)
+{
+    BloomFilter bf;
+    for (Addr a = 0x1000; a < 0x1000 + 32 * 40; a += 32)
+        bf.insert(a);
+    for (Addr a = 0x1000; a < 0x1000 + 32 * 40; a += 32)
+        EXPECT_TRUE(bf.mightContain(a));
+}
+
+TEST(BloomFilter, MostlyRejectsAbsentLines)
+{
+    BloomFilter bf;
+    for (Addr a = 0x1000; a < 0x1000 + 32 * 8; a += 32)
+        bf.insert(a);
+    unsigned false_pos = 0;
+    for (Addr a = 0x900000; a < 0x900000 + 32 * 1000; a += 32)
+        if (bf.mightContain(a))
+            false_pos++;
+    EXPECT_LT(false_pos, 100u); // << 10% with 8 entries in 256 bits
+}
+
+TEST(BloomFilter, ClearResets)
+{
+    BloomFilter bf;
+    bf.insert(0x1000);
+    EXPECT_FALSE(bf.empty());
+    bf.clear();
+    EXPECT_TRUE(bf.empty());
+    EXPECT_FALSE(bf.mightContain(0x1000));
+}

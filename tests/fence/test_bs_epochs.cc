@@ -1,0 +1,62 @@
+#include <gtest/gtest.h>
+
+#include "fence/bypass_set.hh"
+
+using namespace asf;
+
+TEST(BsEpochs, ClearUpToRemovesOldEpochsOnly)
+{
+    BypassSet bs(8);
+    bs.insert(0x1000, 1);
+    bs.insert(0x2000, 2);
+    bs.insert(0x3000, 3);
+    bs.clearUpTo(2);
+    EXPECT_FALSE(bs.containsLine(0x1000));
+    EXPECT_FALSE(bs.containsLine(0x2000));
+    EXPECT_TRUE(bs.containsLine(0x3000));
+    EXPECT_EQ(bs.size(), 1u);
+}
+
+TEST(BsEpochs, ReinsertBumpsEpochToYoungest)
+{
+    BypassSet bs(8);
+    bs.insert(0x1000, 1);
+    bs.insert(0x1008, 3); // same line, younger fence
+    bs.clearUpTo(1);
+    // The entry now belongs to fence 3 and must survive fence 1.
+    EXPECT_TRUE(bs.containsLine(0x1000));
+    bs.clearUpTo(3);
+    EXPECT_FALSE(bs.containsLine(0x1000));
+}
+
+TEST(BsEpochs, BloomRebuiltAfterPartialClear)
+{
+    BypassSet bs(8);
+    bs.insert(0x1000, 1);
+    bs.insert(0x2000, 5);
+    bs.clearUpTo(1);
+    // 0x1000 must now be bloom-rejectable again (no stale positives
+    // required, but no false negatives for the surviving entry).
+    EXPECT_TRUE(bs.containsLine(0x2000));
+    EXPECT_EQ(bs.match(0x2000, 0), BsMatch::TrueShare);
+    EXPECT_EQ(bs.match(0x1000, 0), BsMatch::None);
+}
+
+TEST(BsEpochs, ClearUpToOnEmptySetIsNoop)
+{
+    BypassSet bs(4);
+    bs.clearUpTo(100);
+    EXPECT_TRUE(bs.empty());
+}
+
+TEST(BsEpochs, FullSetFreesCapacityAfterEpochClear)
+{
+    BypassSet bs(2);
+    EXPECT_TRUE(bs.insert(0x1000, 1));
+    EXPECT_TRUE(bs.insert(0x2000, 2));
+    EXPECT_FALSE(bs.insert(0x3000, 3));
+    bs.clearUpTo(1);
+    EXPECT_TRUE(bs.insert(0x3000, 3));
+    EXPECT_TRUE(bs.containsLine(0x2000));
+    EXPECT_TRUE(bs.containsLine(0x3000));
+}

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "fence/bypass_set.hh"
+#include "mem/address.hh"
+
+using namespace asf;
+
+TEST(BypassSet, InsertAndLineMatch)
+{
+    BypassSet bs(32);
+    EXPECT_TRUE(bs.insert(0x1008));
+    EXPECT_TRUE(bs.containsLine(0x1000));
+    EXPECT_FALSE(bs.containsLine(0x1020));
+}
+
+TEST(BypassSet, LineGranularityMatchIsTrueShare)
+{
+    BypassSet bs(32);
+    bs.insert(0x1008); // word 1
+    // Zero request mask = line-granularity request (WS+/W+).
+    EXPECT_EQ(bs.match(0x1000, 0), BsMatch::TrueShare);
+    EXPECT_EQ(bs.match(0x1020, 0), BsMatch::None);
+}
+
+TEST(BypassSet, WordGranularityDiscriminatesFalseSharing)
+{
+    BypassSet bs(32);
+    bs.insert(0x1008); // word 1
+    EXPECT_EQ(bs.match(0x1000, wordMaskFor(0x1008)), BsMatch::TrueShare);
+    EXPECT_EQ(bs.match(0x1000, wordMaskFor(0x1010)), BsMatch::FalseShare);
+    EXPECT_EQ(bs.match(0x1000, wordMaskFor(0x1000)), BsMatch::FalseShare);
+}
+
+TEST(BypassSet, MultipleWordsAccumulatePerLine)
+{
+    BypassSet bs(32);
+    bs.insert(0x1000);
+    bs.insert(0x1018);
+    EXPECT_EQ(bs.size(), 1u); // one line entry
+    EXPECT_EQ(bs.match(0x1000, wordMaskFor(0x1018)), BsMatch::TrueShare);
+    EXPECT_EQ(bs.match(0x1000, wordMaskFor(0x1008)), BsMatch::FalseShare);
+}
+
+TEST(BypassSet, CapacityIsEnforced)
+{
+    BypassSet bs(2);
+    EXPECT_TRUE(bs.insert(0x1000));
+    EXPECT_TRUE(bs.insert(0x2000));
+    EXPECT_TRUE(bs.full());
+    EXPECT_FALSE(bs.insert(0x3000));
+    // Re-inserting a word of an existing line still works when full.
+    EXPECT_TRUE(bs.insert(0x1008));
+}
+
+TEST(BypassSet, ClearEmptiesEverything)
+{
+    BypassSet bs(8);
+    bs.insert(0x1000);
+    bs.insert(0x2000);
+    bs.clear();
+    EXPECT_TRUE(bs.empty());
+    EXPECT_EQ(bs.match(0x1000, 0), BsMatch::None);
+    EXPECT_FALSE(bs.containsLine(0x2000));
+}
+
+TEST(BypassSet, BloomFilterShortCircuitsMisses)
+{
+    BypassSet bs(32);
+    bs.insert(0x1000);
+    uint64_t before = bs.bloomFiltered();
+    // Probe many absent lines; most should be filtered.
+    for (Addr a = 0x100000; a < 0x100000 + 64 * 32; a += 32)
+        bs.match(a, 0);
+    EXPECT_GT(bs.bloomFiltered(), before + 32);
+}
+
+TEST(BypassSet, LineCountTracksDistinctLines)
+{
+    BypassSet bs(32);
+    bs.insert(0x1000);
+    bs.insert(0x1008);
+    bs.insert(0x2000);
+    EXPECT_EQ(bs.lineCount(), 2u);
+}

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include "fence/fence_kind.hh"
+
+using namespace asf;
+
+TEST(FenceKind, SPlusIsAllStrong)
+{
+    EXPECT_EQ(resolveFenceKind(FenceDesign::SPlus, FenceRole::Critical),
+              FenceKind::Strong);
+    EXPECT_EQ(resolveFenceKind(FenceDesign::SPlus, FenceRole::Noncritical),
+              FenceKind::Strong);
+}
+
+TEST(FenceKind, AsymmetricDesignsSplitByRole)
+{
+    for (auto d : {FenceDesign::WSPlus, FenceDesign::SWPlus}) {
+        EXPECT_EQ(resolveFenceKind(d, FenceRole::Critical),
+                  FenceKind::Weak);
+        EXPECT_EQ(resolveFenceKind(d, FenceRole::Noncritical),
+                  FenceKind::Strong);
+    }
+}
+
+TEST(FenceKind, WPlusIsAllWeak)
+{
+    EXPECT_EQ(resolveFenceKind(FenceDesign::WPlus, FenceRole::Critical),
+              FenceKind::Weak);
+    EXPECT_EQ(resolveFenceKind(FenceDesign::WPlus, FenceRole::Noncritical),
+              FenceKind::Weak);
+}
+
+TEST(FenceKind, WeeIsAllWeeFence)
+{
+    EXPECT_EQ(resolveFenceKind(FenceDesign::Wee, FenceRole::Critical),
+              FenceKind::WeeWeak);
+    EXPECT_EQ(resolveFenceKind(FenceDesign::Wee, FenceRole::Noncritical),
+              FenceKind::WeeWeak);
+}
+
+TEST(FenceKind, NamesRoundTripThroughParser)
+{
+    for (FenceDesign d : allFenceDesigns)
+        EXPECT_EQ(parseFenceDesign(fenceDesignName(d)), d);
+    EXPECT_EQ(parseFenceDesign("ws+"), FenceDesign::WSPlus);
+    EXPECT_EQ(parseFenceDesign("WEE"), FenceDesign::Wee);
+}
+
+TEST(FenceKind, UnknownNameIsFatal)
+{
+    EXPECT_EXIT(parseFenceDesign("zz+"), ::testing::ExitedWithCode(1),
+                "unknown fence design");
+}

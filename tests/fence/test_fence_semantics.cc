@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "mem/address.hh"
+#include "runtime/layout.hh"
+#include "runtime/litmus.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::runtime;
+
+namespace
+{
+
+uint64_t
+coreStat(System &sys, const char *name)
+{
+    uint64_t sum = 0;
+    for (unsigned i = 0; i < sys.numCores(); i++)
+        sum += sys.core(NodeId(i)).stats().get(name);
+    return sum;
+}
+
+/**
+ * st mine = 1; wf; ld other -> res. Word-level control over the store
+ * and load addresses lets tests build true- and false-sharing cycles.
+ * `warm` > 0 pre-caches the load target and aligns the threads, so the
+ * post-fence load hits while the pre-fence store misses - the timing the
+ * paper's scenarios assume.
+ */
+Program
+fencedPair(Addr st_addr, Addr ld_addr, Addr res, FenceRole role,
+           unsigned warm = 0)
+{
+    Assembler a("pair");
+    a.li(1, int64_t(st_addr));
+    a.li(2, int64_t(ld_addr));
+    a.li(3, int64_t(res));
+    if (warm > 0) {
+        a.ld(4, 2, 0);
+        a.compute(int64_t(warm));
+    }
+    a.li(4, 1);
+    a.st(1, 0, 4);
+    a.fence(role);
+    a.ld(5, 2, 0);
+    a.st(3, 0, 5);
+    a.halt();
+    return a.finish();
+}
+
+} // namespace
+
+TEST(FenceSemantics, WeakFenceEliminatesStallThatStrongFencePays)
+{
+    // One thread, one cache-missing pre-fence store, one post-fence load:
+    // sf must stall the load until the store drains, wf must not.
+    auto stall_under = [](FenceDesign d) {
+        System sys(smallConfig(d, 2));
+        sys.loadProgram(0, share(fencedPair(0x1000, 0x2000, 0x3000,
+                                            FenceRole::Critical, 600)));
+        EXPECT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        return sys.core(0).stats().get("fenceStallCycles");
+    };
+    uint64_t sf_stall = stall_under(FenceDesign::SPlus);
+    uint64_t wf_stall = stall_under(FenceDesign::WSPlus);
+    EXPECT_GT(sf_stall, 100u);
+    EXPECT_LT(wf_stall, sf_stall / 4);
+}
+
+TEST(FenceSemantics, StrongFenceCostMatchesPaperCalibration)
+{
+    // The paper measures ~200 cycles for a fence behind missing stores.
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    Assembler a("calib");
+    a.li(1, 0x1000);
+    a.ld(3, 1, 0x4000); // warm the post-fence load target
+    a.li(2, 1);
+    a.st(1, 0, 2);
+    a.st(1, 8192, 2); // second missing line, different set
+    a.fence(FenceRole::Critical);
+    a.ld(3, 1, 0x4000);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    uint64_t stall = sys.core(0).stats().get("fenceStallCycles");
+    EXPECT_GT(stall, 120u);
+    EXPECT_LT(stall, 800u);
+}
+
+TEST(FenceSemantics, BypassSetBouncesConflictingWrite)
+{
+    // Core 0: wf with a pending (missing) store; its post-fence load of
+    // y completes early and enters the BS. Core 1 then writes y: the
+    // invalidation must bounce until core 0's fence completes - and the
+    // store must still succeed afterwards.
+    System sys(smallConfig(FenceDesign::WSPlus, 2));
+    Addr x = 0x1000, y = 0x2000;
+    sys.loadProgram(0, share(fencedPair(x, y, 0x3000,
+                                        FenceRole::Critical, 600)));
+    Assembler b("latewriter");
+    b.li(1, int64_t(y));
+    b.ld(2, 1, 0);  // warm y so the later store is a fast upgrade
+    b.compute(650); // arrive just after core 0's load enters the BS
+    b.li(2, 7);
+    b.st(1, 0, 2);
+    b.halt();
+    sys.loadProgram(1, share(b.finish()));
+    runToCompletion(sys);
+    EXPECT_GE(coreStat(sys, "bsBounces"), 1u);
+    EXPECT_GE(coreStat(sys, "storeNacks"), 1u);
+    EXPECT_EQ(sys.debugReadWord(y), 7u); // write eventually landed
+}
+
+TEST(FenceSemantics, SpeculativeLoadSquashedByInvalidation)
+{
+    // Under S+ the post-fence load performs speculatively (reads 0),
+    // gets invalidated by a remote write while the fence is pending,
+    // and must re-perform - finally observing 1.
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    Addr x = 0x1000, y = 0x2000, res = 0x3000;
+    sys.loadProgram(0, share(fencedPair(x, y, res,
+                                        FenceRole::Critical, 600)));
+    Assembler b("writer");
+    b.li(1, int64_t(y));
+    b.ld(2, 1, 0);
+    b.compute(650); // write y while core 0's fence is still pending
+    b.li(2, 1);
+    b.st(1, 0, 2);
+    b.halt();
+    sys.loadProgram(1, share(b.finish()));
+    runToCompletion(sys);
+    EXPECT_GE(sys.core(0).stats().get("loadSquashes"), 1u);
+    EXPECT_EQ(sys.debugReadWord(res), 1u);
+}
+
+TEST(FenceSemantics, WPlusRecoversFromGenuineDeadlock)
+{
+    // Figure 3a with no GRT: both threads weak-fence and each one's
+    // pre-fence store bounces off the other's BS. W+ must time out,
+    // roll back, and still produce an SC outcome. The threads sit at
+    // opposite mesh corners with remote home nodes so both post-fence
+    // loads are in their Bypass Sets before either invalidation lands.
+    System sys(smallConfig(FenceDesign::WPlus, 4));
+    Addr x = 0x1200, y = 0x1400; // homes: node 1 and node 2
+    sys.loadProgram(0, share(fencedPair(x, y, 0x3000,
+                                        FenceRole::Critical, 600)));
+    sys.loadProgram(3, share(fencedPair(y, x, 0x3020,
+                                        FenceRole::Critical, 600)));
+    runToCompletion(sys);
+    EXPECT_GE(coreStat(sys, "wPlusRecoveries"), 1u);
+    uint64_t r0 = sys.debugReadWord(0x3000);
+    uint64_t r1 = sys.debugReadWord(0x3020);
+    EXPECT_FALSE(r0 == 0 && r1 == 0) << "SC violation escaped W+";
+}
+
+TEST(FenceSemantics, WSPlusOrderOperationResolvesFalseSharingCycle)
+{
+    // Figure 4b: two *unrelated* weak fences whose accesses collide only
+    // through false sharing. The bouncing writes must be converted to
+    // Order operations instead of deadlocking.
+    System sys(smallConfig(FenceDesign::WSPlus, 4));
+    Addr lineA = 0x1200, lineB = 0x1400; // remote homes (nodes 1, 2)
+    // T0 stores word 0 of A, loads word 0 of B.
+    // T1 (core 3) stores word 1 of B, loads word 1 of A.
+    sys.loadProgram(0, share(fencedPair(lineA, lineB, 0x3000,
+                                        FenceRole::Critical, 600)));
+    sys.loadProgram(3, share(fencedPair(lineB + 8, lineA + 8, 0x3020,
+                                        FenceRole::Critical, 600)));
+    runToCompletion(sys);
+    EXPECT_GE(coreStat(sys, "orderRequests"), 1u);
+    uint64_t completed = 0;
+    for (unsigned i = 0; i < sys.numCores(); i++)
+        completed += sys.directory(NodeId(i)).stats().get("orderCompleted");
+    EXPECT_GE(completed, 1u);
+    // Both stores landed despite the monitored sharers.
+    EXPECT_EQ(sys.debugReadWord(lineA), 1u);
+    EXPECT_EQ(sys.debugReadWord(lineB + 8), 1u);
+}
+
+TEST(FenceSemantics, SWPlusConditionalOrderCompletesOnFalseSharing)
+{
+    System sys(smallConfig(FenceDesign::SWPlus, 4));
+    Addr lineA = 0x1200, lineB = 0x1400; // remote homes (nodes 1, 2)
+    sys.loadProgram(0, share(fencedPair(lineA, lineB, 0x3000,
+                                        FenceRole::Critical, 600)));
+    sys.loadProgram(3, share(fencedPair(lineB + 8, lineA + 8, 0x3020,
+                                        FenceRole::Critical, 600)));
+    runToCompletion(sys);
+    // The word masks show pure false sharing, so no CO may fail.
+    uint64_t failed = 0, completed = 0;
+    for (unsigned i = 0; i < sys.numCores(); i++) {
+        failed += sys.directory(NodeId(i)).stats().get("coFailed");
+        completed +=
+            sys.directory(NodeId(i)).stats().get("orderCompleted");
+    }
+    EXPECT_EQ(failed, 0u);
+    EXPECT_GE(completed, 1u);
+    EXPECT_EQ(sys.debugReadWord(lineA), 1u);
+    EXPECT_EQ(sys.debugReadWord(lineB + 8), 1u);
+}
+
+TEST(FenceSemantics, SWPlusConditionalOrderBouncesOnTrueSharing)
+{
+    // Figure 4c flavor: T1's BS truly contains the word T0 writes, but
+    // there is no cycle (T1's own pre-fence store is to an unrelated
+    // location). The CO must fail while the true-sharing BS entry lives,
+    // then complete.
+    System sys(smallConfig(FenceDesign::SWPlus, 2));
+    Addr x = 0x1000, z = 0x4000;
+    // T1: st z; wf; ld x  -> BS holds x's word.
+    sys.loadProgram(1, share(fencedPair(z, x, 0x3020,
+                                        FenceRole::Critical, 600)));
+    // T0 (late): st x -> true-share bounce against T1's BS, with a wf
+    // following so the retry becomes a CO.
+    Assembler a("t0");
+    a.li(1, int64_t(x));
+    a.ld(3, 1, 0); // share x so T1's warm-up also hits
+    a.compute(650);
+    a.li(2, 1);
+    a.st(1, 0, 2);
+    a.fence(FenceRole::Critical);
+    a.ld(3, 1, 0x1000); // arbitrary post-fence load
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(x), 1u);
+    // No deadlock and no SC breakage; bouncing happened.
+    EXPECT_GE(coreStat(sys, "storeNacks"), 1u);
+}
+
+TEST(FenceSemantics, WeeFenceDepositsAndClearsGrt)
+{
+    System sys(smallConfig(FenceDesign::Wee, 2));
+    sys.loadProgram(0, share(fencedPair(0x1000, 0x2000, 0x3000,
+                                        FenceRole::Critical)));
+    runToCompletion(sys);
+    uint64_t deposits = 0;
+    for (unsigned i = 0; i < sys.numCores(); i++)
+        deposits += sys.grt(NodeId(i)).stats().get("deposits");
+    EXPECT_GE(deposits, 1u);
+    for (unsigned i = 0; i < sys.numCores(); i++)
+        EXPECT_EQ(sys.grt(NodeId(i)).numDeposits(), 0u)
+            << "GRT entry leaked";
+}
+
+TEST(FenceSemantics, FenceWithEmptyWriteBufferIsFree)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    Assembler a("freefence");
+    a.fence(FenceRole::Critical);
+    a.li(1, 0x1000);
+    a.ld(2, 1, 0);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.core(0).stats().get("fencesInstant"), 1u);
+    EXPECT_EQ(sys.core(0).stats().get("fencesCompleted"), 0u);
+}
+
+TEST(FenceSemantics, FenceCountsByResolvedKind)
+{
+    auto count = [](FenceDesign d, const char *stat) {
+        System sys(smallConfig(d, 2));
+        sys.loadProgram(0, share(fencedPair(0x1000, 0x2000, 0x3000,
+                                            FenceRole::Critical)));
+        sys.loadProgram(1, share(fencedPair(0x5000, 0x6000, 0x7000,
+                                            FenceRole::Noncritical)));
+        EXPECT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        uint64_t sum = 0;
+        for (unsigned i = 0; i < 2; i++)
+            sum += sys.core(NodeId(i)).stats().get(stat);
+        return sum;
+    };
+    EXPECT_EQ(count(FenceDesign::SPlus, "fencesStrong"), 2u);
+    EXPECT_EQ(count(FenceDesign::WSPlus, "fencesWeak"), 1u);
+    EXPECT_EQ(count(FenceDesign::WSPlus, "fencesStrong"), 1u);
+    EXPECT_EQ(count(FenceDesign::WPlus, "fencesWeak"), 2u);
+    EXPECT_EQ(count(FenceDesign::Wee, "fencesWee"), 2u);
+}

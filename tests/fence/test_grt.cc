@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "fence/grt.hh"
+
+using namespace asf;
+
+TEST(Grt, DepositFetchClear)
+{
+    Grt grt(0);
+    grt.deposit(1, {0x1000, 0x2000});
+    grt.deposit(2, {0x3000});
+    EXPECT_TRUE(grt.hasDeposit(1));
+    auto remote = grt.remotePendingSet(3);
+    EXPECT_EQ(remote.size(), 3u);
+    grt.clear(1);
+    EXPECT_FALSE(grt.hasDeposit(1));
+    EXPECT_EQ(grt.remotePendingSet(3).size(), 1u);
+}
+
+TEST(Grt, RemoteSetExcludesOwnDeposit)
+{
+    Grt grt(0);
+    grt.deposit(1, {0x1000});
+    grt.deposit(2, {0x2000});
+    auto remote = grt.remotePendingSet(1);
+    ASSERT_EQ(remote.size(), 1u);
+    EXPECT_EQ(remote[0], 0x2000u);
+}
+
+TEST(Grt, BlocksOnlyForOtherCores)
+{
+    Grt grt(0);
+    grt.deposit(1, {0x1000});
+    EXPECT_TRUE(grt.blocks(2, 0x1000));
+    EXPECT_FALSE(grt.blocks(1, 0x1000));
+    EXPECT_FALSE(grt.blocks(2, 0x9000));
+}
+
+TEST(Grt, RedepositReplaces)
+{
+    Grt grt(0);
+    grt.deposit(1, {0x1000});
+    grt.deposit(1, {0x2000});
+    EXPECT_FALSE(grt.blocks(2, 0x1000));
+    EXPECT_TRUE(grt.blocks(2, 0x2000));
+}
+
+TEST(Grt, RemoteSetIsDeduplicated)
+{
+    Grt grt(0);
+    grt.deposit(1, {0x1000, 0x1000});
+    grt.deposit(2, {0x1000});
+    EXPECT_EQ(grt.remotePendingSet(3).size(), 1u);
+}

@@ -1,0 +1,92 @@
+/**
+ * Paper Section 5.3 / Figure 7: code that contains a *benign* SC
+ * violation to start with (cross-released locks: wr L1 ... rd L2 vs
+ * wr L2 ... rd L1 with unrelated weak fences in between).
+ *
+ * The paper's exact claim, reproduced here as executable behavior:
+ *   "If these wfs are implemented as SW+, the system may deadlock as
+ *    both wfs attempt Conditional Order operations. On the other hand,
+ *    if they are implemented as either WS+ or W+, the code executes
+ *    correctly."
+ */
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+
+using namespace asf;
+using namespace asf::test;
+
+namespace
+{
+
+/**
+ * wr mine; <unrelated wf with its own pending store>; rd other.
+ * `mine`/`other` form the pre-existing race cycle of Figure 7c; the
+ * fence's own pending store is to an unrelated private location.
+ */
+Program
+figure7Thread(Addr mine, Addr other, Addr unrelated, Addr res)
+{
+    Assembler a("fig7");
+    a.li(1, int64_t(mine));
+    a.li(2, int64_t(other));
+    a.li(3, int64_t(unrelated));
+    a.li(4, int64_t(res));
+    a.ld(5, 2, 0); // warm the rd target
+    a.compute(600);
+    a.li(5, 0);
+    a.st(1, 0, 5); // wr mine (the "release")
+    a.li(5, 1);
+    a.st(3, 0, 5); // unrelated pre-fence store (keeps the wf pending)
+    a.fence(FenceRole::Critical); // the unrelated wf
+    a.ld(6, 2, 0); // rd other (the "acquire" probe) -> enters the BS
+    a.st(4, 0, 6);
+    a.halt();
+    return a.finish();
+}
+
+System::RunResult
+runFigure7(FenceDesign design, Tick budget)
+{
+    System sys(smallConfig(design, 4));
+    Addr l1 = 0x1200, l2 = 0x1400;     // the racing pair
+    Addr u0 = 0x200000, u1 = 0x200200; // unrelated fence work
+    sys.loadProgram(0,
+                    share(figure7Thread(l1, l2, u0, 0x3000)));
+    sys.loadProgram(3,
+                    share(figure7Thread(l2, l1, u1, 0x3020)));
+    return sys.run(budget);
+}
+
+} // namespace
+
+TEST(PreexistingScv, WSPlusExecutesCorrectly)
+{
+    EXPECT_EQ(runFigure7(FenceDesign::WSPlus, 2'000'000),
+              System::RunResult::AllDone);
+}
+
+TEST(PreexistingScv, WPlusExecutesCorrectlyViaRecovery)
+{
+    EXPECT_EQ(runFigure7(FenceDesign::WPlus, 2'000'000),
+              System::RunResult::AllDone);
+}
+
+TEST(PreexistingScv, SPlusAndWeeExecuteCorrectly)
+{
+    EXPECT_EQ(runFigure7(FenceDesign::SPlus, 2'000'000),
+              System::RunResult::AllDone);
+    EXPECT_EQ(runFigure7(FenceDesign::Wee, 2'000'000),
+              System::RunResult::AllDone);
+}
+
+TEST(PreexistingScv, SWPlusDeadlocksAsThePaperWarns)
+{
+    // Both stores are true-sharing bounced by the other thread's BS;
+    // both Conditional Orders keep failing; neither fence can complete.
+    // This is the documented limitation, not a bug: SW+ assumes the
+    // input code is SC to start with (paper Section 5.3).
+    EXPECT_EQ(runFigure7(FenceDesign::SWPlus, 300'000),
+              System::RunResult::MaxCycles);
+}

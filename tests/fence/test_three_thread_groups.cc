@@ -1,0 +1,121 @@
+/**
+ * Three-thread fence groups (paper Figures 1e/1f and 3c): a potential
+ * dependence cycle through three threads needs a fence in each, and an
+ * asymmetric group needs only ONE of them strong. Each design is run
+ * with the strongest role assignment it supports:
+ *
+ *   S+   sf sf sf            WS+  wf sf sf (at most one weak)
+ *   SW+  wf wf sf (Fig 3c)   W+   wf wf wf
+ *   Wee  wf wf wf
+ *
+ * The forbidden outcome is the all-zero read cycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+
+using namespace asf;
+using namespace asf::test;
+
+namespace
+{
+
+Program
+cycleThread(Addr st_a, Addr ld_a, Addr res, FenceRole role)
+{
+    Assembler a("cycle3");
+    a.li(1, int64_t(st_a));
+    a.li(2, int64_t(ld_a));
+    a.li(3, int64_t(res));
+    a.ld(4, 2, 0); // warm the load target
+    a.compute(600);
+    a.li(4, 1);
+    a.st(1, 0, 4);
+    a.fence(role);
+    a.ld(5, 2, 0);
+    a.st(3, 0, 5);
+    a.halt();
+    return a.finish();
+}
+
+struct ThreeParam
+{
+    FenceDesign design;
+    FenceRole roles[3];
+    const char *name;
+};
+
+void
+runCycle(const ThreeParam &p)
+{
+    System sys(smallConfig(p.design, 4));
+    // x, y, z in separate granules: remote homes, symmetric timing.
+    Addr x = 0x1200, y = 0x1400, z = 0x1600;
+    Addr res[3] = {0x3000, 0x3040, 0x3080};
+    // T0: wr x, rd y; T1: wr y, rd z; T2: wr z, rd x (Figure 1e).
+    sys.loadProgram(0, share(cycleThread(x, y, res[0], p.roles[0])));
+    sys.loadProgram(1, share(cycleThread(y, z, res[1], p.roles[1])));
+    sys.loadProgram(2, share(cycleThread(z, x, res[2], p.roles[2])));
+    auto r = sys.run(5'000'000);
+    ASSERT_EQ(r, System::RunResult::AllDone)
+        << p.name << " deadlocked";
+    uint64_t r0 = sys.debugReadWord(res[0]);
+    uint64_t r1 = sys.debugReadWord(res[1]);
+    uint64_t r2 = sys.debugReadWord(res[2]);
+    EXPECT_FALSE(r0 == 0 && r1 == 0 && r2 == 0)
+        << "three-thread SC violation under " << p.name;
+    // All stores completed.
+    EXPECT_EQ(sys.debugReadWord(x), 1u);
+    EXPECT_EQ(sys.debugReadWord(y), 1u);
+    EXPECT_EQ(sys.debugReadWord(z), 1u);
+}
+
+constexpr FenceRole C = FenceRole::Critical;
+constexpr FenceRole N = FenceRole::Noncritical;
+
+} // namespace
+
+TEST(ThreeThreadGroups, AllStrong)
+{
+    runCycle({FenceDesign::SPlus, {N, N, N}, "S+"});
+}
+
+TEST(ThreeThreadGroups, WSPlusOneWeakTwoStrong)
+{
+    runCycle({FenceDesign::WSPlus, {C, N, N}, "WS+ (wf sf sf)"});
+}
+
+TEST(ThreeThreadGroups, SWPlusTwoWeakOneStrong)
+{
+    // Exactly Figure 3c: two weak fences rescued by the one strong one.
+    runCycle({FenceDesign::SWPlus, {C, C, N}, "SW+ (wf wf sf)"});
+}
+
+TEST(ThreeThreadGroups, WPlusAllWeak)
+{
+    runCycle({FenceDesign::WPlus, {C, C, C}, "W+ (wf wf wf)"});
+}
+
+TEST(ThreeThreadGroups, WeeAllWeak)
+{
+    runCycle({FenceDesign::Wee, {C, C, C}, "Wee"});
+}
+
+TEST(ThreeThreadGroups, SWPlusStrongFenceGuaranteesProgress)
+{
+    // The paper's progress argument for SW+: T2's sf never stalls on a
+    // BS, its completion unchains T1, whose completion unchains T0.
+    System sys(smallConfig(FenceDesign::SWPlus, 4));
+    Addr x = 0x1200, y = 0x1400, z = 0x1600;
+    sys.loadProgram(0, share(cycleThread(x, y, 0x3000, C)));
+    sys.loadProgram(1, share(cycleThread(y, z, 0x3040, C)));
+    sys.loadProgram(2, share(cycleThread(z, x, 0x3080, N)));
+    runToCompletion(sys);
+    // No W+-style recovery exists under SW+, so completion proves the
+    // bounce chain resolved through the strong fence.
+    uint64_t recoveries = 0;
+    for (unsigned i = 0; i < 4; i++)
+        recoveries += sys.core(NodeId(i)).stats().get("wPlusRecoveries");
+    EXPECT_EQ(recoveries, 0u);
+}

@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace asf;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+TEST(Experiment, CilkRunValidates)
+{
+    CilkApp app = cilkAppByName("fib");
+    app.spawnDepth = 3;
+    app.initialTasks = 1;
+    ExperimentResult r =
+        runCilkExperiment(app, FenceDesign::SPlus, 4, 10'000'000);
+    EXPECT_TRUE(r.valid) << r.validationError;
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.tasks, 0u);
+    EXPECT_GT(r.instrRetired, 0u);
+    EXPECT_GT(r.breakdown.busy, 0u);
+}
+
+TEST(Experiment, UstmRunValidatesAndCommits)
+{
+    ExperimentResult r = runUstmExperiment(ustmBenchByName("Hash"),
+                                           FenceDesign::WSPlus, 4, 60'000);
+    EXPECT_TRUE(r.valid) << r.validationError;
+    EXPECT_GT(r.commits, 0u);
+    EXPECT_GT(r.throughputTxnPerKcycle(), 0.0);
+}
+
+TEST(Experiment, StampRunValidates)
+{
+    StampApp app = stampAppByName("kmeans");
+    app.txnsPerThread = 10;
+    ExperimentResult r =
+        runStampExperiment(app, FenceDesign::WPlus, 4, 20'000'000);
+    EXPECT_TRUE(r.valid) << r.validationError;
+    EXPECT_EQ(r.commits, 40u);
+}
+
+TEST(Experiment, FenceCountsConsistentWithDesign)
+{
+    CilkApp app = cilkAppByName("fib");
+    app.spawnDepth = 3;
+    app.initialTasks = 1;
+    auto splus = runCilkExperiment(app, FenceDesign::SPlus, 4);
+    EXPECT_EQ(splus.fencesWeak, 0u);
+    auto wplus = runCilkExperiment(app, FenceDesign::WPlus, 4);
+    EXPECT_EQ(wplus.fencesStrong, 0u);
+}
+
+TEST(Experiment, DerivedMetricsSane)
+{
+    ExperimentResult r;
+    r.cycles = 1000;
+    r.commits = 5;
+    r.instrRetired = 2000;
+    r.bytesBase = 100;
+    r.bytesRetry = 5;
+    EXPECT_DOUBLE_EQ(r.throughputTxnPerKcycle(), 5.0);
+    EXPECT_DOUBLE_EQ(r.trafficOverheadPct(), 5.0);
+    EXPECT_DOUBLE_EQ(r.fencesPer1000Instr(4), 2.0);
+}

@@ -1,0 +1,47 @@
+#include <gtest/gtest.h>
+
+#include "mem/address.hh"
+
+using namespace asf;
+
+TEST(Address, LineAlignment)
+{
+    EXPECT_EQ(lineAlign(0x1000), 0x1000u);
+    EXPECT_EQ(lineAlign(0x101f), 0x1000u);
+    EXPECT_EQ(lineAlign(0x1020), 0x1020u);
+    EXPECT_TRUE(isLineAligned(0x40));
+    EXPECT_FALSE(isLineAligned(0x48));
+}
+
+TEST(Address, WordInLine)
+{
+    EXPECT_EQ(wordInLine(0x1000), 0u);
+    EXPECT_EQ(wordInLine(0x1008), 1u);
+    EXPECT_EQ(wordInLine(0x1010), 2u);
+    EXPECT_EQ(wordInLine(0x1018), 3u);
+}
+
+TEST(Address, WordMasks)
+{
+    EXPECT_EQ(wordMaskFor(0x1000), 0x1);
+    EXPECT_EQ(wordMaskFor(0x1018), 0x8);
+    EXPECT_EQ(fullLineMask(), 0xf);
+}
+
+TEST(Address, HomeNodeInterleavesByGranule)
+{
+    EXPECT_EQ(homeNode(0x0, 8), 0);
+    EXPECT_EQ(homeNode(homeGranuleBytes, 8), 1);
+    EXPECT_EQ(homeNode(Addr(homeGranuleBytes) * 8, 8), 0);
+    // All words of a line share a home.
+    EXPECT_EQ(homeNode(0x1000, 8), homeNode(0x1018, 8));
+    // Lines within one granule share a home (a single orec or deque
+    // header stays in one directory module).
+    EXPECT_EQ(homeNode(0x1000, 8), homeNode(0x1000 + lineBytes, 8));
+}
+
+TEST(Address, WordAlignment)
+{
+    EXPECT_TRUE(isWordAligned(0x8));
+    EXPECT_FALSE(isWordAligned(0x4));
+}

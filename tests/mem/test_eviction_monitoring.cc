@@ -1,0 +1,151 @@
+/**
+ * Directed tests for the paper's Section 5.1: evictions of lines whose
+ * address sits in the Bypass Set must keep the evictor registered as a
+ * sharer, so its BS continues to see (and bounce) future writes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "mem/address.hh"
+
+using namespace asf;
+using namespace asf::test;
+
+namespace
+{
+
+/**
+ * Core 0: one missing pre-fence store, a weak fence, then a post-fence
+ * load of `target` (enters the BS) followed by a burst of loads mapping
+ * to target's L1 set, evicting it while the fence is still pending.
+ * L1 = 32KB/4-way: set stride is 8KB.
+ */
+Program
+evictingReader(Addr pending, Addr target, unsigned evict_loads)
+{
+    Assembler a("evicting_reader");
+    a.li(1, int64_t(target));
+    // Warm the target AND the evicting lines, so the post-fence burst
+    // below runs entirely on hits while the fence is still pending.
+    a.ld(2, 1, 0);
+    for (unsigned i = 1; i <= evict_loads; i++)
+        a.ld(2, 1, int64_t(i) * 8192);
+    a.compute(200);
+    a.li(3, int64_t(pending));
+    a.li(4, 1);
+    a.st(3, 0, 4);    // two missing pre-fence stores keep the
+    a.st(3, 8192, 4); // fence pending through the whole scenario
+    a.fence(FenceRole::Critical);
+    a.ld(2, 1, 0); // completes early -> BS
+    for (unsigned i = 1; i <= evict_loads; i++)
+        a.ld(5, 1, int64_t(i) * 8192); // same set: evicts target
+    a.compute(2000); // keep the thread alive while writes bounce
+    a.halt();
+    return a.finish();
+}
+
+} // namespace
+
+TEST(EvictionMonitoring, EvictedBsLineStillBouncesWrites)
+{
+    SystemConfig cfg = smallConfig(FenceDesign::WSPlus, 2);
+    cfg.bsEntries = 32;
+    System sys(cfg);
+    Addr pending = 0x200000; // cold store: fence stays incomplete
+    Addr target = 0x1000;
+
+    sys.loadProgram(0, share(evictingReader(pending, target, 6)));
+
+    // Core 1 writes the (by now evicted at core 0) BS-protected line
+    // while core 0's fence is still pending: the invalidation must still
+    // reach core 0's BS and bounce. Its delay covers core 0's warm
+    // phase (7 cold loads + compute) plus a little of the fence window.
+    Assembler b("writer");
+    b.li(1, int64_t(target));
+    b.compute(1900);
+    b.li(2, 9);
+    b.st(1, 0, 2);
+    b.halt();
+    sys.loadProgram(1, share(b.finish()));
+
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(target), 9u);
+    uint64_t bounces = sys.core(0).stats().get("bsBounces");
+    uint64_t evictions = sys.l1(0).stats().get("evictions");
+    EXPECT_GE(evictions, 1u);
+    EXPECT_GE(bounces, 1u)
+        << "eviction lost the BS's ability to monitor the line";
+}
+
+TEST(EvictionMonitoring, CleanExclusiveEvictionSendsNotice)
+{
+    // E-line evictions must notify the directory (PutE) so exclusive
+    // tracking stays coherent.
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    Assembler a("filler");
+    a.li(1, 0x1000);
+    a.ld(2, 1, 0); // target line, granted E
+    for (int i = 1; i <= 6; i++)
+        a.ld(2, 1, int64_t(i) * 8192); // evict it
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    uint64_t putes = 0;
+    for (unsigned n = 0; n < 2; n++)
+        putes += sys.directory(NodeId(n)).stats().get("PutE");
+    EXPECT_GE(putes, 1u);
+    // After the notice the line is not exclusive anywhere.
+    EXPECT_FALSE(sys.directory(homeNode(0x1000, 2)).isExclusive(0x1000, 0));
+}
+
+TEST(EvictionMonitoring, DirtyEvictionWritesBackAndClearsOwnership)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    Assembler a("dirty");
+    a.li(1, 0x1000);
+    a.li(2, 77);
+    a.st(1, 0, 2); // make the line M
+    for (int i = 1; i <= 6; i++)
+        a.ld(3, 1, int64_t(i) * 8192); // evict it
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.memory().readWord(0x1000), 77u);
+    EXPECT_FALSE(sys.directory(homeNode(0x1000, 2)).isExclusive(0x1000, 0));
+    uint64_t putms = 0;
+    for (unsigned n = 0; n < 2; n++)
+        putms += sys.directory(NodeId(n)).stats().get("PutM");
+    EXPECT_GE(putms, 1u);
+}
+
+TEST(EvictionMonitoring, SharedEvictionIsSilent)
+{
+    // S evictions send nothing; the stale directory entry is harmless
+    // (and is what keeps BS monitoring alive).
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    Addr x = 0x1000;
+    sys.memory().writeWord(x, 5);
+    // Two readers -> both Shared.
+    sys.loadProgram(0, share(loadProgram(x, 0x3000)));
+    sys.loadProgram(1, share(loadProgram(x, 0x3020)));
+    runToCompletion(sys);
+
+    // Exactly enough fills that the one eviction victim is x itself
+    // (LRU, Shared); the young Exclusive fills stay resident.
+    Assembler a("filler");
+    a.li(1, int64_t(x));
+    for (int i = 1; i <= 4; i++)
+        a.ld(2, 1, int64_t(i) * 8192);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+
+    // Directory still lists core 0 as a (stale) sharer.
+    EXPECT_TRUE(sys.directory(homeNode(x, 2)).isSharer(lineAlign(x), 0));
+    uint64_t puts = 0;
+    for (unsigned n = 0; n < 2; n++)
+        puts += sys.directory(NodeId(n)).stats().get("PutE") +
+                sys.directory(NodeId(n)).stats().get("PutM");
+    EXPECT_EQ(puts, 0u);
+}

@@ -1,0 +1,37 @@
+#include <gtest/gtest.h>
+
+#include "mem/l2_bank.hh"
+
+using namespace asf;
+
+TEST(L2Bank, MissCostsMemoryThenHitsCostBank)
+{
+    L2Bank l2(0, 128 * 1024, 8, 11, 200);
+    EXPECT_EQ(l2.access(0x1000), 200u);
+    EXPECT_EQ(l2.access(0x1000), 11u);
+    EXPECT_TRUE(l2.contains(0x1000));
+    EXPECT_FALSE(l2.contains(0x2000));
+}
+
+TEST(L2Bank, StatsCountHitsAndMisses)
+{
+    L2Bank l2(0, 128 * 1024, 8, 11, 200);
+    l2.access(0x1000);
+    l2.access(0x1000);
+    l2.access(0x2000);
+    EXPECT_EQ(l2.stats().get("misses"), 2u);
+    EXPECT_EQ(l2.stats().get("hits"), 1u);
+}
+
+TEST(L2Bank, CapacityEvictions)
+{
+    // Tiny bank: 8 lines, 2-way -> 4 sets. Hammer one set.
+    L2Bank l2(0, 8 * 32, 2, 11, 200);
+    Addr set_stride = 4 * 32;
+    l2.access(0x0);
+    l2.access(set_stride);
+    l2.access(2 * set_stride); // evicts 0x0
+    EXPECT_EQ(l2.stats().get("evictions"), 1u);
+    EXPECT_FALSE(l2.contains(0x0));
+    EXPECT_EQ(l2.access(0x0), 200u); // miss again
+}

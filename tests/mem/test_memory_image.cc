@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "mem/memory_image.hh"
+
+using namespace asf;
+
+TEST(MemoryImage, ZeroFilledByDefault)
+{
+    MemoryImage m;
+    EXPECT_EQ(m.readWord(0x1000), 0u);
+    LineData l = m.readLine(0x1000);
+    for (auto w : l)
+        EXPECT_EQ(w, 0u);
+}
+
+TEST(MemoryImage, WordReadBack)
+{
+    MemoryImage m;
+    m.writeWord(0x1008, 42);
+    EXPECT_EQ(m.readWord(0x1008), 42u);
+    EXPECT_EQ(m.readWord(0x1000), 0u);
+}
+
+TEST(MemoryImage, LineAndWordViewsAgree)
+{
+    MemoryImage m;
+    m.writeWord(0x2000, 1);
+    m.writeWord(0x2018, 4);
+    LineData l = m.readLine(0x2000);
+    EXPECT_EQ(l[0], 1u);
+    EXPECT_EQ(l[3], 4u);
+    l[2] = 99;
+    m.writeLine(0x2000, l);
+    EXPECT_EQ(m.readWord(0x2010), 99u);
+}
+
+TEST(MemoryImage, MergeWordTouchesOneWord)
+{
+    MemoryImage m;
+    m.writeWord(0x3000, 7);
+    m.mergeWord(0x3000, 2, 9);
+    EXPECT_EQ(m.readWord(0x3000), 7u);
+    EXPECT_EQ(m.readWord(0x3010), 9u);
+}
+
+TEST(MemoryImage, UnalignedAccessPanics)
+{
+    MemoryImage m;
+    EXPECT_DEATH(m.readWord(0x1004), "unaligned");
+    EXPECT_DEATH(m.readLine(0x1008), "unaligned");
+}
+
+TEST(MemoryImage, FootprintCountsLines)
+{
+    MemoryImage m;
+    m.writeWord(0x1000, 1);
+    m.writeWord(0x1008, 1); // same line
+    m.writeWord(0x2000, 1);
+    EXPECT_EQ(m.footprintLines(), 2u);
+}

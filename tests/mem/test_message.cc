@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "mem/message.hh"
+
+using namespace asf;
+
+TEST(Message, ControlMessagesAreEightBytes)
+{
+    Message m;
+    m.type = MsgType::GetS;
+    EXPECT_EQ(m.sizeBytes(), 8u);
+}
+
+TEST(Message, DataAddsALine)
+{
+    Message m;
+    m.type = MsgType::DataX;
+    m.hasData = true;
+    EXPECT_EQ(m.sizeBytes(), 8u + lineBytes);
+}
+
+TEST(Message, OrderWritesCarryTheUpdate)
+{
+    Message m;
+    m.type = MsgType::OrderWrite;
+    EXPECT_EQ(m.sizeBytes(), 8u + wordBytes);
+    m.type = MsgType::CondOrderWrite;
+    EXPECT_EQ(m.sizeBytes(), 8u + wordBytes);
+}
+
+TEST(Message, GrtTrafficScalesWithAddressSet)
+{
+    Message m;
+    m.type = MsgType::GrtDeposit;
+    m.addrSet = {0x1000, 0x2000, 0x3000};
+    EXPECT_EQ(m.sizeBytes(), 8u + 3 * 4u);
+}
+
+TEST(Message, EveryTypeHasAName)
+{
+    for (int t = 0; t <= int(MsgType::GrtCheckReply); t++) {
+        std::string n = msgTypeName(MsgType(t));
+        EXPECT_FALSE(n.empty());
+        EXPECT_EQ(n.find("bad"), std::string::npos);
+    }
+}
+
+TEST(Message, ToStringIsInformative)
+{
+    Message m;
+    m.type = MsgType::Inv;
+    m.src = 2;
+    m.dst = 5;
+    m.addr = 0x1000;
+    m.orderBit = true;
+    std::string s = m.toString();
+    EXPECT_NE(s.find("Inv"), std::string::npos);
+    EXPECT_NE(s.find("2->5"), std::string::npos);
+    EXPECT_NE(s.find("0x1000"), std::string::npos);
+    EXPECT_NE(s.find(" O"), std::string::npos);
+}

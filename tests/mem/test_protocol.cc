@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "mem/address.hh"
+
+using namespace asf;
+using namespace asf::test;
+
+TEST(Protocol, FirstReaderGetsExclusive)
+{
+    System sys(smallConfig());
+    Addr x = 0x1000;
+    sys.memory().writeWord(x, 77);
+    sys.loadProgram(0, share(loadProgram(x, 0x2000)));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(0x2000), 77u);
+    CacheLine *l = sys.l1(0).find(lineAlign(x));
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->state, MesiState::Exclusive);
+    EXPECT_TRUE(sys.directory(homeNode(x, 4)).isExclusive(lineAlign(x), 0));
+}
+
+TEST(Protocol, SecondReaderDowngradesToShared)
+{
+    System sys(smallConfig());
+    Addr x = 0x1000;
+    sys.memory().writeWord(x, 5);
+    sys.loadProgram(0, share(loadProgram(x, 0x2000)));
+    runToCompletion(sys);
+    sys.loadProgram(1, share(loadProgram(x, 0x2020)));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(0x2020), 5u);
+    EXPECT_EQ(sys.l1(0).find(lineAlign(x))->state, MesiState::Shared);
+    EXPECT_EQ(sys.l1(1).find(lineAlign(x))->state, MesiState::Shared);
+}
+
+TEST(Protocol, WriterGetsModifiedAndMemoryCatchesUpOnRead)
+{
+    System sys(smallConfig());
+    Addr x = 0x1000;
+    sys.loadProgram(0, share(storeProgram(x, 99)));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.l1(0).find(lineAlign(x))->state, MesiState::Modified);
+    EXPECT_EQ(sys.debugReadWord(x), 99u);
+
+    // A remote read downgrades the owner and flushes the data home.
+    sys.loadProgram(2, share(loadProgram(x, 0x3000)));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(0x3000), 99u);
+    EXPECT_EQ(sys.l1(0).find(lineAlign(x))->state, MesiState::Shared);
+    EXPECT_EQ(sys.memory().readWord(x), 99u);
+}
+
+TEST(Protocol, WriterInvalidatesSharers)
+{
+    System sys(smallConfig());
+    Addr x = 0x1000;
+    sys.loadProgram(0, share(loadProgram(x, 0x2000)));
+    sys.loadProgram(1, share(loadProgram(x, 0x2020)));
+    runToCompletion(sys);
+
+    sys.loadProgram(2, share(storeProgram(x, 1)));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.l1(0).find(lineAlign(x)), nullptr);
+    EXPECT_EQ(sys.l1(1).find(lineAlign(x)), nullptr);
+    EXPECT_EQ(sys.l1(2).find(lineAlign(x))->state, MesiState::Modified);
+    EXPECT_EQ(sys.debugReadWord(x), 1u);
+}
+
+TEST(Protocol, UpgradeFromSharedKeepsData)
+{
+    System sys(smallConfig());
+    Addr x = 0x1000;
+    sys.memory().writeWord(x, 10);
+    sys.memory().writeWord(x + 8, 20);
+    // Two readers -> S everywhere, then core 0 writes word 0.
+    sys.loadProgram(0, share(loadProgram(x, 0x2000)));
+    sys.loadProgram(1, share(loadProgram(x, 0x2020)));
+    runToCompletion(sys);
+    sys.loadProgram(0, share(storeProgram(x, 11)));
+    runToCompletion(sys);
+    CacheLine *l = sys.l1(0).find(lineAlign(x));
+    ASSERT_NE(l, nullptr);
+    EXPECT_EQ(l->state, MesiState::Modified);
+    // The upgrade (AckX) kept the rest of the line intact.
+    EXPECT_EQ(l->data[1], 20u);
+    EXPECT_EQ(sys.debugReadWord(x), 11u);
+}
+
+TEST(Protocol, DirtyEvictionWritesBack)
+{
+    System sys(smallConfig());
+    // Write many lines that map to the same L1 set to force evictions.
+    // L1: 32KB/4-way/32B lines -> 256 sets; stride = 256*32 = 8192.
+    Assembler a("evict");
+    a.li(1, 0x10000);
+    a.li(2, 1234);
+    for (int i = 0; i < 8; i++)
+        a.st(1, int64_t(i) * 8192, 2);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    // At most 4 ways survive; every value must still be readable.
+    for (int i = 0; i < 8; i++)
+        EXPECT_EQ(sys.debugReadWord(0x10000 + Addr(i) * 8192), 1234u);
+    EXPECT_GE(sys.l1(0).stats().get("evictions"), 4u);
+}
+
+TEST(Protocol, MessagePassingThroughProtocolIsTsoCorrect)
+{
+    // st data; st flag on one core - a spinning reader that sees the
+    // flag must see the data (TSO store order + coherence).
+    System sys(smallConfig());
+    Addr data = 0x1000, flag = 0x2000, res = 0x3000;
+
+    Assembler w("writer");
+    w.li(1, int64_t(data));
+    w.li(2, int64_t(flag));
+    w.li(3, 42);
+    w.st(1, 0, 3);
+    w.st(2, 0, 3);
+    w.halt();
+
+    Assembler r("reader");
+    r.li(1, int64_t(data));
+    r.li(2, int64_t(flag));
+    r.li(4, int64_t(res));
+    r.bind("spin");
+    r.ld(3, 2, 0);
+    r.li(5, 0);
+    r.beq(3, 5, "spin");
+    r.ld(6, 1, 0);
+    r.st(4, 0, 6);
+    r.halt();
+
+    sys.loadProgram(0, share(w.finish()));
+    sys.loadProgram(1, share(r.finish()));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(res), 42u);
+}
+
+TEST(Protocol, ConcurrentWritersSerializeThroughDirectory)
+{
+    // Both cores increment the same location with an atomic; final value
+    // must be the sum.
+    System sys(smallConfig());
+    Addr x = 0x1000;
+
+    auto makeIncr = [&](int n) {
+        Assembler a("incr");
+        a.li(1, int64_t(x));
+        a.li(10, n);
+        a.bind("loop");
+        a.bind("casloop");
+        a.ld(2, 1, 0);       // expect
+        a.addi(3, 2, 1);     // desired
+        a.cas(4, 1, 0, 2, 3);
+        a.bne(4, 2, "casloop");
+        a.addi(10, 10, -1);
+        a.li(5, 0);
+        a.blt(5, 10, "loop");
+        a.halt();
+        return share(a.finish());
+    };
+    sys.loadProgram(0, makeIncr(50));
+    sys.loadProgram(1, makeIncr(50));
+    sys.loadProgram(2, makeIncr(50));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(x), 150u);
+}
+
+TEST(Protocol, DirectorySerializesPerLine)
+{
+    System sys(smallConfig());
+    Addr x = 0x1000;
+    // While a transaction is active the line is busy; this is indirectly
+    // observable through queued-request accounting after a run with
+    // contention.
+    sys.loadProgram(0, share(storeProgram(x, 1)));
+    sys.loadProgram(1, share(storeProgram(x, 2)));
+    sys.loadProgram(2, share(storeProgram(x, 3)));
+    runToCompletion(sys);
+    // One of the three values won (last writer); the line is coherent.
+    uint64_t v = sys.debugReadWord(x);
+    EXPECT_TRUE(v == 1 || v == 2 || v == 3);
+    EXPECT_FALSE(sys.directory(homeNode(x, 4)).lineBusy(lineAlign(x)));
+}

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "prog/assembler.hh"
+
+using namespace asf;
+
+TEST(Assembler, EmitsInOrder)
+{
+    Assembler a("p");
+    a.li(1, 5);
+    a.addi(2, 1, 3);
+    a.halt();
+    Program p = a.finish();
+    ASSERT_EQ(p.size(), 3u);
+    EXPECT_EQ(p.instrs[0].op, Op::Li);
+    EXPECT_EQ(p.instrs[1].op, Op::Addi);
+    EXPECT_EQ(p.instrs[2].op, Op::Halt);
+}
+
+TEST(Assembler, ForwardBranchIsFixedUp)
+{
+    Assembler a("p");
+    a.li(1, 0);
+    a.beq(1, 1, "end"); // forward reference
+    a.li(2, 99);
+    a.bind("end");
+    a.halt();
+    Program p = a.finish();
+    EXPECT_EQ(p.instrs[1].imm, 3); // "end" is instruction index 3
+}
+
+TEST(Assembler, BackwardBranchResolves)
+{
+    Assembler a("p");
+    a.bind("top");
+    a.addi(1, 1, 1);
+    a.jmp("top");
+    Program p = a.finish();
+    EXPECT_EQ(p.instrs[1].imm, 0);
+}
+
+TEST(Assembler, UndefinedLabelIsFatal)
+{
+    Assembler a("p");
+    a.jmp("nowhere");
+    EXPECT_EXIT(a.finish(), ::testing::ExitedWithCode(1), "nowhere");
+}
+
+TEST(Assembler, DuplicateLabelIsFatal)
+{
+    Assembler a("p");
+    a.bind("x");
+    EXPECT_EXIT(a.bind("x"), ::testing::ExitedWithCode(1), "twice");
+}
+
+TEST(Assembler, FreshLabelsAreUnique)
+{
+    Assembler a("p");
+    EXPECT_NE(a.freshLabel("l"), a.freshLabel("l"));
+}
+
+TEST(Assembler, DisassemblyRoundTripsKeyOps)
+{
+    Assembler a("p");
+    a.ld(3, 4, 16);
+    a.st(4, 8, 5);
+    a.fence(FenceRole::Critical);
+    a.fence(FenceRole::Noncritical);
+    a.cas(1, 2, 0, 3, 4);
+    Program p = a.finish();
+    EXPECT_EQ(p.instrs[0].toString(), "ld x3, [x4+16]");
+    EXPECT_EQ(p.instrs[1].toString(), "st [x4+8], x5");
+    EXPECT_EQ(p.instrs[2].toString(), "fence.crit");
+    EXPECT_EQ(p.instrs[3].toString(), "fence.nc");
+    EXPECT_EQ(p.instrs[4].toString(), "cas x1, [x2+0], x3, x4");
+}
+
+TEST(Assembler, MemPredicates)
+{
+    Instr ld{.op = Op::Ld};
+    Instr add{.op = Op::Add};
+    Instr cas{.op = Op::Cas};
+    EXPECT_TRUE(ld.isMem());
+    EXPECT_FALSE(add.isMem());
+    EXPECT_TRUE(cas.isMem());
+    EXPECT_TRUE(cas.isAtomic());
+    EXPECT_FALSE(ld.isAtomic());
+}
+
+TEST(Program, OutOfRangePcPanics)
+{
+    Assembler a("p");
+    a.halt();
+    Program p = a.finish();
+    EXPECT_DEATH(p.at(5), "out of range");
+}

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "prog/fuzz.hh"
+
+using namespace asf;
+
+TEST(Fuzz, GeneratesOneProgramPerThread)
+{
+    FuzzConfig cfg;
+    cfg.numThreads = 4;
+    FuzzSetup setup = buildFuzz(cfg);
+    EXPECT_EQ(setup.programs.size(), 4u);
+    for (const auto &p : setup.programs)
+        EXPECT_GT(p.size(), 10u);
+}
+
+TEST(Fuzz, DeterministicForSameSeed)
+{
+    FuzzConfig cfg;
+    cfg.seed = 7;
+    FuzzSetup a = buildFuzz(cfg);
+    FuzzSetup b = buildFuzz(cfg);
+    ASSERT_EQ(a.programs.size(), b.programs.size());
+    for (size_t t = 0; t < a.programs.size(); t++) {
+        ASSERT_EQ(a.programs[t].size(), b.programs[t].size());
+        for (size_t i = 0; i < a.programs[t].size(); i++)
+            EXPECT_EQ(a.programs[t].instrs[i].toString(),
+                      b.programs[t].instrs[i].toString());
+    }
+}
+
+TEST(Fuzz, DifferentSeedsDiffer)
+{
+    FuzzConfig a_cfg, b_cfg;
+    a_cfg.seed = 1;
+    b_cfg.seed = 2;
+    FuzzSetup a = buildFuzz(a_cfg);
+    FuzzSetup b = buildFuzz(b_cfg);
+    bool differ = false;
+    for (size_t t = 0; t < a.programs.size() && !differ; t++) {
+        if (a.programs[t].size() != b.programs[t].size()) {
+            differ = true;
+            break;
+        }
+        for (size_t i = 0; i < a.programs[t].size(); i++)
+            if (a.programs[t].instrs[i].toString() !=
+                b.programs[t].instrs[i].toString())
+                differ = true;
+    }
+    EXPECT_TRUE(differ);
+}
+
+TEST(Fuzz, TokensAreRecognizable)
+{
+    uint64_t t = FuzzSetup::token(3, 7, 1);
+    EXPECT_TRUE(FuzzSetup::tokenValid(t, 8));
+    EXPECT_TRUE(FuzzSetup::tokenValid(0, 8));
+    EXPECT_FALSE(FuzzSetup::tokenValid(0xdeadbeefcafeULL, 8));
+    // Writer id is recoverable.
+    EXPECT_EQ(t >> 24, 4u);
+}
+
+TEST(Fuzz, SingleWriterTracksExpectedFinalState)
+{
+    FuzzConfig cfg;
+    cfg.singleWriterPerLoc = true;
+    cfg.numThreads = 4;
+    cfg.numLocations = 8;
+    FuzzSetup setup = buildFuzz(cfg);
+    ASSERT_EQ(setup.expectedFinal.size(), 8u);
+    // Every written location's final token names the partition owner.
+    for (unsigned loc = 0; loc < 8; loc++) {
+        uint64_t v = setup.expectedFinal[loc];
+        if (v != 0) {
+            EXPECT_EQ((v >> 24) - 1, loc % 4u);
+        }
+    }
+}
+
+TEST(Fuzz, PackedLocationsShareLines)
+{
+    FuzzConfig cfg;
+    cfg.packLocations = true;
+    FuzzSetup s = buildFuzz(cfg);
+    EXPECT_EQ(s.locAddr(1) - s.locAddr(0), 8u);
+    cfg.packLocations = false;
+    FuzzSetup p = buildFuzz(cfg);
+    EXPECT_EQ(p.locAddr(1) - p.locAddr(0), 32u);
+}
+
+TEST(Fuzz, DegenerateConfigIsFatal)
+{
+    FuzzConfig cfg;
+    cfg.numThreads = 0;
+    EXPECT_EXIT(buildFuzz(cfg), ::testing::ExitedWithCode(1),
+                "degenerate");
+}

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "prog/assembler.hh"
+#include "prog/thread_state.hh"
+
+using namespace asf;
+
+namespace
+{
+
+/** Run non-memory instructions through the interpreter until Halt. */
+void
+runToHalt(ThreadState &ts, const Program &p, unsigned max_steps = 10000)
+{
+    unsigned steps = 0;
+    while (!ts.halted() && steps++ < max_steps)
+        ts.executeNonMem(p.at(ts.pc()));
+    ASSERT_TRUE(ts.halted()) << "program did not halt";
+}
+
+} // namespace
+
+TEST(ThreadState, ArithmeticOps)
+{
+    Assembler a("p");
+    a.li(1, 6);
+    a.li(2, 7);
+    a.mul(3, 1, 2);
+    a.add(4, 3, 1);
+    a.sub(5, 4, 2);
+    a.xor_(6, 1, 2);
+    a.halt();
+    Program p = a.finish();
+    ThreadState ts;
+    runToHalt(ts, p);
+    EXPECT_EQ(ts.reg(3), 42u);
+    EXPECT_EQ(ts.reg(4), 48u);
+    EXPECT_EQ(ts.reg(5), 41u);
+    EXPECT_EQ(ts.reg(6), 1u);
+}
+
+TEST(ThreadState, ShiftAndMaskOps)
+{
+    Assembler a("p");
+    a.li(1, 0xff);
+    a.shli(2, 1, 8);
+    a.shri(3, 2, 4);
+    a.andi(4, 3, 0xf0);
+    a.halt();
+    Program p = a.finish();
+    ThreadState ts;
+    runToHalt(ts, p);
+    EXPECT_EQ(ts.reg(2), 0xff00u);
+    EXPECT_EQ(ts.reg(3), 0xff0u);
+    EXPECT_EQ(ts.reg(4), 0xf0u);
+}
+
+TEST(ThreadState, BranchesSignedComparison)
+{
+    Assembler a("p");
+    a.li(1, -5);
+    a.li(2, 3);
+    a.blt(1, 2, "neg_less"); // -5 < 3 signed
+    a.li(3, 0);
+    a.halt();
+    a.bind("neg_less");
+    a.li(3, 1);
+    a.halt();
+    Program p = a.finish();
+    ThreadState ts;
+    runToHalt(ts, p);
+    EXPECT_EQ(ts.reg(3), 1u);
+}
+
+TEST(ThreadState, LoopCountsDown)
+{
+    Assembler a("p");
+    a.li(1, 10);
+    a.li(2, 0);
+    a.bind("loop");
+    a.addi(2, 2, 3);
+    a.addi(1, 1, -1);
+    a.li(3, 0);
+    a.blt(3, 1, "loop");
+    a.halt();
+    Program p = a.finish();
+    ThreadState ts;
+    runToHalt(ts, p);
+    EXPECT_EQ(ts.reg(2), 30u);
+}
+
+TEST(ThreadState, RandIsDeterministicPerSeed)
+{
+    ThreadState t1, t2;
+    t1.reset(0, 42);
+    t2.reset(0, 42);
+    for (int i = 0; i < 20; i++)
+        EXPECT_EQ(t1.nextRand(), t2.nextRand());
+}
+
+TEST(ThreadState, CheckpointRestoreIsExact)
+{
+    ThreadState ts;
+    ts.reset(0, 9);
+    ts.setReg(5, 123);
+    ts.setPc(17);
+    ts.nextRand();
+    ThreadCheckpoint cp = ts; // W+ checkpoint is a plain copy
+    ts.setReg(5, 999);
+    ts.setPc(99);
+    uint64_t diverged_rand = ts.nextRand();
+    ts = cp;
+    EXPECT_EQ(ts.reg(5), 123u);
+    EXPECT_EQ(ts.pc(), 17u);
+    // The PRNG state is architectural too: replay gives the same draw.
+    EXPECT_EQ(ts.nextRand(), diverged_rand);
+}
+
+TEST(ThreadState, MemOpsRejectedByNonMemInterpreter)
+{
+    ThreadState ts;
+    Instr ld{.op = Op::Ld};
+    EXPECT_DEATH(ts.executeNonMem(ld), "executeNonMem");
+}
+
+TEST(ThreadState, RegisterRangeChecked)
+{
+    ThreadState ts;
+    EXPECT_DEATH(ts.setReg(numRegs, 1), "out of range");
+}

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "runtime/biased_lock.hh"
+#include "runtime/regs.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::runtime;
+using namespace asf::regs;
+
+namespace
+{
+
+Program
+ownerProgram(const BiasedLock &lock, Addr counter, int iters,
+             unsigned think)
+{
+    Assembler a("bl_owner");
+    a.li(s0, iters);
+    a.li(s1, int64_t(lock.base));
+    a.li(s2, int64_t(counter));
+    a.bind("loop");
+    emitBiasedOwnerAcquire(a, s1, s3, t0, t1);
+    a.ld(t0, s2, 0);
+    a.addi(t0, t0, 1);
+    a.st(s2, 0, t0);
+    emitBiasedOwnerRelease(a, s1, s3, t0);
+    if (think)
+        a.compute(int64_t(think));
+    a.addi(s0, s0, -1);
+    a.li(t0, 0);
+    a.blt(t0, s0, "loop");
+    a.halt();
+    return a.finish();
+}
+
+Program
+otherProgram(const BiasedLock &lock, Addr counter, int iters,
+             unsigned think)
+{
+    Assembler a("bl_other");
+    a.li(s0, iters);
+    a.li(s1, int64_t(lock.base));
+    a.li(s2, int64_t(counter));
+    a.bind("loop");
+    emitBiasedOtherAcquire(a, s1, t0, t1, t2, t3);
+    a.ld(t0, s2, 0);
+    a.addi(t0, t0, 1);
+    a.st(s2, 0, t0);
+    emitBiasedOtherRelease(a, s1, t0, t1, t2);
+    if (think)
+        a.compute(int64_t(think));
+    a.addi(s0, s0, -1);
+    a.li(t0, 0);
+    a.blt(t0, s0, "loop");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace
+
+TEST(BiasedLock, UncontendedOwnerStaysOnFastPath)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    GuestLayout layout;
+    BiasedLock lock = allocBiasedLock(layout);
+    Addr counter = layout.granule();
+    sys.loadProgram(0, share(ownerProgram(lock, counter, 50, 0)));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(counter), 50u);
+    // No one ever took the mutex.
+    EXPECT_EQ(sys.debugReadWord(lock.mutexAddr()), 0u);
+    EXPECT_EQ(sys.debugReadWord(lock.biasAddr()), 0u);
+}
+
+class BiasedLockDesigns : public ::testing::TestWithParam<FenceDesign>
+{
+};
+
+TEST_P(BiasedLockDesigns, OwnerAndRevokersExcludeEachOther)
+{
+    System sys(smallConfig(GetParam(), 4));
+    GuestLayout layout;
+    BiasedLock lock = allocBiasedLock(layout);
+    Addr counter = layout.granule();
+    sys.loadProgram(0, share(ownerProgram(lock, counter, 30, 10)));
+    for (int i = 1; i < 4; i++)
+        sys.loadProgram(i, share(otherProgram(lock, counter, 10, 40)));
+    auto res = sys.run(30'000'000);
+    ASSERT_EQ(res, System::RunResult::AllDone)
+        << "biased lock hung under " << fenceDesignName(GetParam());
+    EXPECT_EQ(sys.debugReadWord(counter), 30u + 3 * 10u)
+        << "mutual exclusion violated under "
+        << fenceDesignName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, BiasedLockDesigns,
+                         ::testing::ValuesIn(allFenceDesigns),
+                         [](const auto &info) {
+                             std::string n = fenceDesignName(info.param);
+                             for (auto &c : n)
+                                 if (c == '+')
+                                     c = 'p';
+                             return n;
+                         });
+
+TEST(BiasedLock, OwnerFastPathCheaperUnderWeakFence)
+{
+    auto owner_cycles = [](FenceDesign d) {
+        System sys(smallConfig(d, 2));
+        GuestLayout layout;
+        BiasedLock lock = allocBiasedLock(layout);
+        Addr counter = layout.granule();
+        // A background thread keeps the revokers line shared so the
+        // owner's fence actually has coherence work to hide.
+        sys.loadProgram(0, share(ownerProgram(lock, counter, 100, 0)));
+        sys.loadProgram(1, share(otherProgram(lock, counter, 3, 200)));
+        EXPECT_EQ(sys.run(30'000'000), System::RunResult::AllDone);
+        return sys.core(0).stats().get("fenceStallCycles");
+    };
+    uint64_t sf_stall = owner_cycles(FenceDesign::SPlus);
+    uint64_t wf_stall = owner_cycles(FenceDesign::WSPlus);
+    EXPECT_LT(wf_stall, sf_stall);
+}

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "runtime/dekker.hh"
+#include "runtime/marks.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::runtime;
+
+class DekkerDesigns : public ::testing::TestWithParam<FenceDesign>
+{
+};
+
+TEST_P(DekkerDesigns, FencedDekkerNeverLosesIncrements)
+{
+    System sys(smallConfig(GetParam(), 2));
+    GuestLayout layout;
+    DekkerLayout lay = allocDekker(layout);
+    unsigned iters = 20;
+    sys.loadProgram(0, share(buildDekkerProgram(lay, 0, iters, 0, true)));
+    sys.loadProgram(1, share(buildDekkerProgram(lay, 1, iters, 0, true)));
+    auto res = sys.run(20'000'000);
+    ASSERT_EQ(res, System::RunResult::AllDone)
+        << "Dekker hung under " << fenceDesignName(GetParam());
+    EXPECT_EQ(sys.debugReadWord(lay.counterAddr), 2u * iters)
+        << "mutual exclusion violated under "
+        << fenceDesignName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, DekkerDesigns,
+                         ::testing::ValuesIn(allFenceDesigns),
+                         [](const auto &info) {
+                             std::string n = fenceDesignName(info.param);
+                             for (auto &c : n)
+                                 if (c == '+')
+                                     c = 'p';
+                             return n;
+                         });
+
+namespace
+{
+
+/**
+ * One aligned, warmed flag-lock attempt: st my_flag = 1; r = ld
+ * other_flag; if (r == 0) counter++. Without a fence, both flag stores
+ * sit in the write buffers while both loads hit warm cached copies, so
+ * both threads enter the "critical section" and one increment is lost.
+ */
+Program
+nakedLockAttempt(const DekkerLayout &lay, unsigned tid, bool fenced)
+{
+    Addr my_flag = tid == 0 ? lay.flag0 : lay.flag1;
+    Addr other_flag = tid == 0 ? lay.flag1 : lay.flag0;
+    Assembler a("naked");
+    a.li(1, int64_t(my_flag));
+    a.li(2, int64_t(other_flag));
+    a.li(3, int64_t(lay.counterAddr));
+    a.ld(4, 2, 0); // warm the flag we will poll
+    a.ld(4, 3, 0); // warm the counter
+    a.compute(600);
+    a.li(4, 1);
+    a.st(1, 0, 4);
+    if (fenced)
+        a.fence(tid == 0 ? FenceRole::Critical : FenceRole::Noncritical);
+    a.ld(5, 2, 0);
+    a.li(6, 0);
+    a.bne(5, 6, "out"); // other thread visible: stay out
+    a.ld(7, 3, 0);      // "critical section": counter++
+    a.addi(7, 7, 1);
+    a.st(3, 0, 7);
+    a.bind("out");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace
+
+TEST(Dekker, UnfencedFlagLockBreaksUnderTso)
+{
+    // Without the fence both threads read the other's flag before either
+    // flag store has drained: both enter, and an increment is lost.
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    GuestLayout layout;
+    DekkerLayout lay = allocDekker(layout);
+    sys.loadProgram(0, share(nakedLockAttempt(lay, 0, false)));
+    sys.loadProgram(1, share(nakedLockAttempt(lay, 1, false)));
+    ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+    EXPECT_EQ(sys.debugReadWord(lay.counterAddr), 1u)
+        << "expected exactly one lost update from the SC violation";
+}
+
+TEST(Dekker, FencedFlagLockExcludesOneThread)
+{
+    for (FenceDesign d : allFenceDesigns) {
+        System sys(smallConfig(d, 2));
+        GuestLayout layout;
+        DekkerLayout lay = allocDekker(layout);
+        sys.loadProgram(0, share(nakedLockAttempt(lay, 0, true)));
+        sys.loadProgram(1, share(nakedLockAttempt(lay, 1, true)));
+        ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        // With fences at least one thread observes the other's flag, so
+        // at most one increment happens - and none may be lost.
+        EXPECT_LE(sys.debugReadWord(lay.counterAddr), 1u)
+            << "both threads entered under " << fenceDesignName(d);
+    }
+}

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "runtime/layout.hh"
+#include "runtime/spinlock.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::runtime;
+
+namespace
+{
+
+Program
+lockedIncrements(Addr lock, Addr counter, int n)
+{
+    Assembler a("lockinc");
+    a.li(10, int64_t(lock));
+    a.li(11, int64_t(counter));
+    a.li(12, n);
+    a.bind("loop");
+    emitSpinLockAcquire(a, 10, 0, 0, 1);
+    a.ld(2, 11, 0);
+    a.addi(2, 2, 1);
+    a.st(11, 0, 2);
+    emitSpinLockRelease(a, 10, 0, 0);
+    a.addi(12, 12, -1);
+    a.li(3, 0);
+    a.blt(3, 12, "loop");
+    a.halt();
+    return a.finish();
+}
+
+} // namespace
+
+TEST(Spinlock, SingleThreadIncrements)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    sys.loadProgram(0, share(lockedIncrements(0x1000, 0x2000, 10)));
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(0x2000), 10u);
+    EXPECT_EQ(sys.debugReadWord(0x1000), 0u); // lock released
+}
+
+class SpinlockDesigns : public ::testing::TestWithParam<FenceDesign>
+{
+};
+
+TEST_P(SpinlockDesigns, MutualExclusionUnderContention)
+{
+    // The xchg-based lock must never lose increments, under any fence
+    // design (atomics drain fences and the write buffer).
+    System sys(smallConfig(GetParam(), 4));
+    auto p = share(lockedIncrements(0x1000, 0x2000, 25));
+    for (int i = 0; i < 4; i++)
+        sys.loadProgram(i, p);
+    runToCompletion(sys);
+    EXPECT_EQ(sys.debugReadWord(0x2000), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, SpinlockDesigns,
+                         ::testing::ValuesIn(allFenceDesigns),
+                         [](const auto &info) {
+                             std::string n = fenceDesignName(info.param);
+                             for (auto &c : n)
+                                 if (c == '+')
+                                     c = 'p';
+                             return n;
+                         });

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+using namespace asf;
+
+TEST(EventQueue, StartsEmptyAtZero)
+{
+    EventQueue eq;
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_EQ(eq.nextEventTick(), maxTick);
+}
+
+TEST(EventQueue, RunsEventsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(10); });
+    eq.schedule(5, [&] { order.push_back(5); });
+    eq.schedule(7, [&] { order.push_back(7); });
+    eq.runUntil(20);
+    EXPECT_EQ(order, (std::vector<int>{5, 7, 10}));
+    EXPECT_EQ(eq.now(), 20u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; i++)
+        eq.schedule(3, [&order, i] { order.push_back(i); });
+    eq.runUntil(3);
+    for (int i = 0; i < 8; i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(5, [&] { fired++; });
+    eq.schedule(6, [&] { fired++; });
+    eq.runUntil(5);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 5u);
+    eq.runUntil(6);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CallbackCanScheduleMore)
+{
+    EventQueue eq;
+    std::vector<Tick> fires;
+    eq.schedule(1, [&] {
+        fires.push_back(eq.now());
+        eq.schedule(4, [&] { fires.push_back(eq.now()); });
+    });
+    eq.runUntil(10);
+    EXPECT_EQ(fires, (std::vector<Tick>{1, 4}));
+}
+
+TEST(EventQueue, ScheduleInUsesCurrentTime)
+{
+    EventQueue eq;
+    eq.runUntil(100);
+    Tick fired_at = 0;
+    eq.scheduleIn(5, [&] { fired_at = eq.now(); });
+    eq.runUntil(200);
+    EXPECT_EQ(fired_at, 105u);
+}
+
+TEST(EventQueue, SchedulingInPastDies)
+{
+    EventQueue eq;
+    eq.runUntil(10);
+    EXPECT_DEATH(eq.schedule(5, [] {}), "past");
+}
+
+TEST(EventQueue, ClearDropsEverything)
+{
+    EventQueue eq;
+    eq.schedule(5, [] {});
+    eq.clear();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+}
+
+TEST(EventQueue, NextEventTickReportsEarliest)
+{
+    EventQueue eq;
+    eq.schedule(9, [] {});
+    eq.schedule(4, [] {});
+    EXPECT_EQ(eq.nextEventTick(), 4u);
+}

@@ -1,0 +1,28 @@
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace asf;
+
+TEST(Logging, FormatProducesPrintfOutput)
+{
+    EXPECT_EQ(format("%d-%s", 7, "x"), "7-x");
+    EXPECT_EQ(format("%05u", 42u), "00042");
+}
+
+TEST(Logging, FormatHandlesLongStrings)
+{
+    std::string big(5000, 'a');
+    EXPECT_EQ(format("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 3), "boom 3");
+}
+
+TEST(Logging, FatalExits)
+{
+    EXPECT_EXIT(fatal("bad config"), ::testing::ExitedWithCode(1),
+                "bad config");
+}

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hh"
+
+using namespace asf;
+
+TEST(StatScalar, IncrementAndReset)
+{
+    StatScalar s;
+    EXPECT_EQ(s.value(), 0u);
+    s.inc();
+    s.inc(41);
+    EXPECT_EQ(s.value(), 42u);
+    s.reset();
+    EXPECT_EQ(s.value(), 0u);
+}
+
+TEST(StatAverage, MeanOfSamples)
+{
+    StatAverage a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(1.0);
+    a.sample(2.0);
+    a.sample(6.0);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+}
+
+TEST(StatHistogram, BucketsAndOverflow)
+{
+    StatHistogram h(4, 10.0);
+    h.sample(5.0);
+    h.sample(15.0);
+    h.sample(15.0);
+    h.sample(100.0); // overflow
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.bucket(2), 0u);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+}
+
+TEST(StatGroup, ScalarsAreNamedAndSorted)
+{
+    StatGroup g("test");
+    g.scalar("b").inc(2);
+    g.scalar("a").inc(1);
+    EXPECT_EQ(g.get("a"), 1u);
+    EXPECT_EQ(g.get("b"), 2u);
+    EXPECT_EQ(g.get("missing"), 0u);
+    auto dump = g.dumpScalars();
+    ASSERT_EQ(dump.size(), 2u);
+    EXPECT_EQ(dump[0].first, "a");
+    EXPECT_EQ(dump[1].first, "b");
+}
+
+TEST(StatGroup, ResetAllClearsEverything)
+{
+    StatGroup g("test");
+    g.scalar("x").inc(5);
+    g.average("y").sample(3.0);
+    g.resetAll();
+    EXPECT_EQ(g.get("x"), 0u);
+    EXPECT_DOUBLE_EQ(g.getMean("y"), 0.0);
+}

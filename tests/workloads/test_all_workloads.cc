@@ -1,0 +1,114 @@
+/**
+ * Smoke-validation of every one of the 26 named workloads: each runs
+ * (downsized) under S+ and W+ - the two extremes of the taxonomy - and
+ * must pass its functional validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+
+using namespace asf;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+namespace
+{
+
+std::string
+sanitize(std::string n)
+{
+    for (auto &c : n)
+        if (c == '+')
+            c = 'p';
+    return n;
+}
+
+} // namespace
+
+// --- CilkApps -----------------------------------------------------------
+
+class EveryCilkApp
+    : public ::testing::TestWithParam<std::tuple<std::string, FenceDesign>>
+{
+};
+
+TEST_P(EveryCilkApp, ValidatesDownsized)
+{
+    CilkApp app = cilkAppByName(std::get<0>(GetParam()));
+    app.spawnDepth = std::min(app.spawnDepth, 3u);
+    app.initialTasks = std::min(app.initialTasks, 2u);
+    ExperimentResult r =
+        runCilkExperiment(app, std::get<1>(GetParam()), 4, 20'000'000);
+    EXPECT_TRUE(r.valid) << r.validationError;
+    EXPECT_GT(r.tasks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, EveryCilkApp,
+    ::testing::Combine(::testing::Values("bucket", "cholesky", "cilksort",
+                                         "fft", "fib", "heat", "knapsack",
+                                         "lu", "matmul", "plu"),
+                       ::testing::Values(FenceDesign::SPlus,
+                                         FenceDesign::WPlus)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               sanitize(fenceDesignName(std::get<1>(info.param)));
+    });
+
+// --- ustm ---------------------------------------------------------------
+
+class EveryUstmBench
+    : public ::testing::TestWithParam<std::tuple<std::string, FenceDesign>>
+{
+};
+
+TEST_P(EveryUstmBench, ValidatesAndCommits)
+{
+    const TlrwBench &bench = ustmBenchByName(std::get<0>(GetParam()));
+    ExperimentResult r =
+        runUstmExperiment(bench, std::get<1>(GetParam()), 4, 60'000);
+    EXPECT_TRUE(r.valid) << r.validationError;
+    EXPECT_GT(r.commits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benches, EveryUstmBench,
+    ::testing::Combine(::testing::Values("Counter", "DList", "Forest",
+                                         "Hash", "List", "MCAS",
+                                         "ReadNWrite1", "ReadWriteN",
+                                         "Tree", "TreeOverwrite"),
+                       ::testing::Values(FenceDesign::SPlus,
+                                         FenceDesign::WPlus)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               sanitize(fenceDesignName(std::get<1>(info.param)));
+    });
+
+// --- STAMP --------------------------------------------------------------
+
+class EveryStampApp
+    : public ::testing::TestWithParam<std::tuple<std::string, FenceDesign>>
+{
+};
+
+TEST_P(EveryStampApp, ValidatesExactly)
+{
+    StampApp app = stampAppByName(std::get<0>(GetParam()));
+    app.txnsPerThread = 10;
+    ExperimentResult r =
+        runStampExperiment(app, std::get<1>(GetParam()), 4, 30'000'000);
+    EXPECT_TRUE(r.valid) << r.validationError;
+    EXPECT_EQ(r.commits, 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Apps, EveryStampApp,
+    ::testing::Combine(::testing::Values("genome", "intruder", "kmeans",
+                                         "labyrinth", "ssca2", "vacation"),
+                       ::testing::Values(FenceDesign::SPlus,
+                                         FenceDesign::WPlus)),
+    [](const auto &info) {
+        return std::get<0>(info.param) + "_" +
+               sanitize(fenceDesignName(std::get<1>(info.param)));
+    });

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "runtime/marks.hh"
+#include "workloads/cilk_apps.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::workloads;
+
+TEST(CilkWorkload, SubtreeSizes)
+{
+    EXPECT_EQ(cilkSubtreeSize(0, 2), 1u);
+    EXPECT_EQ(cilkSubtreeSize(1, 2), 3u);
+    EXPECT_EQ(cilkSubtreeSize(2, 2), 7u);
+    EXPECT_EQ(cilkSubtreeSize(3, 2), 15u);
+    EXPECT_EQ(cilkSubtreeSize(4, 0), 1u);
+}
+
+TEST(CilkWorkload, TenNamedApps)
+{
+    EXPECT_EQ(cilkApps().size(), 10u);
+    EXPECT_EQ(cilkAppByName("fib").name, "fib");
+    EXPECT_EXIT(cilkAppByName("nope"), ::testing::ExitedWithCode(1),
+                "unknown");
+}
+
+namespace
+{
+
+CilkApp
+tinyApp()
+{
+    CilkApp app = cilkAppByName("fib");
+    app.spawnDepth = 3;
+    app.initialTasks = 2;
+    return app;
+}
+
+} // namespace
+
+class CilkDesigns : public ::testing::TestWithParam<FenceDesign>
+{
+};
+
+TEST_P(CilkDesigns, EveryTaskExecutedExactlyOnce)
+{
+    System sys(smallConfig(GetParam(), 4));
+    CilkSetup setup = setupCilkApp(sys, tinyApp());
+    auto res = sys.run(10'000'000);
+    ASSERT_EQ(res, System::RunResult::AllDone)
+        << "work stealing hung under " << fenceDesignName(GetParam());
+    EXPECT_EQ(sys.guestCounter(marks::taskDone), setup.expectedTasks)
+        << "lost or duplicated task under "
+        << fenceDesignName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, CilkDesigns,
+                         ::testing::ValuesIn(allFenceDesigns),
+                         [](const auto &info) {
+                             std::string n = fenceDesignName(info.param);
+                             for (auto &c : n)
+                                 if (c == '+')
+                                     c = 'p';
+                             return n;
+                         });
+
+TEST(CilkWorkload, SomeStealingHappensButLittle)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 4));
+    CilkApp app = cilkAppByName("fib");
+    app.initialTasks = 1;
+    app.seedWorkers = 1; // a single root: the others must steal
+    CilkSetup setup = setupCilkApp(sys, app);
+    ASSERT_EQ(sys.run(30'000'000), System::RunResult::AllDone);
+    uint64_t tasks = sys.guestCounter(marks::taskDone);
+    uint64_t steals = sys.guestCounter(marks::taskStolen);
+    EXPECT_EQ(tasks, setup.expectedTasks);
+    EXPECT_GT(steals, 0u);
+    // The paper reports < 0.5% stolen; allow a loose factor for our
+    // smaller runs.
+    EXPECT_LT(double(steals) / double(tasks), 0.2);
+}
+
+TEST(CilkWorkload, DeterministicAcrossRuns)
+{
+    auto run = [] {
+        System sys(smallConfig(FenceDesign::WSPlus, 4));
+        setupCilkApp(sys, tinyApp());
+        EXPECT_EQ(sys.run(10'000'000), System::RunResult::AllDone);
+        return sys.now();
+    };
+    EXPECT_EQ(run(), run());
+}

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "runtime/marks.hh"
+#include "workloads/stamp.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::workloads;
+
+TEST(StampWorkload, SixNamedApps)
+{
+    EXPECT_EQ(stampApps().size(), 6u);
+    EXPECT_EQ(stampAppByName("vacation").bench.name, "vacation");
+    EXPECT_EXIT(stampAppByName("nope"), ::testing::ExitedWithCode(1),
+                "unknown");
+}
+
+TEST(StampWorkload, RunsToExactCommitCount)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    StampApp app = stampAppByName("kmeans");
+    app.txnsPerThread = 12;
+    TlrwSetup setup = setupStampApp(sys, app);
+    ASSERT_EQ(sys.run(20'000'000), System::RunResult::AllDone);
+    EXPECT_EQ(sys.guestCounter(marks::txCommit), 24u);
+    uint64_t commits_rw = sys.guestCounter(markTxCommitRw);
+    EXPECT_EQ(sumTlrwData(sys, setup),
+              uint64_t(app.bench.writesRw) * commits_rw);
+}
+
+class StampDesigns : public ::testing::TestWithParam<FenceDesign>
+{
+};
+
+TEST_P(StampDesigns, IntruderSoundUnderAllDesigns)
+{
+    System sys(smallConfig(GetParam(), 4));
+    StampApp app = stampAppByName("intruder");
+    app.txnsPerThread = 8;
+    TlrwSetup setup = setupStampApp(sys, app);
+    ASSERT_EQ(sys.run(30'000'000), System::RunResult::AllDone)
+        << "intruder hung under " << fenceDesignName(GetParam());
+    uint64_t commits_rw = sys.guestCounter(markTxCommitRw);
+    EXPECT_EQ(sumTlrwData(sys, setup),
+              uint64_t(app.bench.writesRw) * commits_rw);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, StampDesigns,
+                         ::testing::ValuesIn(allFenceDesigns),
+                         [](const auto &info) {
+                             std::string n = fenceDesignName(info.param);
+                             for (auto &c : n)
+                                 if (c == '+')
+                                     c = 'p';
+                             return n;
+                         });

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "runtime/marks.hh"
+#include "workloads/ustm.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::workloads;
+
+TEST(UstmWorkload, TenNamedBenches)
+{
+    EXPECT_EQ(ustmBenches().size(), 10u);
+    EXPECT_EQ(ustmBenchByName("Hash").name, "Hash");
+    EXPECT_EXIT(ustmBenchByName("nope"), ::testing::ExitedWithCode(1),
+                "unknown");
+}
+
+class UstmDesigns : public ::testing::TestWithParam<FenceDesign>
+{
+};
+
+TEST_P(UstmDesigns, SerializabilityInvariantHolds)
+{
+    // Run Hash for a while; every committed RW transaction does exactly
+    // `writesRw` lock-protected increments.
+    System sys(smallConfig(GetParam(), 4));
+    const TlrwBench &bench = ustmBenchByName("Hash");
+    TlrwSetup setup = setupTlrwWorkload(sys, bench, 0);
+    sys.run(80'000);
+    uint64_t commits_rw = sys.guestCounter(markTxCommitRw);
+    uint64_t sum = sumTlrwData(sys, setup);
+    uint64_t expect = bench.writesRw * commits_rw;
+    // A mid-run snapshot can miss arbitrarily many increments hidden in
+    // an in-flight InvAck, so only the upper bound is checked here; the
+    // drained STAMP runs check exact equality.
+    EXPECT_LE(sum, expect + bench.writesRw * 4)
+        << "serializability broken under "
+        << fenceDesignName(GetParam());
+    EXPECT_GT(commits_rw, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDesigns, UstmDesigns,
+                         ::testing::ValuesIn(allFenceDesigns),
+                         [](const auto &info) {
+                             std::string n = fenceDesignName(info.param);
+                             for (auto &c : n)
+                                 if (c == '+')
+                                     c = 'p';
+                             return n;
+                         });
+
+TEST(UstmWorkload, HighContentionCounterStillSound)
+{
+    System sys(smallConfig(FenceDesign::WPlus, 4));
+    const TlrwBench &bench = ustmBenchByName("Counter");
+    TlrwSetup setup = setupTlrwWorkload(sys, bench, 0);
+    sys.run(60'000);
+    uint64_t commits_rw = sys.guestCounter(markTxCommitRw);
+    uint64_t sum = sumTlrwData(sys, setup);
+    EXPECT_LE(sum, commits_rw + 4);
+}
+
+TEST(UstmWorkload, LimitedModeHaltsAfterExactCount)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    const TlrwBench &bench = ustmBenchByName("Hash");
+    setupTlrwWorkload(sys, bench, 10);
+    ASSERT_EQ(sys.run(10'000'000), System::RunResult::AllDone);
+    EXPECT_EQ(sys.guestCounter(marks::txCommit), 20u);
+}
+
+TEST(UstmWorkload, AbortsOccurUnderContention)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 4));
+    setupTlrwWorkload(sys, ustmBenchByName("Counter"), 0);
+    sys.run(100'000);
+    // Reads conflict with the hot writer often enough to abort sometimes.
+    EXPECT_GT(sys.guestCounter(marks::txAbort), 0u);
+}

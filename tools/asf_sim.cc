@@ -1,0 +1,202 @@
+/**
+ * @file
+ * asf_sim - command-line front end for the simulator.
+ *
+ * Runs any built-in workload under any fence design and prints the
+ * cycle breakdown, guest progress counters, and fence characterization.
+ *
+ *   asf_sim --workload ustm:Hash --design W+ --cores 8 --cycles 300000
+ *   asf_sim --workload cilk:heat --design WS+ --stats
+ *   asf_sim --workload stamp:intruder --design Wee --csv
+ *   asf_sim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "sim/logging.hh"
+
+using namespace asf;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "ustm:Hash";
+    FenceDesign design = FenceDesign::SPlus;
+    unsigned cores = 8;
+    Tick cycles = 300'000; ///< budget (throughput) or cap (completion)
+    bool allDesigns = false;
+    bool csv = false;
+    bool dumpStats = false;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fprintf(
+        stderr,
+        "usage: asf_sim [options]\n"
+        "  --workload GROUP:NAME   cilk:<app> | ustm:<bench> | "
+        "stamp:<app>   (default ustm:Hash)\n"
+        "  --design D              S+ | WS+ | SW+ | W+ | Wee "
+        "(default S+)\n"
+        "  --all-designs           run every design and compare\n"
+        "  --cores N               number of cores (default 8)\n"
+        "  --cycles N              cycle budget (default 300000)\n"
+        "  --stats                 dump per-core statistic counters\n"
+        "  --csv                   machine-readable output\n"
+        "  --list                  list available workloads\n");
+    std::exit(code);
+}
+
+void
+listWorkloads()
+{
+    std::printf("cilk: ");
+    for (const auto &a : cilkApps())
+        std::printf("%s ", a.name.c_str());
+    std::printf("\nustm: ");
+    for (const auto &b : ustmBenches())
+        std::printf("%s ", b.name.c_str());
+    std::printf("\nstamp: ");
+    for (const auto &a : stampApps())
+        std::printf("%s ", a.bench.name.c_str());
+    std::printf("\n");
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; i++) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--workload"))
+            opt.workload = need("--workload");
+        else if (!std::strcmp(argv[i], "--design"))
+            opt.design = parseFenceDesign(need("--design"));
+        else if (!std::strcmp(argv[i], "--all-designs"))
+            opt.allDesigns = true;
+        else if (!std::strcmp(argv[i], "--cores"))
+            opt.cores = unsigned(std::atoi(need("--cores")));
+        else if (!std::strcmp(argv[i], "--cycles"))
+            opt.cycles = Tick(std::atoll(need("--cycles")));
+        else if (!std::strcmp(argv[i], "--stats"))
+            opt.dumpStats = true;
+        else if (!std::strcmp(argv[i], "--csv"))
+            opt.csv = true;
+        else if (!std::strcmp(argv[i], "--list")) {
+            listWorkloads();
+            std::exit(0);
+        } else if (!std::strcmp(argv[i], "--help") ||
+                   !std::strcmp(argv[i], "-h")) {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+            usage(1);
+        }
+    }
+    return opt;
+}
+
+ExperimentResult
+runOne(const Options &opt, FenceDesign design)
+{
+    auto colon = opt.workload.find(':');
+    std::string group = opt.workload.substr(0, colon);
+    std::string name =
+        colon == std::string::npos ? "" : opt.workload.substr(colon + 1);
+    std::ostream *stats = opt.dumpStats ? &std::cerr : nullptr;
+
+    if (group == "cilk")
+        return runCilkExperiment(cilkAppByName(name), design, opt.cores,
+                                 opt.cycles * 100, stats);
+    if (group == "ustm")
+        return runUstmExperiment(ustmBenchByName(name), design, opt.cores,
+                                 opt.cycles, stats);
+    if (group == "stamp")
+        return runStampExperiment(stampAppByName(name), design, opt.cores,
+                                  opt.cycles * 100, stats);
+    fatal("unknown workload group '%s' (try --list)", group.c_str());
+}
+
+void
+printResult(const Options &opt, const ExperimentResult &r)
+{
+    if (opt.csv) {
+        std::printf("%s,%s,%u,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%s\n",
+                    r.workload.c_str(), fenceDesignName(r.design),
+                    r.cores, (unsigned long long)r.cycles,
+                    (unsigned long long)r.breakdown.busy,
+                    (unsigned long long)r.breakdown.otherStall,
+                    (unsigned long long)r.breakdown.fenceStall,
+                    (unsigned long long)r.commits,
+                    (unsigned long long)r.tasks,
+                    (unsigned long long)r.wPlusRecoveries,
+                    r.valid ? "ok" : r.validationError.c_str());
+        return;
+    }
+    std::printf("workload %s under %s on %u cores: %llu cycles (%s)\n",
+                r.workload.c_str(), fenceDesignName(r.design), r.cores,
+                (unsigned long long)r.cycles,
+                r.valid ? "validated" : r.validationError.c_str());
+    std::printf("  busy %5.1f%%   other stall %5.1f%%   fence stall "
+                "%5.1f%%\n",
+                100.0 * r.breakdown.busyFrac(),
+                100.0 * r.breakdown.otherFrac(),
+                100.0 * r.breakdown.fenceFrac());
+    if (r.commits)
+        std::printf("  %llu txns committed (%.2f per kcycle), %llu "
+                    "aborts\n",
+                    (unsigned long long)r.commits,
+                    r.throughputTxnPerKcycle(),
+                    (unsigned long long)r.aborts);
+    if (r.tasks)
+        std::printf("  %llu tasks executed, %llu stolen\n",
+                    (unsigned long long)r.tasks,
+                    (unsigned long long)r.steals);
+    std::printf("  fences: %llu strong, %llu weak (%.2f lines/BS, %.4f "
+                "bounced writes/wf, %llu W+ recoveries)\n",
+                (unsigned long long)r.fencesStrong,
+                (unsigned long long)r.fencesWeak, r.bsLinesPerWf,
+                r.fencesWeak ? double(r.bouncedWrites) /
+                                   double(r.fencesWeak)
+                             : 0.0,
+                (unsigned long long)r.wPlusRecoveries);
+    std::printf("  network: %llu base bytes, +%.3f%% retry/GRT "
+                "overhead\n",
+                (unsigned long long)r.bytesBase, r.trafficOverheadPct());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    Options opt = parse(argc, argv);
+
+    if (opt.csv)
+        std::printf("workload,design,cores,cycles,busy,otherStall,"
+                    "fenceStall,commits,tasks,recoveries,status\n");
+
+    if (opt.allDesigns) {
+        for (FenceDesign d : allFenceDesigns)
+            printResult(opt, runOne(opt, d));
+    } else {
+        printResult(opt, runOne(opt, opt.design));
+    }
+    return 0;
+}
