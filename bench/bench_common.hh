@@ -34,6 +34,8 @@ struct BenchOptions
 {
     bool csv = false;
     bool quick = false;
+    std::string statsJson; ///< --stats-json path ("" = off)
+    std::string trace;     ///< --trace path ("" = off)
 };
 
 inline BenchOptions
@@ -41,14 +43,39 @@ parseArgs(int argc, char **argv)
 {
     BenchOptions opt;
     for (int i = 1; i < argc; i++) {
+        // "--flag=VALUE" form; returns nullptr when argv[i] is not it.
+        auto eq_form = [&](const char *flag) -> const char * {
+            size_t n = std::strlen(flag);
+            if (!std::strncmp(argv[i], flag, n) && argv[i][n] == '=')
+                return argv[i] + n + 1;
+            return nullptr;
+        };
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
         if (!std::strcmp(argv[i], "--csv"))
             opt.csv = true;
         else if (!std::strcmp(argv[i], "--quick"))
             opt.quick = true;
+        else if (!std::strcmp(argv[i], "--stats-json"))
+            opt.statsJson = need("--stats-json");
+        else if (const char *v = eq_form("--stats-json"))
+            opt.statsJson = v;
+        else if (!std::strcmp(argv[i], "--trace"))
+            opt.trace = need("--trace");
+        else if (const char *v = eq_form("--trace"))
+            opt.trace = v;
         else
-            fatal("unknown option '%s' (supported: --csv --quick)",
+            fatal("unknown option '%s' (supported: --csv --quick "
+                  "--stats-json PATH --trace PATH)",
                   argv[i]);
     }
+    if (!opt.statsJson.empty())
+        harness::setStatsJsonPath(opt.statsJson);
+    if (!opt.trace.empty())
+        harness::setTracePath(opt.trace);
     setVerbose(false);
     return opt;
 }

@@ -4,6 +4,7 @@
 
 #include "mem/address.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace asf
 {
@@ -22,6 +23,19 @@ Core::Core(NodeId id, const SystemConfig &cfg, L1Cache &l1, Mesh &mesh,
     l1_.onLineInvalidated = [this](Addr line) { onLineInvalidated(line); };
     l1_.onBsBounce = [this](Addr line) { onBsBounce(line); };
     l1_.onReply = [this](const Message &msg) { onL1Reply(msg); };
+
+    // Pre-register the headline counters so the JSON report has a
+    // stable shape even for runs that never touch them (zero-valued
+    // scalars are still filtered from the text dump).
+    for (const char *name :
+         {"busyCycles", "idleCycles", "otherStallCycles",
+          "fenceStallCycles", "instrRetired", "fencesStrong",
+          "fencesWeak", "fencesWee", "bouncedWrites", "wPlusRecoveries",
+          "loadSquashes", "storesDrained", "wbSquashedStores"})
+        stats_.scalar(name);
+    stats_.average("fenceLatency");
+    stats_.histogram("wbOccupancy", cfg.wbEntries + 1, 1.0);
+    ASF_TRACE(threadName(uint32_t(id_), format("core%d", id_)));
 }
 
 void
@@ -36,6 +50,21 @@ void
 Core::setReg(Reg r, uint64_t v)
 {
     thread_.setReg(r, v);
+}
+
+void
+Core::syncObservabilityStats()
+{
+    stats_.scalar("wbPushes").set(wb_.totalPushes());
+    stats_.scalar("wbSquashedStores").set(wb_.totalDropped());
+    stats_.scalar("wbHighWater").set(wb_.highWater());
+}
+
+void
+Core::resetStats()
+{
+    stats_.resetAll();
+    wb_.resetCounters();
 }
 
 bool
@@ -64,6 +93,7 @@ Core::tick()
         stats_.scalar("idleCycles").inc();
         return;
     }
+    stats_.histogram("wbOccupancy").sample(double(wb_.size()));
 
     tickFences();
     issueStores();
@@ -133,6 +163,11 @@ Core::completeFence(FenceInstance &f)
 {
     stats_.scalar("fencesCompleted").inc();
     stats_.average("fenceLatency").sample(double(eq_.now() - f.executedAt));
+    ASF_TRACE(complete(f.executedAt, eq_.now() - f.executedAt,
+                       uint32_t(id_), "fence", fenceKindName(f.kind),
+                       format("{\"id\":%llu,\"demoted\":%s}",
+                              (unsigned long long)f.id,
+                              f.demoted ? "true" : "false")));
     unsigned weak_left = 0;
     for (const auto &g : fences_)
         if (g.isWeak() && &g != &f)
@@ -208,7 +243,10 @@ Core::recoverWPlus(FenceInstance &f)
 
     stats_.scalar("wPlusRecoveries").inc();
     thread_ = f.checkpoint;
-    wb_.dropYoungerThan(f.lastPreStoreSeq);
+    unsigned squashed = wb_.dropYoungerThan(f.lastPreStoreSeq);
+    ASF_TRACE(instant(eq_.now(), uint32_t(id_), "fence", "W+ recovery",
+                      format("{\"fence\":%llu,\"squashedStores\":%u}",
+                             (unsigned long long)f.id, squashed)));
     std::erase_if(storeRetry_, [&f](const auto &kv) {
         return kv.first > f.lastPreStoreSeq;
     });
@@ -371,6 +409,10 @@ Core::finishStore(WriteBuffer::Entry &entry)
         }
         storeRetry_.erase(it);
     }
+    ASF_TRACE(instant(eq_.now(), uint32_t(id_), "wb", "drain",
+                      format("{\"addr\":%llu,\"seq\":%llu}",
+                             (unsigned long long)entry.addr,
+                             (unsigned long long)entry.seq)));
     wb_.complete(entry);
     stats_.scalar("storesDrained").inc();
 }
@@ -943,6 +985,9 @@ Core::onLineInvalidated(Addr line)
         load_.phase = LoadPhase::AccessPending;
         load_.inBs = false;
         stats_.scalar("loadSquashes").inc();
+        ASF_TRACE(instant(eq_.now(), uint32_t(id_), "cpu", "load squash",
+                          format("{\"line\":%llu}",
+                                 (unsigned long long)line)));
     }
 }
 

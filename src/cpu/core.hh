@@ -71,6 +71,13 @@ class Core
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Copy write-buffer bookkeeping (pushes, squashes, high-water mark)
+     *  into the stat group; called before a stats dump. */
+    void syncObservabilityStats();
+
+    /** Reset statistics, including write-buffer occupancy accounting. */
+    void resetStats();
+
     /** Guest Mark-instruction counters. */
     const std::map<int64_t, uint64_t> &markCounters() const
     {

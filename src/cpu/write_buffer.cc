@@ -22,6 +22,9 @@ WriteBuffer::push(Addr addr, uint64_t value)
         panic("write buffer overflow");
     uint64_t seq = nextSeq_++;
     entries_.push_back(Entry{addr, value, seq, false, false});
+    totalPushes_++;
+    if (entries_.size() > highWater_)
+        highWater_ = unsigned(entries_.size());
     return seq;
 }
 
@@ -107,11 +110,24 @@ WriteBuffer::drainedUpTo(uint64_t upto) const
     return entries_.empty() || entries_.front().seq > upto;
 }
 
-void
+unsigned
 WriteBuffer::dropYoungerThan(uint64_t upto)
 {
-    while (!entries_.empty() && entries_.back().seq > upto)
+    unsigned dropped = 0;
+    while (!entries_.empty() && entries_.back().seq > upto) {
         entries_.pop_back();
+        dropped++;
+    }
+    totalDropped_ += dropped;
+    return dropped;
+}
+
+void
+WriteBuffer::resetCounters()
+{
+    totalPushes_ = 0;
+    totalDropped_ = 0;
+    highWater_ = unsigned(entries_.size());
 }
 
 std::vector<Addr>

@@ -83,16 +83,33 @@ class WriteBuffer
     /** True once every store with seq <= upto has drained. */
     bool drainedUpTo(uint64_t upto) const;
 
-    /** Drop all entries with seq > upto (W+ recovery). */
-    void dropYoungerThan(uint64_t upto);
+    /** Drop all entries with seq > upto (W+ recovery); returns how many
+     *  buffered stores were squashed. */
+    unsigned dropYoungerThan(uint64_t upto);
 
     /** Distinct line addresses of entries with seq <= upto (Wee PS). */
     std::vector<Addr> pendingLines(uint64_t upto) const;
+
+    // --- occupancy accounting (observability) --------------------------
+    /** Total stores ever enqueued. */
+    uint64_t totalPushes() const { return totalPushes_; }
+
+    /** Total stores squashed by dropYoungerThan. */
+    uint64_t totalDropped() const { return totalDropped_; }
+
+    /** Largest occupancy ever reached. */
+    unsigned highWater() const { return highWater_; }
+
+    /** Zero the occupancy accounting (post-warmup stat reset). */
+    void resetCounters();
 
   private:
     unsigned capacity_;
     std::deque<Entry> entries_;
     uint64_t nextSeq_ = 1;
+    uint64_t totalPushes_ = 0;
+    uint64_t totalDropped_ = 0;
+    unsigned highWater_ = 0;
 };
 
 } // namespace asf

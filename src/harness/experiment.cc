@@ -1,10 +1,137 @@
 #include "harness/experiment.hh"
 
+#include <fstream>
+#include <sstream>
+
+#include "harness/report.hh"
 #include "runtime/marks.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace asf::harness
 {
+
+namespace
+{
+
+std::string &
+statsJsonPathRef()
+{
+    static std::string path;
+    return path;
+}
+
+std::vector<std::string> &
+statsJsonRuns()
+{
+    static std::vector<std::string> runs;
+    return runs;
+}
+
+/** One viewer process row per experiment, labelled like "fib/W+/8c". */
+void
+beginRunTrace(const std::string &workload, FenceDesign design,
+              unsigned cores)
+{
+    ASF_TRACE(beginRun(format("%s/%s/%uc", workload.c_str(),
+                              fenceDesignName(design), cores)));
+}
+
+/** Append this run's stats document to the log and rewrite the file. */
+void
+recordRun(System &sys, const ExperimentResult &r)
+{
+    if (statsJsonPathRef().empty())
+        return;
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("workload", r.workload);
+        w.field("design", fenceDesignName(r.design));
+        w.field("cores", r.cores);
+        w.field("cycles", uint64_t(r.cycles));
+        w.field("valid", r.valid);
+        if (!r.valid)
+            w.field("validationError", r.validationError);
+
+        w.key("metrics").beginObject();
+        w.field("tasks", r.tasks);
+        w.field("steals", r.steals);
+        w.field("commits", r.commits);
+        w.field("aborts", r.aborts);
+        w.field("instrRetired", r.instrRetired);
+        w.field("fencesStrong", r.fencesStrong);
+        w.field("fencesWeak", r.fencesWeak);
+        w.field("weeDemotions", r.weeDemotions);
+        w.field("bouncedWrites", r.bouncedWrites);
+        w.field("retriesPerBouncedWrite", r.retriesPerBouncedWrite);
+        w.field("bsLinesPerWf", r.bsLinesPerWf);
+        w.field("wPlusRecoveries", r.wPlusRecoveries);
+        w.field("loadSquashes", r.loadSquashes);
+        w.field("bytesBase", r.bytesBase);
+        w.field("bytesRetry", r.bytesRetry);
+        w.field("bytesGrt", r.bytesGrt);
+        w.field("throughputTxnPerKcycle", r.throughputTxnPerKcycle());
+        w.field("trafficOverheadPct", r.trafficOverheadPct());
+        w.endObject();
+
+        w.key("breakdown").beginObject();
+        w.field("busy", r.breakdown.busy);
+        w.field("fenceStall", r.breakdown.fenceStall);
+        w.field("otherStall", r.breakdown.otherStall);
+        w.field("idle", r.breakdown.idle);
+        w.endObject();
+
+        std::ostringstream sys_json;
+        sys.dumpStatsJson(sys_json);
+        std::string doc = sys_json.str();
+        while (!doc.empty() && doc.back() == '\n')
+            doc.pop_back();
+        w.key("system").raw(doc);
+        w.endObject();
+    }
+    statsJsonRuns().push_back(os.str());
+    flushStatsJson();
+}
+
+} // namespace
+
+void
+setStatsJsonPath(const std::string &path)
+{
+    statsJsonPathRef() = path;
+}
+
+const std::string &
+statsJsonPath()
+{
+    return statsJsonPathRef();
+}
+
+void
+setTracePath(const std::string &path)
+{
+    Trace::get().open(path);
+}
+
+void
+flushStatsJson()
+{
+    const std::string &path = statsJsonPathRef();
+    if (path.empty())
+        return;
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        warn("cannot write stats JSON to '%s'", path.c_str());
+        return;
+    }
+    f << "{\"schemaVersion\":1,\"runs\":[";
+    const auto &runs = statsJsonRuns();
+    for (size_t i = 0; i < runs.size(); i++)
+        f << (i ? ",\n" : "\n") << runs[i];
+    f << "\n]}\n";
+}
 
 double
 ExperimentResult::throughputTxnPerKcycle() const
@@ -75,6 +202,7 @@ runCilkExperiment(const workloads::CilkApp &app, FenceDesign design,
                   unsigned cores, Tick max_cycles,
                   std::ostream *stats_out)
 {
+    beginRunTrace(app.name, design, cores);
     SystemConfig cfg;
     cfg.numCores = cores;
     cfg.design = design;
@@ -102,6 +230,7 @@ runCilkExperiment(const workloads::CilkApp &app, FenceDesign design,
     } else {
         r.valid = true;
     }
+    recordRun(sys, r);
     return r;
 }
 
@@ -141,6 +270,7 @@ runUstmExperiment(const workloads::TlrwBench &bench, FenceDesign design,
                   unsigned cores, Tick run_cycles,
                   std::ostream *stats_out)
 {
+    beginRunTrace(bench.name, design, cores);
     SystemConfig cfg;
     cfg.numCores = cores;
     cfg.design = design;
@@ -159,6 +289,7 @@ runUstmExperiment(const workloads::TlrwBench &bench, FenceDesign design,
     // In-flight transactions may have performed their increments but not
     // yet reached the commit mark, hence the per-thread slack.
     validateTlrw(sys, bench, setup, false, r);
+    recordRun(sys, r);
     return r;
 }
 
@@ -167,6 +298,7 @@ runStampExperiment(const workloads::StampApp &app, FenceDesign design,
                    unsigned cores, Tick max_cycles,
                    std::ostream *stats_out)
 {
+    beginRunTrace(app.bench.name, design, cores);
     SystemConfig cfg;
     cfg.numCores = cores;
     cfg.design = design;
@@ -184,20 +316,19 @@ runStampExperiment(const workloads::StampApp &app, FenceDesign design,
     if (stats_out)
         sys.dumpStats(*stats_out);
 
-    if (result != System::RunResult::AllDone) {
-        r.validationError = "did not finish within the cycle budget";
-        return r;
-    }
     uint64_t expected_commits =
         uint64_t(app.txnsPerThread) * sys.numCores();
-    if (r.commits != expected_commits) {
+    if (result != System::RunResult::AllDone) {
+        r.validationError = "did not finish within the cycle budget";
+    } else if (r.commits != expected_commits) {
         r.validationError =
             format("committed %llu txns, expected %llu",
                    (unsigned long long)r.commits,
                    (unsigned long long)expected_commits);
-        return r;
+    } else {
+        validateTlrw(sys, app.bench, setup, true, r);
     }
-    validateTlrw(sys, app.bench, setup, true, r);
+    recordRun(sys, r);
     return r;
 }
 

@@ -80,6 +80,30 @@ ExperimentResult runStampExperiment(const workloads::StampApp &app,
 /** Shared post-run stat harvesting (exposed for tests). */
 void harvestStats(System &sys, ExperimentResult &r);
 
+// --- observability ------------------------------------------------------
+/**
+ * Record a machine-readable stats document for every subsequent
+ * experiment run in this process and write the accumulated log
+ * (`{"schemaVersion":1,"runs":[...]}`) to `path`. The file is rewritten
+ * after every run, so a partial log survives an aborted sweep. Pass an
+ * empty string to disable. See README.md "Observability".
+ */
+void setStatsJsonPath(const std::string &path);
+
+/** Path set by setStatsJsonPath, or empty when disabled. */
+const std::string &statsJsonPath();
+
+/**
+ * Record Chrome trace_event JSON (fence stalls, write-buffer drains,
+ * W+ squashes, directory nacks/bounces, NoC link occupancy) for every
+ * subsequent experiment into `path`; each run becomes one process row.
+ * Flushed at normal process exit.
+ */
+void setTracePath(const std::string &path);
+
+/** Rewrite the stats-JSON log now. No-op when no path is set. */
+void flushStatsJson();
+
 } // namespace asf::harness
 
 #endif // ASF_HARNESS_EXPERIMENT_HH

@@ -1,8 +1,10 @@
 #include "harness/report.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace asf::harness
 {
@@ -61,6 +63,147 @@ Table::printCsv(std::ostream &os) const
     emit(headers_);
     for (const auto &row : rows_)
         emit(row);
+}
+
+JsonWriter::JsonWriter(std::ostream &os) : os_(os)
+{
+}
+
+JsonWriter::~JsonWriter()
+{
+    if (!stack_.empty())
+        warn("JsonWriter destroyed with %zu open containers",
+             stack_.size());
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty())
+        return;
+    char top = stack_.back();
+    switch (top) {
+      case 'k':
+        stack_.pop_back(); // the pending key is consumed by this value
+        return;
+      case 'a':
+        stack_.back() = 'A';
+        return;
+      case 'A':
+        os_ << ',';
+        return;
+      case 'o':
+      case 'O':
+        panic("JsonWriter: value inside an object without a key");
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back('o');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || (stack_.back() != 'o' && stack_.back() != 'O'))
+        panic("JsonWriter: endObject outside an object");
+    stack_.pop_back();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back('a');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || (stack_.back() != 'a' && stack_.back() != 'A'))
+        panic("JsonWriter: endArray outside an array");
+    stack_.pop_back();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    if (stack_.empty() || (stack_.back() != 'o' && stack_.back() != 'O'))
+        panic("JsonWriter: key '%s' outside an object", k.c_str());
+    if (stack_.back() == 'O')
+        os_ << ',';
+    stack_.back() = 'O';
+    os_ << '"' << jsonEscape(k) << "\":";
+    stack_.push_back('k');
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    beforeValue();
+    os_ << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    if (std::isnan(v) || std::isinf(v))
+        os_ << "null";
+    else
+        os_ << format("%.17g", v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::raw(const std::string &json)
+{
+    beforeValue();
+    os_ << json;
+    return *this;
 }
 
 std::string

@@ -2,6 +2,7 @@
 
 #include "mem/address.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace asf
 {
@@ -13,6 +14,13 @@ Directory::Directory(NodeId node, unsigned num_nodes, Mesh &mesh,
       memory_(memory), l2_(l2), lookupLatency_(lookup_latency),
       stats_(format("dir%d", node))
 {
+    // Stable JSON-report shape: the bounce/Nack counters exist even for
+    // runs that never contend.
+    for (const char *name :
+         {"bounces", "getxNacked", "coFailed", "queued", "probes"})
+        stats_.scalar(name);
+    ASF_TRACE(threadName(1000 + uint32_t(node_),
+                         format("dir%d", node_)));
 }
 
 bool
@@ -180,6 +188,11 @@ Directory::onProbeAck(const Message &ack)
     if (ack.bounced) {
         txn.anyBounce = true;
         stats_.scalar("bounces").inc();
+        ASF_TRACE(instant(eq_.now(), 1000 + uint32_t(node_), "dir",
+                          "bounce",
+                          format("{\"line\":%llu,\"by\":%d,\"for\":%d}",
+                                 (unsigned long long)ack.addr, ack.src,
+                                 txn.req.src)));
     } else if (ack.type == MsgType::InvAck) {
         if (ack.keepSharer)
             txn.keepAsSharers.insert(ack.src);
@@ -259,6 +272,11 @@ Directory::finalizeGetX(Txn &txn, Entry &entry)
 
     if (txn.anyBounce) {
         stats_.scalar("getxNacked").inc();
+        ASF_TRACE(instant(eq_.now(), 1000 + uint32_t(node_), "dir",
+                          "NackX",
+                          format("{\"line\":%llu,\"to\":%d}",
+                                 (unsigned long long)txn.req.addr,
+                                 txn.req.src)));
         reply(txn, MsgType::NackX, false, TrafficClass::Retry);
         return;
     }
@@ -297,6 +315,11 @@ Directory::finalizeOrder(Txn &txn, Entry &entry)
     if (conditional && txn.anyTrueShare) {
         // CO fails: discard the update, requester retries as CO.
         stats_.scalar("coFailed").inc();
+        ASF_TRACE(instant(eq_.now(), 1000 + uint32_t(node_), "dir",
+                          "NackCO",
+                          format("{\"line\":%llu,\"to\":%d}",
+                                 (unsigned long long)txn.req.addr,
+                                 txn.req.src)));
         reply(txn, MsgType::NackCO, false, TrafficClass::Retry);
         return;
     }

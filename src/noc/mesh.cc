@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace asf
 {
@@ -20,6 +21,15 @@ Mesh::Mesh(EventQueue &eq, unsigned num_nodes, Tick hop_latency,
     // Routers exist at every grid position: XY routes may pass through
     // positions that hold no endpoint (e.g. 8 nodes on a 3x3 grid).
     linkFree_.assign(size_t(cols_) * rows_ * numDirs, 0);
+    linkBusy_.assign(linkFree_.size(), 0);
+    linkByteCount_.assign(linkFree_.size(), 0);
+    linkPackets_.assign(linkFree_.size(), 0);
+    linkNamed_.assign(linkFree_.size(), false);
+    stats_.scalar("packets");
+    stats_.scalar("bytes");
+    stats_.scalar("bytesBase");
+    stats_.scalar("bytesRetry");
+    stats_.scalar("bytesGrt");
 }
 
 void
@@ -42,12 +52,6 @@ Mesh::nodeAt(int x, int y) const
     return NodeId(unsigned(y) * cols_ + unsigned(x));
 }
 
-Tick &
-Mesh::linkFree(NodeId from, Dir dir)
-{
-    return linkFree_[size_t(from) * numDirs + dir];
-}
-
 unsigned
 Mesh::hopCount(NodeId from, NodeId to) const
 {
@@ -57,8 +61,10 @@ Mesh::hopCount(NodeId from, NodeId to) const
 }
 
 Tick
-Mesh::route(const Message &msg, unsigned flits, unsigned &hops)
+Mesh::route(const Message &msg, unsigned flits, unsigned bytes,
+            unsigned &hops)
 {
+    static const char dir_char[numDirs] = {'E', 'W', 'N', 'S'};
     Tick t = eq_.now();
     XY cur = coords(msg.src);
     XY dst = coords(msg.dst);
@@ -74,14 +80,46 @@ Mesh::route(const Message &msg, unsigned flits, unsigned &hops)
             dir = cur.y < dst.y ? South : North;
             next.y += cur.y < dst.y ? 1 : -1;
         }
-        Tick &free = linkFree(nodeAt(cur.x, cur.y), dir);
+        NodeId at = nodeAt(cur.x, cur.y);
+        size_t idx = size_t(at) * numDirs + dir;
+        Tick &free = linkFree_[idx];
         Tick start = std::max(t, free);
         free = start + flits;
+        linkBusy_[idx] += flits;
+        linkByteCount_[idx] += bytes;
+        linkPackets_[idx]++;
+        if (Trace::get().enabled()) {
+            uint32_t tid = 3000 + uint32_t(idx);
+            if (!linkNamed_[idx]) {
+                linkNamed_[idx] = true;
+                Trace::get().threadName(
+                    tid, format("link %d%c", at, dir_char[dir]));
+            }
+            Trace::get().complete(start, flits, tid, "noc",
+                                  msgTypeName(msg.type));
+        }
         t = start + hopLatency_;
         cur = next;
         hops++;
     }
-    return t;
+    // The head arrives at t; the body serializes behind it at one flit
+    // per cycle on the final link, so the tail lands flits-1 later.
+    return t + (flits - 1);
+}
+
+std::vector<Mesh::LinkUtil>
+Mesh::linkUtilization() const
+{
+    static const char dir_char[numDirs] = {'E', 'W', 'N', 'S'};
+    std::vector<LinkUtil> out;
+    for (size_t i = 0; i < linkBusy_.size(); i++) {
+        if (linkPackets_[i] == 0)
+            continue;
+        out.push_back(LinkUtil{NodeId(i / numDirs),
+                               dir_char[i % numDirs], linkBusy_[i],
+                               linkByteCount_[i], linkPackets_[i]});
+    }
+    return out;
 }
 
 void
@@ -113,7 +151,7 @@ Mesh::send(Message msg)
         // Local loopback: one cycle through the node's own port.
         deliver = eq_.now() + 1;
     } else {
-        deliver = route(msg, flits, hops);
+        deliver = route(msg, flits, bytes, hops);
     }
     latency_.sample(double(deliver - eq_.now()));
 

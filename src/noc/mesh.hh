@@ -53,6 +53,22 @@ class Mesh
     /** Mean delivered-packet latency in cycles. */
     double avgLatency() const { return latency_.mean(); }
 
+    /** Injection-to-delivery latency distribution. */
+    const StatAverage &latency() const { return latency_; }
+
+    /** Utilization of one directed link (heatmap feed). */
+    struct LinkUtil
+    {
+        NodeId node;         ///< grid position the link leaves
+        char dir;            ///< 'E', 'W', 'N', 'S'
+        uint64_t busyCycles; ///< flit-cycles the link was occupied
+        uint64_t bytes;      ///< payload bytes carried
+        uint64_t packets;    ///< packets that crossed the link
+    };
+
+    /** Per-link counters for every link that carried traffic. */
+    std::vector<LinkUtil> linkUtilization() const;
+
   private:
     enum Dir { East, West, North, South, numDirs };
 
@@ -64,10 +80,11 @@ class Mesh
 
     XY coords(NodeId n) const;
     NodeId nodeAt(int x, int y) const;
-    Tick &linkFree(NodeId from, Dir dir);
 
-    /** Route msg, reserving links; returns delivery tick. */
-    Tick route(const Message &msg, unsigned flits, unsigned &hops);
+    /** Route msg, reserving links; returns delivery tick (the cycle the
+     *  packet's tail has fully crossed the final link). */
+    Tick route(const Message &msg, unsigned flits, unsigned bytes,
+               unsigned &hops);
 
     EventQueue &eq_;
     unsigned numNodes_;
@@ -77,6 +94,11 @@ class Mesh
     unsigned linkBytes_;
     std::vector<Sink> sinks_;
     std::vector<Tick> linkFree_;
+    // Indexed like linkFree_: per directed link.
+    std::vector<uint64_t> linkBusy_;
+    std::vector<uint64_t> linkByteCount_;
+    std::vector<uint64_t> linkPackets_;
+    std::vector<bool> linkNamed_; ///< trace thread-name emitted
     StatGroup stats_;
     StatAverage latency_;
 };

@@ -39,7 +39,22 @@ Rng::range(uint64_t bound)
 {
     if (bound == 0)
         panic("Rng::range with zero bound");
-    return next() % bound;
+    // Lemire's multiply-shift with rejection: `next() % bound` is biased
+    // towards low values whenever bound does not divide 2^64. Map the
+    // draw to [0, bound) through a 128-bit multiply and redraw the (at
+    // most bound out of 2^64) values that land in the short interval.
+    uint64_t x = next();
+    __uint128_t m = __uint128_t(x) * bound;
+    uint64_t low = uint64_t(m);
+    if (low < bound) {
+        uint64_t threshold = (0 - bound) % bound;
+        while (low < threshold) {
+            x = next();
+            m = __uint128_t(x) * bound;
+            low = uint64_t(m);
+        }
+    }
+    return uint64_t(m >> 64);
 }
 
 uint64_t
@@ -47,7 +62,10 @@ Rng::between(uint64_t lo, uint64_t hi)
 {
     if (lo > hi)
         panic("Rng::between with lo > hi");
-    return lo + range(hi - lo + 1);
+    uint64_t span = hi - lo + 1;
+    if (span == 0) // full [0, 2^64) range: hi - lo + 1 wrapped
+        return next();
+    return lo + range(span);
 }
 
 double

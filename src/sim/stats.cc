@@ -71,6 +71,33 @@ StatHistogram::bucket(unsigned i) const
     return buckets_[i];
 }
 
+double
+StatHistogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Rank of the requested sample (1-based, rounded up).
+    uint64_t rank = uint64_t(p * double(count_));
+    if (rank == 0)
+        rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); i++) {
+        if (seen + buckets_[i] >= rank) {
+            // Interpolate within the bucket.
+            double frac =
+                double(rank - seen) / double(buckets_[i]);
+            return (double(i) + frac) * bucketWidth_;
+        }
+        seen += buckets_[i];
+    }
+    // The rank falls into the overflow region: report the observed max.
+    return max_;
+}
+
 StatGroup::StatGroup(std::string name) : name_(std::move(name))
 {
 }
@@ -85,6 +112,18 @@ StatAverage &
 StatGroup::average(const std::string &name)
 {
     return averages_[name];
+}
+
+StatHistogram &
+StatGroup::histogram(const std::string &name, unsigned bucket_count,
+                     double bucket_width)
+{
+    auto it = histograms_.find(name);
+    if (it == histograms_.end())
+        it = histograms_
+                 .emplace(name, StatHistogram(bucket_count, bucket_width))
+                 .first;
+    return it->second;
 }
 
 uint64_t
@@ -107,6 +146,8 @@ StatGroup::resetAll()
     for (auto &kv : scalars_)
         kv.second.reset();
     for (auto &kv : averages_)
+        kv.second.reset();
+    for (auto &kv : histograms_)
         kv.second.reset();
 }
 

@@ -2,7 +2,8 @@
  * @file
  * A small statistics package in the spirit of gem5's: named scalar
  * counters, averages, and histograms registered in groups, dumped as
- * name/value pairs.
+ * name/value pairs or serialized to the machine-readable JSON report
+ * (see harness/report.hh and System::dumpStatsJson).
  */
 
 #ifndef ASF_SIM_STATS_HH
@@ -40,6 +41,8 @@ class StatAverage
 
     uint64_t count() const { return count_; }
     double sum() const { return sum_; }
+
+    /** Mean of the samples; 0.0 if nothing was ever sampled. */
     double mean() const;
 
   private:
@@ -57,11 +60,21 @@ class StatHistogram
     void reset();
 
     uint64_t count() const { return count_; }
+
+    /** Mean of the samples; 0.0 if nothing was ever sampled. */
     double mean() const;
     double max() const { return max_; }
     uint64_t bucket(unsigned i) const;
+    uint64_t overflow() const { return overflow_; }
     unsigned numBuckets() const { return buckets_.size(); }
     double bucketWidth() const { return bucketWidth_; }
+
+    /**
+     * Value at quantile p in [0, 1], linearly interpolated from the
+     * bucket geometry (overflow samples report the observed max).
+     * Returns 0.0 for an empty histogram.
+     */
+    double percentile(double p) const;
 
   private:
     std::vector<uint64_t> buckets_;
@@ -84,6 +97,11 @@ class StatGroup
     StatScalar &scalar(const std::string &name);
     StatAverage &average(const std::string &name);
 
+    /** Named histogram; geometry is fixed on first use. */
+    StatHistogram &histogram(const std::string &name,
+                             unsigned bucket_count = 16,
+                             double bucket_width = 1.0);
+
     /** Value of a scalar (0 if never touched). */
     uint64_t get(const std::string &name) const;
 
@@ -97,10 +115,25 @@ class StatGroup
     /** All scalar name/value pairs, sorted by name. */
     std::vector<std::pair<std::string, uint64_t>> dumpScalars() const;
 
+    // Sorted iteration for report serializers.
+    const std::map<std::string, StatScalar> &scalars() const
+    {
+        return scalars_;
+    }
+    const std::map<std::string, StatAverage> &averages() const
+    {
+        return averages_;
+    }
+    const std::map<std::string, StatHistogram> &histograms() const
+    {
+        return histograms_;
+    }
+
   private:
     std::string name_;
     std::map<std::string, StatScalar> scalars_;
     std::map<std::string, StatAverage> averages_;
+    std::map<std::string, StatHistogram> histograms_;
 };
 
 } // namespace asf

@@ -1,5 +1,6 @@
 #include "sys/system.hh"
 
+#include "harness/report.hh"
 #include "mem/address.hh"
 #include "sim/logging.hh"
 
@@ -240,8 +241,10 @@ System::dumpStats(std::ostream &os) const
             if (value != 0)
                 os << g.name() << '.' << name << ' ' << value << '\n';
     };
-    for (const auto &c : cores_)
+    for (const auto &c : cores_) {
+        c->syncObservabilityStats();
         dump_group(c->stats());
+    }
     for (const auto &l : l1s_)
         dump_group(l->stats());
     for (const auto &d : dirs_)
@@ -252,10 +255,105 @@ System::dumpStats(std::ostream &os) const
 }
 
 void
+System::dumpStatsJson(std::ostream &os)
+{
+    using harness::JsonWriter;
+    for (auto &c : cores_)
+        c->syncObservabilityStats();
+
+    JsonWriter w(os);
+    w.beginObject();
+    w.field("schemaVersion", uint64_t(1));
+    w.field("cycles", uint64_t(eq_.now()));
+
+    w.key("config").beginObject();
+    w.field("numCores", cfg_.numCores);
+    w.field("design", fenceDesignName(cfg_.design));
+    w.field("memoryModel", memoryModelName(cfg_.memoryModel));
+    w.field("wbEntries", cfg_.wbEntries);
+    w.field("bsEntries", cfg_.bsEntries);
+    w.field("hopLatency", uint64_t(cfg_.hopLatency));
+    w.field("linkBytes", cfg_.linkBytes);
+    w.endObject();
+
+    auto emit_group = [&w](const StatGroup &g) {
+        w.beginObject();
+        w.field("name", g.name());
+        w.key("scalars").beginObject();
+        for (const auto &[name, s] : g.scalars())
+            w.field(name, s.value());
+        w.endObject();
+        w.key("averages").beginObject();
+        for (const auto &[name, a] : g.averages()) {
+            w.key(name).beginObject();
+            w.field("count", a.count());
+            w.field("sum", a.sum());
+            w.field("mean", a.mean());
+            w.endObject();
+        }
+        w.endObject();
+        w.key("histograms").beginObject();
+        for (const auto &[name, h] : g.histograms()) {
+            w.key(name).beginObject();
+            w.field("count", h.count());
+            w.field("mean", h.mean());
+            w.field("max", h.max());
+            w.field("p50", h.percentile(0.50));
+            w.field("p90", h.percentile(0.90));
+            w.field("p99", h.percentile(0.99));
+            w.field("bucketWidth", h.bucketWidth());
+            w.field("overflow", h.overflow());
+            w.key("buckets").beginArray();
+            for (unsigned i = 0; i < h.numBuckets(); i++)
+                w.value(h.bucket(i));
+            w.endArray();
+            w.endObject();
+        }
+        w.endObject();
+        w.endObject();
+    };
+
+    w.key("groups").beginArray();
+    for (const auto &c : cores_)
+        emit_group(c->stats());
+    for (const auto &l : l1s_)
+        emit_group(l->stats());
+    for (const auto &d : dirs_)
+        emit_group(d->stats());
+    for (const auto &g : grts_)
+        emit_group(g->stats());
+    emit_group(mesh_->stats());
+    w.endArray();
+
+    // Per-link heatmap: busy (flit) cycles, bytes, and packets for every
+    // directed mesh link that carried traffic.
+    w.key("noc").beginObject();
+    w.key("meanLatency").value(mesh_->avgLatency());
+    w.key("links").beginArray();
+    uint64_t cycles = eq_.now();
+    for (const auto &l : mesh_->linkUtilization()) {
+        w.beginObject();
+        w.field("node", uint64_t(l.node));
+        w.field("dir", std::string(1, l.dir));
+        w.field("busyCycles", l.busyCycles);
+        w.field("bytes", l.bytes);
+        w.field("packets", l.packets);
+        w.field("utilization",
+                cycles ? double(l.busyCycles) / double(cycles) : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.endObject();
+    os << '\n';
+}
+
+void
 System::resetStats()
 {
     for (auto &c : cores_) {
-        c->stats().resetAll();
+        c->resetStats();
         c->clearMarkCounters();
     }
     for (auto &l : l1s_)

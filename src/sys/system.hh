@@ -98,6 +98,14 @@ class System
      *  one `group.name value` line per nonzero scalar. */
     void dumpStats(std::ostream &os) const;
 
+    /**
+     * Serialize every component's statistics (scalars, averages,
+     * histograms with percentiles) plus the per-link NoC heatmap to the
+     * machine-readable JSON report (schemaVersion 1; see README.md
+     * "Observability").
+     */
+    void dumpStatsJson(std::ostream &os);
+
   private:
     void dispatch(NodeId node, const Message &msg);
     void handleGrtRequest(NodeId node, const Message &msg);

@@ -61,6 +61,79 @@ TEST(WriteBuffer, DropYoungerThanForRecovery)
     EXPECT_EQ(wb.front().addr, 0x1000u);
 }
 
+TEST(WriteBuffer, DrainedUpToBoundaries)
+{
+    WriteBuffer wb(8);
+    // Empty buffer: everything (including seq 0, "no store") is drained.
+    EXPECT_TRUE(wb.drainedUpTo(0));
+    EXPECT_TRUE(wb.drainedUpTo(100));
+
+    uint64_t s1 = wb.push(0x1000, 1);
+    // seq == upto is the exact boundary: s1 itself must still drain,
+    // while everything strictly older already has.
+    EXPECT_FALSE(wb.drainedUpTo(s1));
+    EXPECT_TRUE(wb.drainedUpTo(s1 - 1));
+    wb.popFront();
+    EXPECT_TRUE(wb.drainedUpTo(s1));
+}
+
+TEST(WriteBuffer, DropYoungerThanBoundaries)
+{
+    WriteBuffer wb(8);
+    // Empty buffer: nothing to squash.
+    EXPECT_EQ(wb.dropYoungerThan(0), 0u);
+
+    uint64_t s1 = wb.push(0x1000, 1);
+    uint64_t s2 = wb.push(0x2000, 2);
+    wb.push(0x3000, 3);
+    // upto == s2 keeps s2 itself (seq <= upto survives).
+    EXPECT_EQ(wb.dropYoungerThan(s2), 1u);
+    EXPECT_EQ(wb.size(), 2u);
+    // Idempotent at the same bound.
+    EXPECT_EQ(wb.dropYoungerThan(s2), 0u);
+    // upto == 0 squashes everything.
+    EXPECT_EQ(wb.dropYoungerThan(0), 2u);
+    EXPECT_TRUE(wb.empty());
+    EXPECT_TRUE(wb.drainedUpTo(s1));
+}
+
+TEST(WriteBuffer, PendingLinesBoundaries)
+{
+    WriteBuffer wb(8);
+    EXPECT_TRUE(wb.pendingLines(100).empty());
+
+    uint64_t s1 = wb.push(0x1000, 1);
+    wb.push(0x2000, 2);
+    // upto == s1: only the first store's line; the bound is inclusive.
+    auto lines = wb.pendingLines(s1);
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_EQ(lines[0], 0x1000u);
+    // upto below every seq: nothing pending.
+    EXPECT_TRUE(wb.pendingLines(s1 - 1).empty());
+}
+
+TEST(WriteBuffer, OccupancyCounters)
+{
+    WriteBuffer wb(4);
+    EXPECT_EQ(wb.totalPushes(), 0u);
+    EXPECT_EQ(wb.highWater(), 0u);
+
+    uint64_t s1 = wb.push(0x1000, 1);
+    wb.push(0x2000, 2);
+    wb.push(0x3000, 3);
+    EXPECT_EQ(wb.totalPushes(), 3u);
+    EXPECT_EQ(wb.highWater(), 3u);
+
+    EXPECT_EQ(wb.dropYoungerThan(s1), 2u);
+    EXPECT_EQ(wb.totalDropped(), 2u);
+    EXPECT_EQ(wb.highWater(), 3u); // high-water survives the squash
+
+    wb.resetCounters();
+    EXPECT_EQ(wb.totalPushes(), 0u);
+    EXPECT_EQ(wb.totalDropped(), 0u);
+    EXPECT_EQ(wb.highWater(), 1u); // resets to the current occupancy
+}
+
 TEST(WriteBuffer, PendingLinesDeduplicates)
 {
     WriteBuffer wb(8);

@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "harness/experiment.hh"
+#include "sim/trace.hh"
 
 using namespace asf;
 using namespace asf::harness;
@@ -48,6 +52,50 @@ TEST(Experiment, FenceCountsConsistentWithDesign)
     EXPECT_EQ(splus.fencesWeak, 0u);
     auto wplus = runCilkExperiment(app, FenceDesign::WPlus, 4);
     EXPECT_EQ(wplus.fencesStrong, 0u);
+}
+
+TEST(Experiment, StatsJsonAndTraceSinksCaptureARun)
+{
+    std::string stats_path =
+        testing::TempDir() + "asf_experiment_stats.json";
+    std::string trace_path =
+        testing::TempDir() + "asf_experiment_trace.json";
+    Trace::get().resetForTest();
+    setStatsJsonPath(stats_path);
+    setTracePath(trace_path);
+
+    ExperimentResult r = runUstmExperiment(ustmBenchByName("Hash"),
+                                           FenceDesign::WPlus, 4, 30'000);
+    EXPECT_TRUE(r.valid) << r.validationError;
+    Trace::get().flush();
+
+    // Detach the global sinks before anything can fail, so later tests
+    // are unaffected.
+    setStatsJsonPath("");
+    Trace::get().resetForTest();
+
+    auto slurp = [](const std::string &path) {
+        std::ifstream f(path);
+        std::ostringstream os;
+        os << f.rdbuf();
+        return os.str();
+    };
+
+    std::string stats = slurp(stats_path);
+    EXPECT_NE(stats.find("\"schemaVersion\":1"), std::string::npos);
+    EXPECT_NE(stats.find("\"workload\":\"Hash\""), std::string::npos);
+    EXPECT_NE(stats.find("\"design\":\"W+\""), std::string::npos);
+    EXPECT_NE(stats.find("\"groups\":["), std::string::npos);
+    EXPECT_NE(stats.find("\"fenceStallCycles\""), std::string::npos);
+    EXPECT_NE(stats.find("\"wbOccupancy\""), std::string::npos);
+    EXPECT_NE(stats.find("\"noc\":"), std::string::npos);
+    EXPECT_NE(stats.find("\"links\":["), std::string::npos);
+
+    std::string trace = slurp(trace_path);
+    EXPECT_NE(trace.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(trace.find("Hash/W+/4c"), std::string::npos);
+    EXPECT_NE(trace.find("\"cat\":\"fence\""), std::string::npos);
+    EXPECT_NE(trace.find("\"cat\":\"noc\""), std::string::npos);
 }
 
 TEST(Experiment, DerivedMetricsSane)

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 #include "harness/report.hh"
@@ -40,4 +41,88 @@ TEST(Report, Formatting)
     EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
     EXPECT_EQ(fmtPct(0.132), "+13.2%");
     EXPECT_EQ(fmtPct(-0.05), "-5.0%");
+}
+
+TEST(JsonWriter, NestedContainersAndCommas)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("a", uint64_t(1));
+        w.key("list").beginArray();
+        w.value(uint64_t(2)).value(uint64_t(3));
+        w.beginObject().field("x", true).endObject();
+        w.endArray();
+        w.key("empty").beginObject().endObject();
+        w.endObject();
+    }
+    EXPECT_EQ(os.str(), "{\"a\":1,\"list\":[2,3,{\"x\":true}],"
+                        "\"empty\":{}}");
+}
+
+TEST(JsonWriter, StringEscaping)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.field("s", std::string("quote\" slash\\ nl\n"));
+        w.endObject();
+    }
+    EXPECT_EQ(os.str(), "{\"s\":\"quote\\\" slash\\\\ nl\\n\"}");
+}
+
+TEST(JsonWriter, NumbersRoundTripAndNonFiniteBecomeNull)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginArray();
+        w.value(0.5);
+        w.value(int64_t(-7));
+        w.value(std::numeric_limits<double>::quiet_NaN());
+        w.value(std::numeric_limits<double>::infinity());
+        w.endArray();
+    }
+    EXPECT_EQ(os.str(), "[0.5,-7,null,null]");
+}
+
+TEST(JsonWriter, RawSplicesVerbatim)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.key("inner").raw("{\"pre\":\"rendered\"}");
+        w.field("after", uint64_t(1));
+        w.endObject();
+    }
+    EXPECT_EQ(os.str(), "{\"inner\":{\"pre\":\"rendered\"},\"after\":1}");
+}
+
+TEST(JsonWriter, MalformedSequencesDie)
+{
+    std::ostringstream os;
+    EXPECT_DEATH(
+        {
+            JsonWriter w(os);
+            w.beginArray();
+            w.key("no-keys-in-arrays");
+        },
+        "outside an object");
+    EXPECT_DEATH(
+        {
+            JsonWriter w(os);
+            w.beginObject();
+            w.value(uint64_t(1)); // value without a key
+        },
+        "without a key");
+    EXPECT_DEATH(
+        {
+            JsonWriter w(os);
+            w.beginObject();
+            w.endArray();
+        },
+        "outside an array");
 }

@@ -123,6 +123,73 @@ TEST_F(MeshFixture, ContentionSerializesOnSharedLink)
               solo_delivery + (kPackets - 1) * 2 /* flits */);
 }
 
+TEST_F(MeshFixture, MultiFlitTailSerializesOnFinalLink)
+{
+    // 40-byte data packet on 32-byte links = 2 flits, 0 -> 2 = 2 hops
+    // at hopLatency 5. Head: hop 1 starts at 0, head reaches node 1 at
+    // 5; hop 2 starts at 5, head reaches node 2 at 10. The second flit
+    // trails one cycle behind on the final link, so the packet is only
+    // fully delivered at 11 -- not at 10, the head-arrival time the
+    // model used to report.
+    Message m = msg(0, 2);
+    m.hasData = true;
+    ASSERT_EQ(flitsFor(m, 32), 2u);
+    mesh.send(m);
+    eq.runUntil(10);
+    EXPECT_TRUE(received.empty());
+    eq.runUntil(11);
+    ASSERT_EQ(received.size(), 1u);
+}
+
+TEST_F(MeshFixture, MultiFlitContentionTimingIsExact)
+{
+    // Two 2-flit packets injected the same cycle on the same path.
+    // First as above: links busy [0,2) and [5,7), delivery 11.
+    // Second: hop 1 waits for the link, starts at 2, head at 7; hop 2
+    // starts at 7, head at 12; tail lands at 13.
+    std::vector<Tick> deliveries;
+    mesh.setSink(2, [&](const Message &) {
+        deliveries.push_back(eq.now());
+    });
+    for (int i = 0; i < 2; i++) {
+        Message m = msg(0, 2);
+        m.hasData = true;
+        mesh.send(m);
+    }
+    eq.runUntil(1000);
+    ASSERT_EQ(deliveries.size(), 2u);
+    EXPECT_EQ(deliveries[0], 11u);
+    EXPECT_EQ(deliveries[1], 13u);
+}
+
+TEST_F(MeshFixture, SingleFlitLatencyUnchangedByTailFix)
+{
+    // Control messages are one flit; tail == head, so delivery stays
+    // at hops * hopLatency exactly.
+    mesh.send(msg(0, 7)); // 3 hops
+    eq.runUntil(1000);
+    ASSERT_EQ(received.size(), 1u);
+    EXPECT_EQ(mesh.latency().mean(), 15.0);
+}
+
+TEST_F(MeshFixture, LinkUtilizationCountersTrackTraffic)
+{
+    Message m = msg(0, 2);
+    m.hasData = true;
+    mesh.send(m);
+    eq.runUntil(1000);
+    auto links = mesh.linkUtilization();
+    ASSERT_EQ(links.size(), 2u); // 0 -E-> 1 -E-> 2
+    for (const auto &l : links) {
+        EXPECT_EQ(l.dir, 'E');
+        EXPECT_EQ(l.busyCycles, 2u);
+        EXPECT_EQ(l.bytes, 40u);
+        EXPECT_EQ(l.packets, 1u);
+    }
+    EXPECT_EQ(links[0].node, 0);
+    EXPECT_EQ(links[1].node, 1);
+}
+
 TEST_F(MeshFixture, TrafficAccountingByClass)
 {
     Message m1 = msg(0, 1);

@@ -56,6 +56,62 @@ TEST(Rng, UniformInUnitInterval)
     EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
 }
 
+TEST(Rng, RangeUnbiasedForHugeBound)
+{
+    // bound = 3 * 2^62 does not divide 2^64, and the naive `next() %
+    // bound` maps twice as much of the 64-bit space onto [0, 2^62) as
+    // onto the rest: P(v < 2^62) would be 1/2 instead of 1/3. The
+    // rejection sampler must restore the uniform 1/3.
+    Rng r(123);
+    const uint64_t bound = 3ULL << 62;
+    const uint64_t third = 1ULL << 62;
+    int low = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; i++)
+        if (r.range(bound) < third)
+            low++;
+    EXPECT_NEAR(double(low) / n, 1.0 / 3.0, 0.02);
+}
+
+TEST(Rng, RangeUniformForSmallBound)
+{
+    Rng r(321);
+    const int n = 70000;
+    int counts[7] = {};
+    for (int i = 0; i < n; i++)
+        counts[r.range(7)]++;
+    for (int b = 0; b < 7; b++)
+        EXPECT_NEAR(double(counts[b]), n / 7.0, 0.05 * n / 7.0)
+            << "bucket " << b;
+}
+
+TEST(Rng, RangeDeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 200; i++)
+        EXPECT_EQ(a.range(1000), b.range(1000));
+}
+
+TEST(Rng, BetweenFullRangeDoesNotWrap)
+{
+    // hi - lo + 1 overflows to 0 for the full domain; this used to feed
+    // range(0) and panic. It must behave as a raw 64-bit draw.
+    Rng r(9);
+    uint64_t first = r.between(0, UINT64_MAX);
+    bool varied = false;
+    for (int i = 0; i < 100; i++)
+        varied |= r.between(0, UINT64_MAX) != first;
+    EXPECT_TRUE(varied);
+}
+
+TEST(Rng, BetweenDegenerateAndNearFullSpans)
+{
+    Rng r(10);
+    EXPECT_EQ(r.between(77, 77), 77u);
+    for (int i = 0; i < 100; i++)
+        EXPECT_GE(r.between(5, UINT64_MAX), 5u);
+}
+
 TEST(Rng, ZeroSeedRemapped)
 {
     Rng r(0);

@@ -40,6 +40,83 @@ TEST(StatHistogram, BucketsAndOverflow)
     EXPECT_DOUBLE_EQ(h.max(), 100.0);
 }
 
+TEST(StatAverage, EmptyIsSafe)
+{
+    StatAverage a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0); // no divide-by-zero
+}
+
+TEST(StatHistogram, EmptyIsSafe)
+{
+    StatHistogram h(4, 10.0);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(StatHistogram, PercentileInterpolatesBuckets)
+{
+    // One sample per integer 0..99 with unit buckets: the p-quantile of
+    // the bucketed distribution lands at 100p exactly.
+    StatHistogram h(100, 1.0);
+    for (int i = 0; i < 100; i++)
+        h.sample(double(i));
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.9), 90.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 1.0); // first sample's bucket
+    // Out-of-domain p is clamped.
+    EXPECT_DOUBLE_EQ(h.percentile(1.5), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(-0.5), 1.0);
+}
+
+TEST(StatHistogram, PercentileWithinSingleBucket)
+{
+    StatHistogram h(4, 1.0);
+    for (int i = 0; i < 10; i++)
+        h.sample(0.25);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.5); // half-way into bucket 0
+}
+
+TEST(StatHistogram, PercentileInOverflowReportsMax)
+{
+    StatHistogram h(2, 1.0);
+    h.sample(10.0);
+    h.sample(12.0);
+    h.sample(14.0);
+    EXPECT_EQ(h.overflow(), 3u);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 14.0);
+}
+
+TEST(StatGroup, HistogramGeometryFixedOnFirstUse)
+{
+    StatGroup g("test");
+    StatHistogram &h = g.histogram("occ", 8, 2.0);
+    h.sample(3.0);
+    // A later lookup with different (ignored) geometry returns the same
+    // histogram.
+    EXPECT_EQ(&g.histogram("occ", 99, 99.0), &h);
+    EXPECT_EQ(g.histogram("occ").numBuckets(), 8u);
+    EXPECT_DOUBLE_EQ(g.histogram("occ").bucketWidth(), 2.0);
+    EXPECT_EQ(g.histogram("occ").count(), 1u);
+}
+
+TEST(StatGroup, ResetAllClearsHistograms)
+{
+    StatGroup g("test");
+    g.histogram("h", 4, 1.0).sample(2.5);
+    g.histogram("h").sample(100.0);
+    g.resetAll();
+    EXPECT_EQ(g.histogram("h").count(), 0u);
+    EXPECT_EQ(g.histogram("h").overflow(), 0u);
+    EXPECT_DOUBLE_EQ(g.histogram("h").max(), 0.0);
+    EXPECT_EQ(g.histogram("h").bucket(2), 0u);
+}
+
 TEST(StatGroup, ScalarsAreNamedAndSorted)
 {
     StatGroup g("test");

@@ -37,6 +37,8 @@ struct Options
     bool allDesigns = false;
     bool csv = false;
     bool dumpStats = false;
+    std::string statsJson; ///< --stats-json path ("" = off)
+    std::string trace;     ///< --trace path ("" = off)
 };
 
 [[noreturn]] void
@@ -53,6 +55,10 @@ usage(int code)
         "  --cores N               number of cores (default 8)\n"
         "  --cycles N              cycle budget (default 300000)\n"
         "  --stats                 dump per-core statistic counters\n"
+        "  --stats-json PATH       write the full stats report "
+        "(schemaVersion 1 JSON)\n"
+        "  --trace PATH            write a Chrome trace_event JSON "
+        "(chrome://tracing, Perfetto)\n"
         "  --csv                   machine-readable output\n"
         "  --list                  list available workloads\n");
     std::exit(code);
@@ -83,6 +89,13 @@ parse(int argc, char **argv)
                 fatal("%s needs a value", flag);
             return argv[++i];
         };
+        // "--flag=VALUE" form; returns nullptr when argv[i] is not it.
+        auto eq_form = [&](const char *flag) -> const char * {
+            size_t n = std::strlen(flag);
+            if (!std::strncmp(argv[i], flag, n) && argv[i][n] == '=')
+                return argv[i] + n + 1;
+            return nullptr;
+        };
         if (!std::strcmp(argv[i], "--workload"))
             opt.workload = need("--workload");
         else if (!std::strcmp(argv[i], "--design"))
@@ -95,6 +108,14 @@ parse(int argc, char **argv)
             opt.cycles = Tick(std::atoll(need("--cycles")));
         else if (!std::strcmp(argv[i], "--stats"))
             opt.dumpStats = true;
+        else if (!std::strcmp(argv[i], "--stats-json"))
+            opt.statsJson = need("--stats-json");
+        else if (const char *v = eq_form("--stats-json"))
+            opt.statsJson = v;
+        else if (!std::strcmp(argv[i], "--trace"))
+            opt.trace = need("--trace");
+        else if (const char *v = eq_form("--trace"))
+            opt.trace = v;
         else if (!std::strcmp(argv[i], "--csv"))
             opt.csv = true;
         else if (!std::strcmp(argv[i], "--list")) {
@@ -187,6 +208,10 @@ main(int argc, char **argv)
 {
     setVerbose(false);
     Options opt = parse(argc, argv);
+    if (!opt.statsJson.empty())
+        setStatsJsonPath(opt.statsJson);
+    if (!opt.trace.empty())
+        setTracePath(opt.trace);
 
     if (opt.csv)
         std::printf("workload,design,cores,cycles,busy,otherStall,"

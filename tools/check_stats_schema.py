@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate the simulator's machine-readable observability output.
+
+Runs asf_sim on a small workload with --stats-json and --trace, then
+checks that the emitted stats report conforms to schemaVersion 1 (see
+README.md "Observability") and that the trace file is well-formed Chrome
+trace_event JSON. Registered in CTest so the schema cannot drift
+silently.
+
+Usage: check_stats_schema.py <path-to-asf_sim>
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def expect(cond, msg):
+    if not cond:
+        fail(msg)
+
+
+def check_number(obj, key, ctx):
+    expect(key in obj, f"{ctx}: missing key '{key}'")
+    expect(isinstance(obj[key], (int, float)) and not isinstance(obj[key], bool),
+           f"{ctx}: '{key}' is {type(obj[key]).__name__}, expected a number")
+
+
+def check_histogram(name, h, ctx):
+    for key in ("count", "mean", "max", "p50", "p90", "p99",
+                "bucketWidth", "overflow"):
+        check_number(h, key, f"{ctx} histogram '{name}'")
+    expect(isinstance(h.get("buckets"), list),
+           f"{ctx} histogram '{name}': 'buckets' is not an array")
+    in_buckets = sum(h["buckets"])
+    expect(in_buckets + h["overflow"] == h["count"],
+           f"{ctx} histogram '{name}': buckets ({in_buckets}) + overflow "
+           f"({h['overflow']}) != count ({h['count']})")
+    expect(0 <= h["p50"] <= h["p90"] <= h["p99"],
+           f"{ctx} histogram '{name}': percentiles not monotone")
+
+
+def check_group(g):
+    ctx = f"group '{g.get('name', '?')}'"
+    expect(isinstance(g.get("name"), str), f"{ctx}: missing name")
+    for section in ("scalars", "averages", "histograms"):
+        expect(isinstance(g.get(section), dict),
+               f"{ctx}: '{section}' is not an object")
+    for name, v in g["scalars"].items():
+        expect(isinstance(v, int) and v >= 0,
+               f"{ctx} scalar '{name}': not a non-negative integer")
+    for name, a in g["averages"].items():
+        for key in ("count", "sum", "mean"):
+            check_number(a, key, f"{ctx} average '{name}'")
+    for name, h in g["histograms"].items():
+        check_histogram(name, h, ctx)
+
+
+def check_run(run):
+    for key in ("workload", "design"):
+        expect(isinstance(run.get(key), str), f"run: missing '{key}'")
+    check_number(run, "cores", "run")
+    check_number(run, "cycles", "run")
+    expect(isinstance(run.get("valid"), bool), "run: missing 'valid'")
+    expect(isinstance(run.get("metrics"), dict), "run: missing 'metrics'")
+    expect(isinstance(run.get("breakdown"), dict),
+           "run: missing 'breakdown'")
+    for key in ("busy", "fenceStall", "otherStall", "idle"):
+        check_number(run["breakdown"], key, "breakdown")
+
+    sys_doc = run.get("system")
+    expect(isinstance(sys_doc, dict), "run: missing 'system' document")
+    expect(sys_doc.get("schemaVersion") == 1,
+           "system: schemaVersion != 1")
+    check_number(sys_doc, "cycles", "system")
+    cfg = sys_doc.get("config")
+    expect(isinstance(cfg, dict), "system: missing 'config'")
+    check_number(cfg, "numCores", "config")
+    expect(isinstance(cfg.get("design"), str), "config: missing design")
+
+    groups = sys_doc.get("groups")
+    expect(isinstance(groups, list) and groups, "system: empty 'groups'")
+    by_name = {}
+    for g in groups:
+        check_group(g)
+        by_name[g["name"]] = g
+
+    # The headline counters must be present (pre-registered) on every
+    # core even when zero, and the write-buffer occupancy histogram must
+    # have sampled every simulated cycle.
+    ncores = cfg["numCores"]
+    for i in range(ncores):
+        name = f"core{i}"
+        expect(name in by_name, f"missing stats group '{name}'")
+        core = by_name[name]
+        for scalar in ("busyCycles", "idleCycles", "fenceStallCycles",
+                       "instrRetired", "fencesStrong", "fencesWeak",
+                       "bouncedWrites", "wPlusRecoveries", "loadSquashes",
+                       "wbPushes", "wbSquashedStores", "wbHighWater"):
+            expect(scalar in core["scalars"],
+                   f"{name}: missing pre-registered scalar '{scalar}'")
+        expect("wbOccupancy" in core["histograms"],
+               f"{name}: missing 'wbOccupancy' histogram")
+        expect(core["histograms"]["wbOccupancy"]["count"] > 0,
+               f"{name}: wbOccupancy never sampled")
+    for i in range(ncores):
+        name = f"dir{i}"
+        expect(name in by_name, f"missing stats group '{name}'")
+        for scalar in ("bounces", "getxNacked", "queued"):
+            expect(scalar in by_name[name]["scalars"],
+                   f"{name}: missing pre-registered scalar '{scalar}'")
+    expect("noc" in by_name, "missing stats group 'noc'")
+
+    noc = sys_doc.get("noc")
+    expect(isinstance(noc, dict), "system: missing 'noc'")
+    check_number(noc, "meanLatency", "noc")
+    links = noc.get("links")
+    expect(isinstance(links, list) and links, "noc: empty link heatmap")
+    for l in links:
+        for key in ("node", "busyCycles", "bytes", "packets",
+                    "utilization"):
+            check_number(l, key, "link")
+        expect(l["dir"] in ("E", "W", "N", "S"),
+               f"link: bad direction {l.get('dir')!r}")
+        expect(0.0 <= l["utilization"] <= 1.0,
+               f"link: utilization {l['utilization']} outside [0, 1]")
+        expect(l["packets"] > 0, "link: heatmap row with zero packets")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    expect(isinstance(events, list) and events, "trace: no events")
+    phases = set()
+    for e in events:
+        expect(e.get("ph") in ("X", "i", "C", "M"),
+               f"trace: unknown phase {e.get('ph')!r}")
+        check_number(e, "ts", "trace event")
+        check_number(e, "pid", "trace event")
+        check_number(e, "tid", "trace event")
+        if e["ph"] == "X":
+            check_number(e, "dur", "trace event")
+        phases.add(e["ph"])
+    expect("X" in phases, "trace: no complete (span) events")
+    expect("M" in phases, "trace: no metadata (naming) events")
+    names = {e["name"] for e in events if e["ph"] == "M"}
+    expect("process_name" in names, "trace: runs are not labelled")
+    expect("thread_name" in names, "trace: rows are not named")
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <path-to-asf_sim>")
+    asf_sim = Path(sys.argv[1])
+    expect(asf_sim.exists(), f"no such binary: {asf_sim}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        stats_path = Path(tmp) / "stats.json"
+        trace_path = Path(tmp) / "trace.json"
+        cmd = [str(asf_sim), "--workload", "ustm:Hash", "--design", "W+",
+               "--cores", "4", "--cycles", "30000",
+               f"--stats-json={stats_path}", f"--trace={trace_path}"]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=300)
+        expect(proc.returncode == 0,
+               f"asf_sim failed ({proc.returncode}):\n{proc.stderr}")
+        expect(stats_path.exists(), "no stats JSON written")
+        expect(trace_path.exists(), "no trace written")
+
+        with open(stats_path) as f:
+            doc = json.load(f)
+        expect(doc.get("schemaVersion") == 1, "log: schemaVersion != 1")
+        runs = doc.get("runs")
+        expect(isinstance(runs, list) and len(runs) == 1,
+               f"log: expected 1 run, got {runs!r:.80}")
+        check_run(runs[0])
+        check_trace(trace_path)
+
+    print("ok: stats schema and trace format validated")
+
+
+if __name__ == "__main__":
+    main()
