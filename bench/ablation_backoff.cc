@@ -21,19 +21,32 @@ main(int argc, char **argv)
     Table table({"backoffBase", "bench", "txnPerKcycle", "retries/wr",
                  "trafficIncr%"});
 
+    std::vector<SweepJob> sweep;
     for (Tick base : {4u, 8u, 16u, 32u, 64u}) {
         for (const char *name : {"Counter", "Hash"}) {
-            const TlrwBench &bench = ustmBenchByName(name);
-            SystemConfig cfg;
-            cfg.numCores = 8;
-            cfg.design = FenceDesign::WSPlus;
-            cfg.retryBackoffBase = base;
-            System sys(cfg);
-            setupTlrwWorkload(sys, bench, 0);
-            sys.run(run_cycles);
-            ExperimentResult r;
-            r.cycles = sys.now();
-            harvestStats(sys, r);
+            sweep.push_back([base, name, run_cycles] {
+                const TlrwBench &bench = ustmBenchByName(name);
+                SystemConfig cfg;
+                cfg.numCores = 8;
+                cfg.design = FenceDesign::WSPlus;
+                cfg.retryBackoffBase = base;
+                cfg.fastForward = harness::fastForwardEnabled();
+                System sys(cfg);
+                setupTlrwWorkload(sys, bench, 0);
+                sys.run(run_cycles);
+                ExperimentResult r;
+                r.cycles = sys.now();
+                harvestStats(sys, r);
+                return r;
+            });
+        }
+    }
+    std::vector<ExperimentResult> results = runSweep(sweep, opt.jobs);
+
+    size_t ri = 0;
+    for (Tick base : {4u, 8u, 16u, 32u, 64u}) {
+        for (const char *name : {"Counter", "Hash"}) {
+            const ExperimentResult &r = results[ri++];
             table.addRow({std::to_string(base), name,
                           fmtDouble(r.throughputTxnPerKcycle()),
                           fmtDouble(r.retriesPerBouncedWrite, 2),

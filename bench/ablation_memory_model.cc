@@ -26,6 +26,7 @@ runUstmModel(const TlrwBench &bench, MemoryModel model,
     cfg.design = FenceDesign::SPlus;
     cfg.memoryModel = model;
     cfg.storeUnits = store_units;
+    cfg.fastForward = fastForwardEnabled();
     System sys(cfg);
     setupTlrwWorkload(sys, bench, 0);
     sys.run(cycles);
@@ -49,6 +50,7 @@ runCilkModel(CilkApp app, MemoryModel model, unsigned store_units,
     cfg.design = FenceDesign::SPlus;
     cfg.memoryModel = model;
     cfg.storeUnits = store_units;
+    cfg.fastForward = fastForwardEnabled();
     System sys(cfg);
     setupCilkApp(sys, app);
     sys.run(30'000'000);
@@ -70,20 +72,45 @@ main(int argc, char **argv)
     Table table({"bench", "model", "storeUnits", "txnPerKcycle",
                  "fenceStallPct", "vsTso"});
 
+    std::vector<SweepJob> sweep;
     for (const char *name : {"Hash", "List", "ReadWriteN"}) {
         const TlrwBench &bench = ustmBenchByName(name);
+        sweep.push_back([&bench, run_cycles] {
+            return runUstmModel(bench, MemoryModel::TSO, 1, run_cycles);
+        });
+        for (unsigned units : {2u, 3u})
+            sweep.push_back([&bench, units, run_cycles] {
+                return runUstmModel(bench, MemoryModel::RC, units,
+                                    run_cycles);
+            });
+    }
+    // Work-stealing tasks write multi-store result bursts: the place
+    // where RC's parallel drain genuinely shortens the take() fence.
+    for (const char *name : {"bucket", "heat", "plu"}) {
+        const CilkApp &app = cilkAppByName(name);
+        bool quick = opt.quick;
+        sweep.push_back([app, quick] {
+            return runCilkModel(app, MemoryModel::TSO, 1, quick);
+        });
+        for (unsigned units : {2u, 3u})
+            sweep.push_back([app, units, quick] {
+                return runCilkModel(app, MemoryModel::RC, units, quick);
+            });
+    }
+    std::vector<ExperimentResult> results = runSweep(sweep, opt.jobs);
+
+    size_t ri = 0;
+    for (const char *name : {"Hash", "List", "ReadWriteN"}) {
         double tso_tp = 0;
         {
-            ExperimentResult r =
-                runUstmModel(bench, MemoryModel::TSO, 1, run_cycles);
+            const ExperimentResult &r = results[ri++];
             tso_tp = r.throughputTxnPerKcycle();
             table.addRow({name, "TSO", "1", fmtDouble(tso_tp),
                           fmtDouble(100.0 * r.breakdown.fenceFrac(), 1),
                           "1.00"});
         }
         for (unsigned units : {2u, 3u}) {
-            ExperimentResult r = runUstmModel(bench, MemoryModel::RC,
-                                              units, run_cycles);
+            const ExperimentResult &r = results[ri++];
             double tp = r.throughputTxnPerKcycle();
             table.addRow({name, "RC", std::to_string(units),
                           fmtDouble(tp),
@@ -92,22 +119,17 @@ main(int argc, char **argv)
         }
     }
 
-    // Work-stealing tasks write multi-store result bursts: the place
-    // where RC's parallel drain genuinely shortens the take() fence.
     for (const char *name : {"bucket", "heat", "plu"}) {
-        const CilkApp &app = cilkAppByName(name);
         double tso_time = 0;
         {
-            ExperimentResult r =
-                runCilkModel(app, MemoryModel::TSO, 1, opt.quick);
+            const ExperimentResult &r = results[ri++];
             tso_time = double(r.cycles);
             table.addRow({name, "TSO", "1", "-",
                           fmtDouble(100.0 * r.breakdown.fenceFrac(), 1),
                           "1.00"});
         }
         for (unsigned units : {2u, 3u}) {
-            ExperimentResult r =
-                runCilkModel(app, MemoryModel::RC, units, opt.quick);
+            const ExperimentResult &r = results[ri++];
             table.addRow({name, "RC", std::to_string(units), "-",
                           fmtDouble(100.0 * r.breakdown.fenceFrac(), 1),
                           fmtDouble(tso_time / double(r.cycles))});

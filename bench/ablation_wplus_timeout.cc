@@ -22,19 +22,32 @@ main(int argc, char **argv)
     Table table({"timeout", "bench", "txnPerKcycle", "recoveries",
                  "recovPerWf"});
 
+    std::vector<SweepJob> sweep;
     for (Tick timeout : {50u, 100u, 300u, 1000u, 3000u}) {
         for (const char *name : {"Counter", "TreeOverwrite"}) {
-            const TlrwBench &bench = ustmBenchByName(name);
-            SystemConfig cfg;
-            cfg.numCores = 8;
-            cfg.design = FenceDesign::WPlus;
-            cfg.wPlusTimeout = timeout;
-            System sys(cfg);
-            setupTlrwWorkload(sys, bench, 0);
-            sys.run(run_cycles);
-            ExperimentResult r;
-            r.cycles = sys.now();
-            harvestStats(sys, r);
+            sweep.push_back([timeout, name, run_cycles] {
+                const TlrwBench &bench = ustmBenchByName(name);
+                SystemConfig cfg;
+                cfg.numCores = 8;
+                cfg.design = FenceDesign::WPlus;
+                cfg.wPlusTimeout = timeout;
+                cfg.fastForward = harness::fastForwardEnabled();
+                System sys(cfg);
+                setupTlrwWorkload(sys, bench, 0);
+                sys.run(run_cycles);
+                ExperimentResult r;
+                r.cycles = sys.now();
+                harvestStats(sys, r);
+                return r;
+            });
+        }
+    }
+    std::vector<ExperimentResult> results = runSweep(sweep, opt.jobs);
+
+    size_t ri = 0;
+    for (Tick timeout : {50u, 100u, 300u, 1000u, 3000u}) {
+        for (const char *name : {"Counter", "TreeOverwrite"}) {
+            const ExperimentResult &r = results[ri++];
             double per_wf = r.fencesWeak
                                 ? double(r.wPlusRecoveries) /
                                       double(r.fencesWeak)

@@ -2,7 +2,8 @@
  * @file
  * Shared plumbing for the figure/table bench binaries: the design list
  * the paper plots, normalized-bar formatting, and CLI handling
- * (--csv for machine-readable output, --quick for a reduced sweep).
+ * (--csv for machine-readable output, --quick for a reduced sweep,
+ * --jobs N for parallel host execution of independent configurations).
  */
 
 #ifndef ASF_BENCH_COMMON_HH
@@ -15,6 +16,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "sim/logging.hh"
 
 namespace asf::bench
@@ -34,6 +36,7 @@ struct BenchOptions
 {
     bool csv = false;
     bool quick = false;
+    unsigned jobs = 1;     ///< host worker threads for the config sweep
     std::string statsJson; ///< --stats-json path ("" = off)
     std::string trace;     ///< --trace path ("" = off)
 };
@@ -59,6 +62,12 @@ parseArgs(int argc, char **argv)
             opt.csv = true;
         else if (!std::strcmp(argv[i], "--quick"))
             opt.quick = true;
+        else if (!std::strcmp(argv[i], "--jobs"))
+            opt.jobs = unsigned(std::atoi(need("--jobs")));
+        else if (const char *v = eq_form("--jobs"))
+            opt.jobs = unsigned(std::atoi(v));
+        else if (!std::strcmp(argv[i], "--no-fast-forward"))
+            harness::setFastForwardEnabled(false);
         else if (!std::strcmp(argv[i], "--stats-json"))
             opt.statsJson = need("--stats-json");
         else if (const char *v = eq_form("--stats-json"))
@@ -69,7 +78,8 @@ parseArgs(int argc, char **argv)
             opt.trace = v;
         else
             fatal("unknown option '%s' (supported: --csv --quick "
-                  "--stats-json PATH --trace PATH)",
+                  "--jobs N --no-fast-forward --stats-json PATH "
+                  "--trace PATH)",
                   argv[i]);
     }
     if (!opt.statsJson.empty())

@@ -24,16 +24,27 @@ main(int argc, char **argv)
     double sum_fencepct[4] = {0, 0, 0, 0};
     unsigned napps = 0;
 
+    // One job per (app, design); results come back in job order, so the
+    // table below reads exactly as the serial loop would.
+    std::vector<SweepJob> sweep;
     for (const CilkApp &app_ref : cilkApps()) {
         CilkApp app = app_ref;
         if (opt.quick) {
             app.spawnDepth = std::min(app.spawnDepth, 3u);
             app.initialTasks = std::min(app.initialTasks, 2u);
         }
+        for (FenceDesign d : figureDesigns())
+            sweep.push_back(
+                [app, d] { return runCilkExperiment(app, d, 8); });
+    }
+    std::vector<ExperimentResult> results = runSweep(sweep, opt.jobs);
+
+    size_t ri = 0;
+    for (const CilkApp &app : cilkApps()) {
         double splus_cycles = 0;
         unsigned di = 0;
         for (FenceDesign d : figureDesigns()) {
-            ExperimentResult r = runCilkExperiment(app, d, 8);
+            const ExperimentResult &r = results[ri++];
             requireValid(r);
             if (d == FenceDesign::SPlus)
                 splus_cycles = double(r.cycles);

@@ -19,13 +19,22 @@ main(int argc, char **argv)
 
     Table table({"bench", "design", "txnPerKcycle", "normThroughput"});
 
+    std::vector<SweepJob> sweep;
+    for (const TlrwBench &bench : ustmBenches())
+        for (FenceDesign d : figureDesigns())
+            sweep.push_back([&bench, d, run_cycles] {
+                return runUstmExperiment(bench, d, 8, run_cycles);
+            });
+    std::vector<ExperimentResult> results = runSweep(sweep, opt.jobs);
+
     double sum_norm[4] = {0, 0, 0, 0};
     unsigned nbench = 0;
+    size_t ri = 0;
     for (const TlrwBench &bench : ustmBenches()) {
         double splus_tp = 0;
         unsigned di = 0;
         for (FenceDesign d : figureDesigns()) {
-            ExperimentResult r = runUstmExperiment(bench, d, 8, run_cycles);
+            const ExperimentResult &r = results[ri++];
             requireValid(r);
             double tp = r.throughputTxnPerKcycle();
             if (d == FenceDesign::SPlus)

@@ -21,14 +21,23 @@ main(int argc, char **argv)
     Table table({"bench", "design", "cyclesPerTxn", "normCycles", "busy",
                  "otherStall", "fenceStall", "fenceStallPct"});
 
+    std::vector<SweepJob> sweep;
+    for (const TlrwBench &bench : ustmBenches())
+        for (FenceDesign d : figureDesigns())
+            sweep.push_back([&bench, d, run_cycles] {
+                return runUstmExperiment(bench, d, 8, run_cycles);
+            });
+    std::vector<ExperimentResult> results = runSweep(sweep, opt.jobs);
+
     double sum_norm[4] = {0, 0, 0, 0};
     double sum_fencepct[4] = {0, 0, 0, 0};
     unsigned nbench = 0;
+    size_t ri = 0;
     for (const TlrwBench &bench : ustmBenches()) {
         double splus_cpt = 0;
         unsigned di = 0;
         for (FenceDesign d : figureDesigns()) {
-            ExperimentResult r = runUstmExperiment(bench, d, 8, run_cycles);
+            const ExperimentResult &r = results[ri++];
             requireValid(r);
             double cpt = r.commits
                              ? double(r.breakdown.active()) /

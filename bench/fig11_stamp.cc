@@ -19,17 +19,26 @@ main(int argc, char **argv)
     Table table({"app", "design", "normTime", "busy", "otherStall",
                  "fenceStall", "fenceStallPct"});
 
-    double sum_norm[4] = {0, 0, 0, 0};
-    double sum_fencepct[4] = {0, 0, 0, 0};
-    unsigned napps = 0;
+    std::vector<SweepJob> sweep;
     for (const StampApp &app_ref : stampApps()) {
         StampApp app = app_ref;
         if (opt.quick)
             app.txnsPerThread = std::max<uint64_t>(app.txnsPerThread / 4, 8);
+        for (FenceDesign d : figureDesigns())
+            sweep.push_back(
+                [app, d] { return runStampExperiment(app, d, 8); });
+    }
+    std::vector<ExperimentResult> results = runSweep(sweep, opt.jobs);
+
+    double sum_norm[4] = {0, 0, 0, 0};
+    double sum_fencepct[4] = {0, 0, 0, 0};
+    unsigned napps = 0;
+    size_t ri = 0;
+    for (const StampApp &app : stampApps()) {
         double splus_cycles = 0;
         unsigned di = 0;
         for (FenceDesign d : figureDesigns()) {
-            ExperimentResult r = runStampExperiment(app, d, 8);
+            const ExperimentResult &r = results[ri++];
             requireValid(r);
             if (d == FenceDesign::SPlus)
                 splus_cycles = double(r.cycles);

@@ -45,6 +45,28 @@ main(int argc, char **argv)
         stamp.txnsPerThread = 30;
     }
 
+    // Every (group, design, cores) run is independent; jobs are pushed
+    // in the same order the rows are consumed below.
+    std::vector<FenceDesign> sweep_designs = {FenceDesign::SPlus};
+    for (FenceDesign d : ratioDesigns())
+        sweep_designs.push_back(d);
+
+    std::vector<SweepJob> sweep;
+    for (unsigned n : cores) {
+        for (FenceDesign d : sweep_designs)
+            sweep.push_back(
+                [cilk, d, n] { return runCilkExperiment(cilk, d, n); });
+        for (FenceDesign d : sweep_designs)
+            sweep.push_back([ustm, d, n] {
+                return runUstmExperiment(ustm, d, n, 150'000);
+            });
+        for (FenceDesign d : sweep_designs)
+            sweep.push_back(
+                [stamp, d, n] { return runStampExperiment(stamp, d, n); });
+    }
+    std::vector<ExperimentResult> results = runSweep(sweep, opt.jobs);
+
+    size_t ri = 0;
     for (unsigned n : cores) {
         std::map<std::string, double> splus_stall;
         auto record = [&](const std::string &group, FenceDesign d,
@@ -62,20 +84,9 @@ main(int argc, char **argv)
                           fmtDouble(100.0 * ratio, 1)});
         };
 
-        record("CilkApps", FenceDesign::SPlus,
-               runCilkExperiment(cilk, FenceDesign::SPlus, n));
-        for (FenceDesign d : ratioDesigns())
-            record("CilkApps", d, runCilkExperiment(cilk, d, n));
-
-        record("ustm", FenceDesign::SPlus,
-               runUstmExperiment(ustm, FenceDesign::SPlus, n, 150'000));
-        for (FenceDesign d : ratioDesigns())
-            record("ustm", d, runUstmExperiment(ustm, d, n, 150'000));
-
-        record("STAMP", FenceDesign::SPlus,
-               runStampExperiment(stamp, FenceDesign::SPlus, n));
-        for (FenceDesign d : ratioDesigns())
-            record("STAMP", d, runStampExperiment(stamp, d, n));
+        for (const char *group : {"CilkApps", "ustm", "STAMP"})
+            for (FenceDesign d : sweep_designs)
+                record(group, d, results[ri++]);
     }
 
     emit(table, opt,

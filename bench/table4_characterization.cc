@@ -87,30 +87,47 @@ main(int argc, char **argv)
                                         FenceDesign::WPlus,
                                         FenceDesign::Wee};
 
+    std::vector<SweepJob> sweep;
     for (FenceDesign d : designs) {
-        GroupAccum cilk, ustm, stamp;
         for (const CilkApp &app_ref : cilkApps()) {
             CilkApp app = app_ref;
             if (opt.quick) {
                 app.spawnDepth = std::min(app.spawnDepth, 3u);
                 app.initialTasks = std::min(app.initialTasks, 2u);
             }
-            ExperimentResult r = runCilkExperiment(app, d, 8);
-            requireValid(r);
-            cilk.add(r);
+            sweep.push_back(
+                [app, d] { return runCilkExperiment(app, d, 8); });
         }
-        for (const TlrwBench &bench : ustmBenches()) {
-            ExperimentResult r = runUstmExperiment(bench, d, 8,
-                                                   ustm_cycles);
-            requireValid(r);
-            ustm.add(r);
-        }
+        for (const TlrwBench &bench : ustmBenches())
+            sweep.push_back([&bench, d, ustm_cycles] {
+                return runUstmExperiment(bench, d, 8, ustm_cycles);
+            });
         for (const StampApp &app_ref : stampApps()) {
             StampApp app = app_ref;
             if (opt.quick)
                 app.txnsPerThread =
                     std::max<uint64_t>(app.txnsPerThread / 4, 8);
-            ExperimentResult r = runStampExperiment(app, d, 8);
+            sweep.push_back(
+                [app, d] { return runStampExperiment(app, d, 8); });
+        }
+    }
+    std::vector<ExperimentResult> results = runSweep(sweep, opt.jobs);
+
+    size_t ri = 0;
+    for (FenceDesign d : designs) {
+        GroupAccum cilk, ustm, stamp;
+        for (size_t i = 0; i < cilkApps().size(); i++) {
+            const ExperimentResult &r = results[ri++];
+            requireValid(r);
+            cilk.add(r);
+        }
+        for (size_t i = 0; i < ustmBenches().size(); i++) {
+            const ExperimentResult &r = results[ri++];
+            requireValid(r);
+            ustm.add(r);
+        }
+        for (size_t i = 0; i < stampApps().size(); i++) {
+            const ExperimentResult &r = results[ri++];
             requireValid(r);
             stamp.add(r);
         }

@@ -13,7 +13,7 @@ Core::Core(NodeId id, const SystemConfig &cfg, L1Cache &l1, Mesh &mesh,
            EventQueue &eq)
     : id_(id), cfg_(cfg), l1_(l1), mesh_(mesh), eq_(eq),
       wb_(cfg.wbEntries), bs_(cfg.bsEntries),
-      stats_(format("core%d", id))
+      stats_(format("core%d", id)), hot_(stats_, cfg)
 {
     tsoOrder_ = cfg_.memoryModel == MemoryModel::TSO;
     storeTxns_.resize(tsoOrder_ ? 1 : cfg_.storeUnits);
@@ -90,10 +90,10 @@ Core::tick()
     stallReason_ = Stall::Other;
 
     if (done()) {
-        stats_.scalar("idleCycles").inc();
+        hot_.idleCycles.inc();
         return;
     }
-    stats_.histogram("wbOccupancy").sample(double(wb_.size()));
+    hot_.wbOccupancy.sample(double(wb_.size()));
 
     tickFences();
     issueStores();
@@ -107,28 +107,322 @@ void
 Core::classifyCycle()
 {
     if (retiredThisCycle_ > 0) {
-        stats_.scalar("busyCycles").inc();
+        hot_.busyCycles.inc();
         return;
     }
     // A halted thread draining its write buffer is not stalled - nothing
     // is waiting on those cycles.
     if (thread_.halted() && load_.phase == LoadPhase::Inactive &&
         rmw_.phase == RmwPhase::Inactive) {
-        stats_.scalar("idleCycles").inc();
+        hot_.idleCycles.inc();
         return;
     }
     switch (stallReason_) {
       case Stall::Fence:
-        stats_.scalar("fenceStallCycles").inc();
+        hot_.fenceStallCycles.inc();
         break;
       case Stall::RmwDrain:
-        stats_.scalar("rmwDrainCycles").inc();
-        stats_.scalar("otherStallCycles").inc();
+        hot_.rmwDrainCycles.inc();
+        hot_.otherStallCycles.inc();
         break;
       case Stall::Other:
-        stats_.scalar("otherStallCycles").inc();
+        hot_.otherStallCycles.inc();
         break;
     }
+}
+
+// ---------------------------------------------------------------------
+// Fast-forward: quiescence mirrors
+//
+// Each *Quiescent() helper is a const, side-effect-free image of the
+// corresponding tick stage: it returns false whenever the stage would
+// change any simulated state (beyond statistics), and lowers `wake` to
+// the earliest absolute tick at which the stage could act on its own.
+// Every time-gated condition contributes its deadline to `wake` rather
+// than returning false, so System::run can cap the jump precisely.
+// ---------------------------------------------------------------------
+
+bool
+Core::fencesQuiescent(Tick &wake) const
+{
+    if (!fences_.empty() &&
+        wb_.drainedUpTo(fences_.front().lastPreStoreSeq))
+        return false; // a fence would complete
+    if (recovering_ && !activeWeakFence())
+        return false; // recovery would end
+    const FenceInstance *f = activeWeakFence();
+    if (!f)
+        return true;
+    // Mirror of checkDeadlockTimeout.
+    bool watched =
+        (cfg_.design == FenceDesign::WPlus &&
+         f->kind == FenceKind::Weak) ||
+        (cfg_.design == FenceDesign::Wee &&
+         f->kind == FenceKind::WeeWeak && !f->demoted);
+    if (!watched)
+        return true;
+    bool being_bounced = anyStoreBounced() && !wb_.empty();
+    if (being_bounced && f->bouncedSomeone) {
+        if (!f->timing)
+            return false; // the watchdog would start timing
+        Tick limit = cfg_.design == FenceDesign::WPlus ? cfg_.wPlusTimeout
+                                                       : cfg_.weeTimeout;
+        wake = std::min(wake, f->timeoutStart + limit);
+    } else if (f->timing) {
+        return false; // the watchdog would stop timing
+    }
+    return true;
+}
+
+bool
+Core::storesQuiescent(Tick &wake) const
+{
+    // Mirror of issueStores. storeRetry_ entries the real tick would
+    // default-construct read as {nextTryAt = 0} here; creating them is
+    // the one tick side effect this mirror tolerates skipping, because
+    // a default entry is behaviorally inert (no backoff, never nacked)
+    // and the first real tick recreates it.
+    uint64_t max_seq =
+        fences_.empty() ? ~uint64_t(0) : fences_.front().lastPreStoreSeq;
+    uint64_t after = 0;
+    for (;;) {
+        const WriteBuffer::Entry *e =
+            wb_.nextIssuable(tsoOrder_, max_seq, after);
+        if (!e)
+            return true;
+        after = e->seq;
+        Tick next_try = 0;
+        if (auto it = storeRetry_.find(e->seq); it != storeRetry_.end())
+            next_try = it->second.nextTryAt;
+        if (eq_.now() < next_try) {
+            wake = std::min(wake, next_try);
+            if (tsoOrder_)
+                return true;
+            continue;
+        }
+        const CacheLine *l = l1_.find(lineAlign(e->addr));
+        bool exclusive_hit = l && (l->state == MesiState::Modified ||
+                                   l->state == MesiState::Exclusive);
+        if (exclusive_hit) {
+            if (eq_.now() < storeDrainFreeAt_) {
+                wake = std::min(wake, storeDrainFreeAt_);
+                return true; // drain port busy blocks both models
+            }
+            return false; // the store would drain locally
+        }
+        bool free_txn = false;
+        for (const auto &t : storeTxns_)
+            if (!t.active)
+                free_txn = true;
+        if (!free_txn) {
+            if (tsoOrder_)
+                return true;
+            continue;
+        }
+        return false; // a write request would go out
+    }
+}
+
+bool
+Core::rmwQuiescent(Tick &wake) const
+{
+    switch (rmw_.phase) {
+      case RmwPhase::Inactive:
+      case RmwPhase::WaitLine:
+        return true;
+      case RmwPhase::Drain:
+        return !(wb_.empty() && fences_.empty());
+      case RmwPhase::Access:
+        if (eq_.now() < rmw_.nextTryAt) {
+            wake = std::min(wake, rmw_.nextTryAt);
+            return true;
+        }
+        return false; // the access attempt itself mutates state
+    }
+    return false;
+}
+
+Core::HoldReason
+Core::loadGateOutcome() const
+{
+    // Mirror of evaluateLoadGate's fence walk, with one extra escape:
+    // the lazy GRT-binding branch sends a message, which the sentinel
+    // HoldReason::None (never a steady-state gate outcome while Held)
+    // reports as "would act".
+    for (const auto &f : fences_) {
+        if (!f.isWeak())
+            return HoldReason::StrongFence;
+        if (f.kind == FenceKind::Weak)
+            continue;
+        if (cfg_.weePrivateFiltering && isPrivate_ &&
+            isPrivate_(load_.line))
+            continue;
+        if (f.grtHome == invalidNode)
+            return HoldReason::None; // lazy binding would send a deposit
+        if (f.grtPending)
+            return HoldReason::GrtPending;
+        if (homeNode(load_.line, cfg_.numCores) != f.grtHome)
+            return HoldReason::NonHomeLine;
+        if (std::find(f.remotePs.begin(), f.remotePs.end(), load_.line) !=
+            f.remotePs.end())
+            return HoldReason::RemotePs;
+    }
+    // No holding fence: the needs-bs / delivery paths all mutate state
+    // except the full-BS hold, which the caller detects itself.
+    return HoldReason::BsFull;
+}
+
+bool
+Core::loadQuiescent(Tick &wake) const
+{
+    switch (load_.phase) {
+      case LoadPhase::Inactive:
+      case LoadPhase::MissPending:
+        return true;
+      case LoadPhase::WaitForward:
+        return !wb_.drainedUpTo(load_.waitStoreSeq);
+      case LoadPhase::AccessPending:
+        if (l1_.find(load_.line))
+            return false; // the access would hit
+        if (txnForLine(load_.line) != nullptr ||
+            (rmw_.phase == RmwPhase::WaitLine &&
+             rmw_.line == load_.line))
+            return true; // waiting on the in-flight write grant
+        return getSOutstanding_; // else a GetS would go out
+      case LoadPhase::PerformWait:
+        wake = std::min(wake, load_.readyAt);
+        return true;
+      case LoadPhase::Performed:
+        return false; // the delivery gate runs (and may deliver)
+      case LoadPhase::Held: {
+        HoldReason hr = loadGateOutcome();
+        if (hr == HoldReason::None)
+            return false; // lazy GRT binding would act
+        if (hr == HoldReason::BsFull) {
+            // Not fence-held: the gate would retry the BS insert (or
+            // deliver). Only a still-full BS keeps the state unchanged,
+            // and only without a counted hold transition.
+            if (!bs_.full() || load_.inBs ||
+                load_.hold != HoldReason::BsFull)
+                return false;
+            return true;
+        }
+        if (hr != load_.hold)
+            return false; // the hold reason (a stat key) would change
+        if (hr == HoldReason::RemotePs) {
+            // The gate re-sends a GrtCheck once the recheck timer
+            // expires.
+            wake = std::min(wake, load_.nextGrtCheckAt);
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+bool
+Core::executeQuiescent(Tick &wake) const
+{
+    if (recovering_)
+        return true; // pure fence stall
+    if (computeRemaining_ > 0) {
+        // A compute burst is pure count-down: skippable, with the first
+        // post-burst instruction due once the counter hits zero.
+        wake = std::min(wake, eq_.now() + computeRemaining_ + 1);
+        return true;
+    }
+    if (load_.phase != LoadPhase::Inactive ||
+        rmw_.phase != RmwPhase::Inactive)
+        return true; // execution just stalls behind the active unit
+    if (thread_.halted())
+        return true;
+    // The thread would execute: only a store stuck on a full write
+    // buffer leaves every bit of simulated state untouched.
+    const Instr &ins = prog_->at(thread_.pc());
+    return ins.op == Op::St && wb_.full();
+}
+
+bool
+Core::quiescent(Tick &wake) const
+{
+    wake = maxTick;
+    if (done())
+        return true; // idle until an (impossible) external wake
+    // Check order is free (pure conjunction); executeQuiescent goes
+    // first because an actively-computing core fails it immediately,
+    // keeping the per-cycle cost near zero on busy workloads.
+    return executeQuiescent(wake) && loadQuiescent(wake) &&
+           storesQuiescent(wake) && fencesQuiescent(wake) &&
+           rmwQuiescent(wake);
+}
+
+void
+Core::skipCycles(uint64_t n)
+{
+    // Replay exactly what n quiescent tick() calls would have recorded.
+    // The branch structure mirrors tick/tickExecute/classifyCycle
+    // priority: done -> idle; compute -> busy; otherwise one stall
+    // bucket (plus its detail counter) per cycle.
+    if (!n)
+        return;
+    if (done()) {
+        hot_.idleCycles.inc(n);
+        return;
+    }
+    hot_.wbOccupancy.sampleN(double(wb_.size()), n);
+    if (recovering_) {
+        hot_.fenceStallCycles.inc(n);
+        hot_.stallRecovering.inc(n);
+        return;
+    }
+    if (computeRemaining_ > 0) {
+        if (n > computeRemaining_)
+            panic("core %d: fast-forward past compute-burst end", id_);
+        computeRemaining_ -= n;
+        hot_.busyCycles.inc(n);
+        return;
+    }
+    if (load_.phase != LoadPhase::Inactive) {
+        if (load_.phase == LoadPhase::Held) {
+            hot_.fenceStallCycles.inc(n);
+            switch (load_.hold) {
+              case HoldReason::StrongFence:
+                hot_.stallHeldStrong.inc(n);
+                break;
+              case HoldReason::BsFull:
+                hot_.stallHeldBsFull.inc(n);
+                break;
+              case HoldReason::GrtPending:
+              case HoldReason::NonHomeLine:
+              case HoldReason::RemotePs:
+                hot_.stallHeldWee.inc(n);
+                break;
+              case HoldReason::None:
+                break;
+            }
+        } else if (load_.phase == LoadPhase::WaitForward) {
+            hot_.fenceStallCycles.inc(n);
+            hot_.stallWaitForward.inc(n);
+        } else {
+            hot_.otherStallCycles.inc(n);
+        }
+        return;
+    }
+    if (rmw_.phase != RmwPhase::Inactive) {
+        if (rmw_.phase == RmwPhase::Drain)
+            hot_.rmwDrainCycles.inc(n);
+        hot_.otherStallCycles.inc(n);
+        return;
+    }
+    if (thread_.halted()) {
+        hot_.idleCycles.inc(n);
+        return;
+    }
+    // Executable thread, quiescent: a store stalled on a full buffer.
+    if (anyStoreBounced())
+        hot_.fenceStallCycles.inc(n);
+    else
+        hot_.otherStallCycles.inc(n);
 }
 
 // ---------------------------------------------------------------------
@@ -414,7 +708,7 @@ Core::finishStore(WriteBuffer::Entry &entry)
                              (unsigned long long)entry.addr,
                              (unsigned long long)entry.seq)));
     wb_.complete(entry);
-    stats_.scalar("storesDrained").inc();
+    hot_.storesDrained.inc();
 }
 
 // ---------------------------------------------------------------------
@@ -582,8 +876,8 @@ Core::deliverLoad()
     thread_.setPc(thread_.pc() + 1);
     load_ = LoadOp{};
     retiredThisCycle_++;
-    stats_.scalar("instrRetired").inc();
-    stats_.scalar("loadsDelivered").inc();
+    hot_.instrRetired.inc();
+    hot_.loadsDelivered.inc();
 }
 
 // ---------------------------------------------------------------------
@@ -648,7 +942,7 @@ Core::performRmwLocal()
     thread_.setPc(thread_.pc() + 1);
     rmw_ = RmwOp{};
     retiredThisCycle_++;
-    stats_.scalar("instrRetired").inc();
+    hot_.instrRetired.inc();
     stats_.scalar("rmwsExecuted").inc();
 }
 
@@ -661,7 +955,7 @@ Core::tickExecute()
 {
     if (recovering_) {
         stallReason_ = Stall::Fence;
-        stats_.scalar("stallRecovering").inc();
+        hot_.stallRecovering.inc();
         return;
     }
     if (computeRemaining_ > 0) {
@@ -675,22 +969,22 @@ Core::tickExecute()
             stallReason_ = Stall::Fence;
             switch (load_.hold) {
               case HoldReason::StrongFence:
-                stats_.scalar("stallHeldStrong").inc();
+                hot_.stallHeldStrong.inc();
                 break;
               case HoldReason::BsFull:
-                stats_.scalar("stallHeldBsFull").inc();
+                hot_.stallHeldBsFull.inc();
                 break;
               case HoldReason::GrtPending:
               case HoldReason::NonHomeLine:
               case HoldReason::RemotePs:
-                stats_.scalar("stallHeldWee").inc();
+                hot_.stallHeldWee.inc();
                 break;
               case HoldReason::None:
                 break;
             }
         } else if (load_.phase == LoadPhase::WaitForward) {
             stallReason_ = Stall::Fence;
-            stats_.scalar("stallWaitForward").inc();
+            hot_.stallWaitForward.inc();
         } else {
             stallReason_ = Stall::Other;
         }
@@ -732,8 +1026,8 @@ Core::executeOne(unsigned &budget)
         thread_.setPc(thread_.pc() + 1);
         retiredThisCycle_++;
         budget--;
-        stats_.scalar("instrRetired").inc();
-        stats_.scalar("storesExecuted").inc();
+        hot_.instrRetired.inc();
+        hot_.storesExecuted.inc();
         return true;
       }
       case Op::Fence:
@@ -747,7 +1041,7 @@ Core::executeOne(unsigned &budget)
         computeRemaining_ = uint64_t(ins.imm);
         thread_.setPc(thread_.pc() + 1);
         retiredThisCycle_++;
-        stats_.scalar("instrRetired").inc();
+        hot_.instrRetired.inc();
         return false;
       case Op::Mark: {
         FenceInstance *oldest = activeWeakFence();
@@ -764,18 +1058,18 @@ Core::executeOne(unsigned &budget)
       }
         retiredThisCycle_++;
         budget--;
-        stats_.scalar("instrRetired").inc();
+        hot_.instrRetired.inc();
         return true;
       case Op::Halt:
         thread_.executeNonMem(ins);
         retiredThisCycle_++;
-        stats_.scalar("instrRetired").inc();
+        hot_.instrRetired.inc();
         return false;
       default:
         thread_.executeNonMem(ins);
         retiredThisCycle_++;
         budget--;
-        stats_.scalar("instrRetired").inc();
+        hot_.instrRetired.inc();
         return true;
     }
 }
@@ -792,7 +1086,7 @@ Core::startLoad(const Instr &ins)
     load_.addr = addr;
     load_.line = lineAlign(addr);
     load_.rd = ins.rd;
-    stats_.scalar("loadsExecuted").inc();
+    hot_.loadsExecuted.inc();
 
     if (const WriteBuffer::Entry *e = wb_.forwardLookup(addr)) {
         // A *strong* fence between the store and the load forbids the
@@ -852,7 +1146,7 @@ Core::startFence(const Instr &ins)
         stats_.scalar("fencesInstant").inc();
         thread_.setPc(thread_.pc() + 1);
         retiredThisCycle_++;
-        stats_.scalar("instrRetired").inc();
+        hot_.instrRetired.inc();
         return;
     }
 
@@ -928,7 +1222,7 @@ Core::startFence(const Instr &ins)
 
     fences_.push_back(std::move(f));
     retiredThisCycle_++;
-    stats_.scalar("instrRetired").inc();
+    hot_.instrRetired.inc();
 }
 
 void

@@ -63,6 +63,29 @@ class Core
     /** Advance one cycle. */
     void tick();
 
+    /**
+     * Fast-forward protocol. Returns true when tick() would change
+     * nothing but the cycle-classification statistics this cycle and
+     * every following cycle until `wake` (exclusive): the core is
+     * stalled (or idle, or in a pure compute burst) with no internal
+     * deadline before then. `wake` is set to the earliest absolute tick
+     * at which the core may act on its own — backoff expiry, drain-port
+     * availability, L1-hit readiness, GRT recheck, deadlock-watchdog
+     * deadline, or compute-burst end — or maxTick when it only waits on
+     * event-queue activity. Conservative: may report an inactive core
+     * as active (costing speed), never the reverse (which would change
+     * simulated timing).
+     */
+    bool quiescent(Tick &wake) const;
+
+    /**
+     * Replay the statistics of `n` skipped quiescent cycles — exactly
+     * what n calls to tick() would have recorded, given quiescent()
+     * returned true and no event fired in between. Also retires the
+     * skipped portion of a compute burst.
+     */
+    void skipCycles(uint64_t n);
+
     /** Thread halted and all buffered/in-flight work has drained. */
     bool done() const;
     bool threadHalted() const { return thread_.halted(); }
@@ -142,6 +165,10 @@ class Core
     };
 
     FenceInstance *activeWeakFence();
+    const FenceInstance *activeWeakFence() const
+    {
+        return const_cast<Core *>(this)->activeWeakFence();
+    }
     void completeFence(FenceInstance &f);
     void checkDeadlockTimeout(FenceInstance &f);
     void recoverWPlus(FenceInstance &f);
@@ -215,9 +242,22 @@ class Core
     void issueStores();
     void finishStore(WriteBuffer::Entry &entry);
     StoreTxn *txnForLine(Addr line);
+    const StoreTxn *txnForLine(Addr line) const
+    {
+        return const_cast<Core *>(this)->txnForLine(line);
+    }
     StoreTxn *freeStoreTxn();
     bool anyStoreBounced() const;
     Tick backoff(unsigned retries) const;
+
+    // --- fast-forward mirrors (const, side-effect-free images of the
+    //     corresponding tick stages; false = the stage would act) -----
+    bool fencesQuiescent(Tick &wake) const;
+    bool storesQuiescent(Tick &wake) const;
+    bool loadQuiescent(Tick &wake) const;
+    bool rmwQuiescent(Tick &wake) const;
+    bool executeQuiescent(Tick &wake) const;
+    HoldReason loadGateOutcome() const;
 
     // --- RMW unit --------------------------------------------------------
     enum class RmwPhase
@@ -288,6 +328,55 @@ class Core
      *  epoch >= f.id - the ones the rollback squashes. */
     std::vector<std::pair<uint64_t, int64_t>> journaledMarks_;
     StatGroup stats_;
+
+    /**
+     * Hot-path handles into stats_, bound once at construction (map
+     * entries are reference-stable across inserts and resetAll). The
+     * pre-registered headline counters bind eagerly; the rest bind
+     * lazily so the report shape stays identical to the string-lookup
+     * call sites they replace.
+     */
+    struct HotStats
+    {
+        HotStats(StatGroup &g, const SystemConfig &cfg)
+            : busyCycles(g.scalar("busyCycles")),
+              idleCycles(g.scalar("idleCycles")),
+              otherStallCycles(g.scalar("otherStallCycles")),
+              fenceStallCycles(g.scalar("fenceStallCycles")),
+              instrRetired(g.scalar("instrRetired")),
+              storesDrained(g.scalar("storesDrained")),
+              wbOccupancy(
+                  g.histogram("wbOccupancy", cfg.wbEntries + 1, 1.0)),
+              rmwDrainCycles(g, "rmwDrainCycles"),
+              stallRecovering(g, "stallRecovering"),
+              stallHeldStrong(g, "stallHeldStrong"),
+              stallHeldBsFull(g, "stallHeldBsFull"),
+              stallHeldWee(g, "stallHeldWee"),
+              stallWaitForward(g, "stallWaitForward"),
+              loadsDelivered(g, "loadsDelivered"),
+              loadsExecuted(g, "loadsExecuted"),
+              storesExecuted(g, "storesExecuted")
+        {
+        }
+
+        StatScalar &busyCycles;
+        StatScalar &idleCycles;
+        StatScalar &otherStallCycles;
+        StatScalar &fenceStallCycles;
+        StatScalar &instrRetired;
+        StatScalar &storesDrained;
+        StatHistogram &wbOccupancy;
+        LazyStatScalar rmwDrainCycles;
+        LazyStatScalar stallRecovering;
+        LazyStatScalar stallHeldStrong;
+        LazyStatScalar stallHeldBsFull;
+        LazyStatScalar stallHeldWee;
+        LazyStatScalar stallWaitForward;
+        LazyStatScalar loadsDelivered;
+        LazyStatScalar loadsExecuted;
+        LazyStatScalar storesExecuted;
+    };
+    HotStats hot_;
 };
 
 } // namespace asf

@@ -64,6 +64,13 @@ class WriteBuffer
      */
     Entry *nextIssuable(bool tso_order, uint64_t max_seq = ~uint64_t(0),
                         uint64_t after_seq = 0);
+    const Entry *nextIssuable(bool tso_order,
+                              uint64_t max_seq = ~uint64_t(0),
+                              uint64_t after_seq = 0) const
+    {
+        return const_cast<WriteBuffer *>(this)->nextIssuable(
+            tso_order, max_seq, after_seq);
+    }
 
     /** Locate the (unique) in-flight entry for a line. */
     Entry *issuedEntryForLine(Addr line_addr);
@@ -102,6 +109,14 @@ class WriteBuffer
 
     /** Zero the occupancy accounting (post-warmup stat reset). */
     void resetCounters();
+
+    /**
+     * Fast-forward protocol: the buffer is passive — it only mutates
+     * through its core's calls, whose timing the core's own quiescence
+     * mirror accounts for — so it never blocks an idle-cycle jump.
+     */
+    bool quiescent() const { return true; }
+    Tick nextWakeTick() const { return maxTick; }
 
   private:
     unsigned capacity_;

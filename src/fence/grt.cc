@@ -7,7 +7,9 @@
 namespace asf
 {
 
-Grt::Grt(NodeId node) : node_(node), stats_(format("grt%d", node))
+Grt::Grt(NodeId node)
+    : node_(node), stats_(format("grt%d", node)),
+      statDeposits_(stats_, "deposits"), statClears_(stats_, "clears")
 {
 }
 
@@ -15,14 +17,14 @@ void
 Grt::deposit(NodeId core, const std::vector<Addr> &pending_set)
 {
     table_[core] = pending_set;
-    stats_.scalar("deposits").inc();
+    statDeposits_.inc();
 }
 
 void
 Grt::clear(NodeId core)
 {
     table_.erase(core);
-    stats_.scalar("clears").inc();
+    statClears_.inc();
 }
 
 std::vector<Addr>

@@ -51,6 +51,9 @@ class Grt
     NodeId node_;
     std::map<NodeId, std::vector<Addr>> table_;
     StatGroup stats_;
+    // Hot-path handles into stats_ (lazily bound; see LazyStatScalar).
+    LazyStatScalar statDeposits_;
+    LazyStatScalar statClears_;
 };
 
 } // namespace asf

@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <atomic>
 #include <fstream>
 #include <sstream>
 
@@ -28,6 +29,11 @@ statsJsonRuns()
     return runs;
 }
 
+/** Per-thread capture sink installed by ScopedRunCapture (sweeps). */
+thread_local std::vector<std::string> *runCaptureSink = nullptr;
+
+std::atomic<bool> fastForwardDefault{true};
+
 /** One viewer process row per experiment, labelled like "fib/W+/8c". */
 void
 beginRunTrace(const std::string &workload, FenceDesign design,
@@ -41,7 +47,9 @@ beginRunTrace(const std::string &workload, FenceDesign design,
 void
 recordRun(System &sys, const ExperimentResult &r)
 {
-    if (statsJsonPathRef().empty())
+    // A capture sink wants the document even when no log file is set
+    // (the bytes may end up in a file chosen at merge time).
+    if (statsJsonPathRef().empty() && !runCaptureSink)
         return;
     std::ostringstream os;
     {
@@ -91,11 +99,61 @@ recordRun(System &sys, const ExperimentResult &r)
         w.key("system").raw(doc);
         w.endObject();
     }
+    if (runCaptureSink) {
+        runCaptureSink->push_back(os.str());
+        return;
+    }
     statsJsonRuns().push_back(os.str());
     flushStatsJson();
 }
 
 } // namespace
+
+ScopedRunCapture::ScopedRunCapture(std::vector<std::string> &sink)
+    : prev_(runCaptureSink)
+{
+    runCaptureSink = &sink;
+}
+
+ScopedRunCapture::~ScopedRunCapture()
+{
+    runCaptureSink = prev_;
+}
+
+void
+appendStatsJsonRuns(std::vector<std::string> docs)
+{
+    if (docs.empty())
+        return;
+    // A capture on the merging thread intercepts the whole batch: this
+    // lets an outer capture observe a sweep's merged output (nested
+    // sweeps, tests) without touching the global log.
+    if (runCaptureSink) {
+        for (auto &d : docs)
+            runCaptureSink->push_back(std::move(d));
+        return;
+    }
+    // No log file configured: drop the batch instead of accumulating
+    // documents that can never be written.
+    if (statsJsonPathRef().empty())
+        return;
+    auto &runs = statsJsonRuns();
+    for (auto &d : docs)
+        runs.push_back(std::move(d));
+    flushStatsJson();
+}
+
+void
+setFastForwardEnabled(bool on)
+{
+    fastForwardDefault.store(on, std::memory_order_relaxed);
+}
+
+bool
+fastForwardEnabled()
+{
+    return fastForwardDefault.load(std::memory_order_relaxed);
+}
 
 void
 setStatsJsonPath(const std::string &path)
@@ -206,6 +264,7 @@ runCilkExperiment(const workloads::CilkApp &app, FenceDesign design,
     SystemConfig cfg;
     cfg.numCores = cores;
     cfg.design = design;
+    cfg.fastForward = fastForwardEnabled();
     System sys(cfg);
     auto setup = workloads::setupCilkApp(sys, app);
 
@@ -274,6 +333,7 @@ runUstmExperiment(const workloads::TlrwBench &bench, FenceDesign design,
     SystemConfig cfg;
     cfg.numCores = cores;
     cfg.design = design;
+    cfg.fastForward = fastForwardEnabled();
     System sys(cfg);
     auto setup = workloads::setupTlrwWorkload(sys, bench, 0);
 
@@ -302,6 +362,7 @@ runStampExperiment(const workloads::StampApp &app, FenceDesign design,
     SystemConfig cfg;
     cfg.numCores = cores;
     cfg.design = design;
+    cfg.fastForward = fastForwardEnabled();
     System sys(cfg);
     auto setup = workloads::setupTlrwWorkload(sys, app.bench,
                                               app.txnsPerThread);

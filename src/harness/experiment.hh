@@ -9,6 +9,7 @@
 #define ASF_HARNESS_EXPERIMENT_HH
 
 #include <string>
+#include <vector>
 
 #include "workloads/cilk_apps.hh"
 #include "workloads/stamp.hh"
@@ -103,6 +104,40 @@ void setTracePath(const std::string &path);
 
 /** Rewrite the stats-JSON log now. No-op when no path is set. */
 void flushStatsJson();
+
+// --- sweep support ------------------------------------------------------
+/**
+ * While alive, experiment runs on the *calling thread* append their
+ * stats-JSON documents to `sink` instead of the global log (and skip the
+ * per-run file rewrite). The sweep runner gives each job its own sink
+ * and merges them in job order afterwards, so a parallel sweep's log is
+ * byte-identical to a serial one.
+ */
+class ScopedRunCapture
+{
+  public:
+    explicit ScopedRunCapture(std::vector<std::string> &sink);
+    ~ScopedRunCapture();
+    ScopedRunCapture(const ScopedRunCapture &) = delete;
+    ScopedRunCapture &operator=(const ScopedRunCapture &) = delete;
+
+  private:
+    std::vector<std::string> *prev_;
+};
+
+/** Append captured run documents to the global log and rewrite the file
+ *  once. Call from one thread only (the sweep merge step). If the
+ *  calling thread itself has a ScopedRunCapture installed, the batch is
+ *  redirected there instead (nested capture). */
+void appendStatsJsonRuns(std::vector<std::string> docs);
+
+/**
+ * Process-wide default for SystemConfig::fastForward, consulted by the
+ * experiment runners (on unless turned off). `--no-fast-forward` A/B
+ * switch; simulated results are bit-identical either way.
+ */
+void setFastForwardEnabled(bool on);
+bool fastForwardEnabled();
 
 } // namespace asf::harness
 

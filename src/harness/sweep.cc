@@ -1,0 +1,61 @@
+#include "harness/sweep.hh"
+
+#include <atomic>
+#include <thread>
+
+#include "sim/logging.hh"
+#include "sim/trace.hh"
+
+namespace asf::harness
+{
+
+std::vector<ExperimentResult>
+runSweep(const std::vector<SweepJob> &jobs, unsigned num_threads)
+{
+    size_t n = jobs.size();
+    std::vector<ExperimentResult> results(n);
+    // Per-job stats-JSON documents, merged in job order below so the log
+    // file does not depend on completion order.
+    std::vector<std::vector<std::string>> docs(n);
+
+    if (num_threads > 1 && Trace::get().enabled()) {
+        warn("tracing is process-global; running the sweep with 1 job");
+        num_threads = 1;
+    }
+    if (num_threads < 1)
+        num_threads = 1;
+    if (size_t(num_threads) > n)
+        num_threads = unsigned(n);
+
+    auto run_one = [&](size_t i) {
+        ScopedRunCapture capture(docs[i]);
+        results[i] = jobs[i]();
+    };
+
+    if (num_threads <= 1) {
+        // Same capture-and-merge path as the parallel case, so the two
+        // produce byte-identical stats-JSON logs.
+        for (size_t i = 0; i < n; i++)
+            run_one(i);
+    } else {
+        std::atomic<size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(num_threads);
+        for (unsigned t = 0; t < num_threads; t++)
+            pool.emplace_back([&] {
+                for (size_t i; (i = next.fetch_add(1)) < n;)
+                    run_one(i);
+            });
+        for (auto &th : pool)
+            th.join();
+    }
+
+    std::vector<std::string> merged;
+    for (auto &d : docs)
+        for (auto &doc : d)
+            merged.push_back(std::move(doc));
+    appendStatsJsonRuns(std::move(merged));
+    return results;
+}
+
+} // namespace asf::harness

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Parallel sweep runner: runs independent experiment configurations on a
+ * pool of host worker threads. Each job owns its System (and therefore
+ * its Rng, event queue, and statistics), so jobs never share simulated
+ * state; the only process-global the harness touches — the stats-JSON
+ * run log — is captured per job and merged in job order on the calling
+ * thread. A sweep's outputs (returned results, stats-JSON file) are
+ * therefore byte-identical for any thread count, `--jobs 1` included.
+ *
+ * One caveat: with a sweep, the stats-JSON file is written once at merge
+ * time rather than rewritten after every run, so an aborted sweep leaves
+ * no partial log.
+ */
+
+#ifndef ASF_HARNESS_SWEEP_HH
+#define ASF_HARNESS_SWEEP_HH
+
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hh"
+
+namespace asf::harness
+{
+
+/** One sweep unit: builds, runs, and summarizes one configuration. */
+using SweepJob = std::function<ExperimentResult()>;
+
+/**
+ * Run every job and return their results in job order. `num_threads` is
+ * the host worker count (clamped to [1, jobs.size()]); 1 runs inline on
+ * the calling thread. Chrome tracing is process-global, so an enabled
+ * trace forces the serial path (with a warning).
+ */
+std::vector<ExperimentResult> runSweep(const std::vector<SweepJob> &jobs,
+                                       unsigned num_threads);
+
+} // namespace asf::harness
+
+#endif // ASF_HARNESS_SWEEP_HH

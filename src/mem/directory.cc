@@ -12,13 +12,18 @@ Directory::Directory(NodeId node, unsigned num_nodes, Mesh &mesh,
                      Tick lookup_latency)
     : node_(node), numNodes_(num_nodes), mesh_(mesh), eq_(eq),
       memory_(memory), l2_(l2), lookupLatency_(lookup_latency),
-      stats_(format("dir%d", node))
+      stats_(format("dir%d", node)),
+      statQueued_(stats_.scalar("queued")),
+      statProbes_(stats_.scalar("probes")),
+      statBounces_(stats_.scalar("bounces"))
 {
     // Stable JSON-report shape: the bounce/Nack counters exist even for
     // runs that never contend.
-    for (const char *name :
-         {"bounces", "getxNacked", "coFailed", "queued", "probes"})
+    for (const char *name : {"getxNacked", "coFailed"})
         stats_.scalar(name);
+    statByType_.reserve(numMsgTypes);
+    for (unsigned t = 0; t < numMsgTypes; t++)
+        statByType_.emplace_back(stats_, msgTypeName(MsgType(t)));
     ASF_TRACE(threadName(1000 + uint32_t(node_),
                          format("dir%d", node_)));
 }
@@ -58,7 +63,7 @@ Directory::handle(const Message &msg)
       case MsgType::CondOrderWrite:
         if (active_.count(msg.addr)) {
             waiting_[msg.addr].push_back(msg);
-            stats_.scalar("queued").inc();
+            statQueued_.inc();
         } else {
             startTxn(msg);
         }
@@ -83,7 +88,7 @@ Directory::startTxn(const Message &req)
     Addr line = req.addr;
     Txn &txn = active_[line];
     txn.req = req;
-    stats_.scalar(msgTypeName(req.type)).inc();
+    statByType_[unsigned(req.type)].inc();
     // The directory looks the line up before anything goes out.
     eq_.scheduleIn(lookupLatency_, [this, line]() { issueTxn(line); });
 }
@@ -163,7 +168,7 @@ Directory::sendProbe(NodeId target, const Message &req, MsgType type,
     probe.wordMask = mask;
     probe.trafficClass = req.trafficClass;
     mesh_.send(std::move(probe));
-    stats_.scalar("probes").inc();
+    statProbes_.inc();
 }
 
 void
@@ -187,7 +192,7 @@ Directory::onProbeAck(const Message &ack)
 
     if (ack.bounced) {
         txn.anyBounce = true;
-        stats_.scalar("bounces").inc();
+        statBounces_.inc();
         ASF_TRACE(instant(eq_.now(), 1000 + uint32_t(node_), "dir",
                           "bounce",
                           format("{\"line\":%llu,\"by\":%d,\"for\":%d}",
@@ -355,7 +360,7 @@ void
 Directory::handlePut(const Message &msg)
 {
     Entry &entry = entries_[msg.addr];
-    stats_.scalar(msgTypeName(msg.type)).inc();
+    statByType_[unsigned(msg.type)].inc();
 
     if (msg.type == MsgType::PutM) {
         if (!msg.hasData)

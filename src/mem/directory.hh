@@ -26,6 +26,7 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "mem/l2_bank.hh"
 #include "mem/memory_image.hh"
@@ -104,6 +105,13 @@ class Directory
     std::map<Addr, Txn> active_;
     std::map<Addr, std::deque<Message>> waiting_;
     StatGroup stats_;
+    // Hot-path handles into stats_: references for the pre-registered
+    // counters, lazy handles (indexed by MsgType) for the per-request
+    // counters so untouched message types stay out of the report.
+    StatScalar &statQueued_;
+    StatScalar &statProbes_;
+    StatScalar &statBounces_;
+    std::vector<LazyStatScalar> statByType_;
 };
 
 } // namespace asf

@@ -9,7 +9,15 @@ namespace asf
 L1Cache::L1Cache(NodeId node, unsigned num_nodes, Mesh &mesh,
                  unsigned size_bytes, unsigned assoc)
     : node_(node), numNodes_(num_nodes), mesh_(mesh),
-      array_(size_bytes, assoc), stats_(format("l1_%d", node))
+      array_(size_bytes, assoc), stats_(format("l1_%d", node)),
+      statLoadHits_(stats_, "loadHits"),
+      statLoadMisses_(stats_, "loadMisses"),
+      statStoreHits_(stats_, "storeHits"),
+      statEvictions_(stats_, "evictions"),
+      statFills_(stats_, "fills"),
+      statInvsBounced_(stats_, "invsBounced"),
+      statInvsServiced_(stats_, "invsServiced"),
+      statDowngrades_(stats_, "downgrades")
 {
 }
 
@@ -18,12 +26,12 @@ L1Cache::readWord(Addr addr, uint64_t &value)
 {
     CacheLine *l = array_.find(lineAlign(addr));
     if (!l) {
-        stats_.scalar("loadMisses").inc();
+        statLoadMisses_.inc();
         return false;
     }
     array_.touch(*l);
     value = l->data[wordInLine(addr)];
-    stats_.scalar("loadHits").inc();
+    statLoadHits_.inc();
     return true;
 }
 
@@ -41,7 +49,7 @@ L1Cache::writeWordExclusive(Addr addr, uint64_t value)
     l->state = MesiState::Modified;
     l->data[wordInLine(addr)] = value;
     array_.touch(*l);
-    stats_.scalar("storeHits").inc();
+    statStoreHits_.inc();
     return true;
 }
 
@@ -121,7 +129,7 @@ L1Cache::allocate(Addr line_addr)
 void
 L1Cache::evict(CacheLine &victim)
 {
-    stats_.scalar("evictions").inc();
+    statEvictions_.inc();
     if (traceEnabledFor(victim.addr))
         traceEvent(0, format("l1_%d", node_).c_str(), "evict %s line",
                    mesiName(victim.state));
@@ -226,7 +234,7 @@ L1Cache::handleFill(const Message &msg, MesiState state)
         l->data = msg.data;
         array_.touch(*l);
     }
-    stats_.scalar("fills").inc();
+    statFills_.inc();
 }
 
 void
@@ -248,7 +256,7 @@ L1Cache::handleInv(const Message &msg)
         // line.
         ack.bounced = true;
         ack.bsMatch = match;
-        stats_.scalar("invsBounced").inc();
+        statInvsBounced_.inc();
         if (onBsBounce)
             onBsBounce(msg.addr);
         mesh_.send(std::move(ack));
@@ -268,7 +276,7 @@ L1Cache::handleInv(const Message &msg)
     }
     ack.bsMatch = match;
     ack.keepSharer = match != BsMatch::None;
-    stats_.scalar("invsServiced").inc();
+    statInvsServiced_.inc();
     if (onLineInvalidated)
         onLineInvalidated(msg.addr);
     mesh_.send(std::move(ack));
@@ -296,7 +304,7 @@ L1Cache::handleDwngr(const Message &msg)
         }
         l->state = MesiState::Shared;
     }
-    stats_.scalar("downgrades").inc();
+    statDowngrades_.inc();
     mesh_.send(std::move(ack));
 }
 

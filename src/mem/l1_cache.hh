@@ -44,6 +44,10 @@ class L1Cache
     // --- core-facing operations ---------------------------------------
     /** Lookup without LRU side effects. */
     CacheLine *find(Addr line_addr) { return array_.find(line_addr); }
+    const CacheLine *find(Addr line_addr) const
+    {
+        return array_.find(line_addr);
+    }
 
     /** Read a word on a hit (touches LRU). Returns false on miss. */
     bool readWord(Addr addr, uint64_t &value);
@@ -89,6 +93,16 @@ class L1Cache
     CacheArray array_;
     std::vector<Addr> pinned_;
     StatGroup stats_;
+    // Hot-path handles into stats_ (lazily bound so the report shape
+    // stays identical to the string-lookup call sites they replace).
+    LazyStatScalar statLoadHits_;
+    LazyStatScalar statLoadMisses_;
+    LazyStatScalar statStoreHits_;
+    LazyStatScalar statEvictions_;
+    LazyStatScalar statFills_;
+    LazyStatScalar statInvsBounced_;
+    LazyStatScalar statInvsServiced_;
+    LazyStatScalar statDowngrades_;
 };
 
 } // namespace asf

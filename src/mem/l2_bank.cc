@@ -8,7 +8,9 @@ namespace asf
 L2Bank::L2Bank(NodeId node, unsigned size_bytes, unsigned assoc,
                Tick hit_latency, Tick mem_latency)
     : tags_(size_bytes, assoc), hitLatency_(hit_latency),
-      memLatency_(mem_latency), stats_(format("l2bank%d", node))
+      memLatency_(mem_latency), stats_(format("l2bank%d", node)),
+      statHits_(stats_, "hits"), statMisses_(stats_, "misses"),
+      statEvictions_(stats_, "evictions")
 {
 }
 
@@ -18,14 +20,14 @@ L2Bank::access(Addr line_addr)
     CacheLine *line = tags_.find(line_addr);
     if (line) {
         tags_.touch(*line);
-        stats_.scalar("hits").inc();
+        statHits_.inc();
         return hitLatency_;
     }
-    stats_.scalar("misses").inc();
+    statMisses_.inc();
     bool victim_valid = false;
     CacheLine &slot = tags_.victimFor(line_addr, victim_valid);
     if (victim_valid)
-        stats_.scalar("evictions").inc();
+        statEvictions_.inc();
     tags_.install(slot, line_addr, MesiState::Shared, LineData{});
     return memLatency_;
 }

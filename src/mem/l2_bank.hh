@@ -41,6 +41,10 @@ class L2Bank
     Tick hitLatency_;
     Tick memLatency_;
     StatGroup stats_;
+    // Hot-path handles into stats_ (lazily bound; see LazyStatScalar).
+    LazyStatScalar statHits_;
+    LazyStatScalar statMisses_;
+    LazyStatScalar statEvictions_;
 };
 
 } // namespace asf

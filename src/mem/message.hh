@@ -67,6 +67,9 @@ enum class MsgType : uint8_t
     GrtCheckReply,  ///< still-blocked / clear answer
 };
 
+constexpr unsigned numMsgTypes =
+    unsigned(MsgType::GrtCheckReply) + 1;
+
 const char *msgTypeName(MsgType t);
 
 /** How an invalidation probe found the target's Bypass Set. */

@@ -12,7 +12,11 @@ Mesh::Mesh(EventQueue &eq, unsigned num_nodes, Tick hop_latency,
            unsigned link_bytes)
     : eq_(eq), numNodes_(num_nodes), hopLatency_(hop_latency),
       linkBytes_(link_bytes), sinks_(num_nodes),
-      stats_("noc")
+      stats_("noc"), statPackets_(stats_.scalar("packets")),
+      statBytes_(stats_.scalar("bytes")),
+      statBytesBase_(stats_.scalar("bytesBase")),
+      statBytesRetry_(stats_.scalar("bytesRetry")),
+      statBytesGrt_(stats_.scalar("bytesGrt"))
 {
     if (num_nodes == 0)
         fatal("mesh with zero nodes");
@@ -25,11 +29,6 @@ Mesh::Mesh(EventQueue &eq, unsigned num_nodes, Tick hop_latency,
     linkByteCount_.assign(linkFree_.size(), 0);
     linkPackets_.assign(linkFree_.size(), 0);
     linkNamed_.assign(linkFree_.size(), false);
-    stats_.scalar("packets");
-    stats_.scalar("bytes");
-    stats_.scalar("bytesBase");
-    stats_.scalar("bytesRetry");
-    stats_.scalar("bytesGrt");
 }
 
 void
@@ -131,17 +130,17 @@ Mesh::send(Message msg)
 
     unsigned flits = flitsFor(msg, linkBytes_);
     unsigned bytes = msg.sizeBytes();
-    stats_.scalar("packets").inc();
-    stats_.scalar("bytes").inc(bytes);
+    statPackets_.inc();
+    statBytes_.inc(bytes);
     switch (msg.trafficClass) {
       case TrafficClass::Base:
-        stats_.scalar("bytesBase").inc(bytes);
+        statBytesBase_.inc(bytes);
         break;
       case TrafficClass::Retry:
-        stats_.scalar("bytesRetry").inc(bytes);
+        statBytesRetry_.inc(bytes);
         break;
       case TrafficClass::Grt:
-        stats_.scalar("bytesGrt").inc(bytes);
+        statBytesGrt_.inc(bytes);
         break;
     }
 

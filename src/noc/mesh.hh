@@ -47,6 +47,15 @@ class Mesh
     /** Hop count of the XY route between two nodes. */
     unsigned hopCount(NodeId from, NodeId to) const;
 
+    /**
+     * Fast-forward protocol: the mesh holds no self-timed state — every
+     * in-flight packet completes through the event queue, which the
+     * fast-forward path consults directly — so it never blocks an
+     * idle-cycle jump.
+     */
+    bool quiescent() const { return true; }
+    Tick nextWakeTick() const { return maxTick; }
+
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
@@ -100,6 +109,13 @@ class Mesh
     std::vector<uint64_t> linkPackets_;
     std::vector<bool> linkNamed_; ///< trace thread-name emitted
     StatGroup stats_;
+    // Hot-path handles into stats_ (bound once at construction; map
+    // entries are reference-stable).
+    StatScalar &statPackets_;
+    StatScalar &statBytes_;
+    StatScalar &statBytesBase_;
+    StatScalar &statBytesRetry_;
+    StatScalar &statBytesGrt_;
     StatAverage latency_;
 };
 

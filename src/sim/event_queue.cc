@@ -13,7 +13,8 @@ EventQueue::schedule(Tick when, Callback cb)
     if (when < now_)
         panic("scheduling event in the past (%llu < %llu)",
               (unsigned long long)when, (unsigned long long)now_);
-    heap_.push(Entry{when, nextSeq_++, std::move(cb)});
+    heap_.push_back(Entry{when, nextSeq_++, std::move(cb)});
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void
@@ -25,11 +26,14 @@ EventQueue::scheduleIn(Tick delay, Callback cb)
 void
 EventQueue::runUntil(Tick upto)
 {
-    while (!heap_.empty() && heap_.top().when <= upto) {
-        // Copy out before pop: the callback may schedule new events.
-        Entry e = heap_.top();
-        heap_.pop();
+    while (!heap_.empty() && heap_.front().when <= upto) {
+        // Move the top entry out before running it: the callback may
+        // schedule new events, which would reallocate the heap vector.
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        Entry e = std::move(heap_.back());
+        heap_.pop_back();
         now_ = e.when;
+        executed_++;
         e.cb();
     }
     if (upto > now_)
@@ -47,16 +51,16 @@ EventQueue::setNow(Tick t)
 Tick
 EventQueue::nextEventTick() const
 {
-    return heap_.empty() ? maxTick : heap_.top().when;
+    return heap_.empty() ? maxTick : heap_.front().when;
 }
 
 void
 EventQueue::clear()
 {
-    while (!heap_.empty())
-        heap_.pop();
+    heap_.clear();
     now_ = 0;
     nextSeq_ = 0;
+    executed_ = 0;
 }
 
 } // namespace asf

@@ -5,14 +5,23 @@
  * trips, NoC deliveries, timeouts) are scheduled here and drained at the
  * top of each cycle. Events at the same tick fire in scheduling order,
  * which keeps the simulation deterministic.
+ *
+ * Event callbacks use a small-buffer-optimized type erasure instead of
+ * std::function: every capture that fits the inline buffer (sized for the
+ * largest hot-path lambda, the NoC delivery closure carrying a Message by
+ * value) is stored in the queue entry itself, so steady-state scheduling
+ * performs no heap allocation.
  */
 
 #ifndef ASF_SIM_EVENT_QUEUE_HH
 #define ASF_SIM_EVENT_QUEUE_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "sim/types.hh"
@@ -20,10 +29,114 @@
 namespace asf
 {
 
+/**
+ * Move-only callable wrapper with inline storage. Callables whose capture
+ * fits `inlineSize` bytes (and is nothrow-move-constructible, so heap
+ * rebalancing can move entries) live inside the wrapper; larger ones fall
+ * back to a single heap allocation.
+ */
+class EventCallback
+{
+  public:
+    /// Sized to hold the mesh delivery lambda (this + dst + Message).
+    static constexpr size_t inlineSize = 128;
+
+    EventCallback() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventCallback>>>
+    EventCallback(F &&f)
+    {
+        init(std::forward<F>(f));
+    }
+
+    EventCallback(EventCallback &&other) noexcept { moveFrom(other); }
+
+    EventCallback &
+    operator=(EventCallback &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    EventCallback(const EventCallback &) = delete;
+    EventCallback &operator=(const EventCallback &) = delete;
+
+    ~EventCallback() { reset(); }
+
+    void operator()() { invoke_(buf_); }
+
+    explicit operator bool() const { return invoke_ != nullptr; }
+
+  private:
+    enum class Op { MoveTo, Destroy };
+
+    template <typename F>
+    void
+    init(F &&f)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= inlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(f));
+            invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+            manage_ = [](Op op, void *src, void *dst) {
+                Fn *s = static_cast<Fn *>(src);
+                if (op == Op::MoveTo)
+                    ::new (dst) Fn(std::move(*s));
+                s->~Fn();
+            };
+        } else {
+            // Oversized capture: one heap allocation, pointer inline.
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(f)));
+            invoke_ = [](void *p) { (**static_cast<Fn **>(p))(); };
+            manage_ = [](Op op, void *src, void *dst) {
+                Fn **s = static_cast<Fn **>(src);
+                if (op == Op::MoveTo)
+                    ::new (dst) Fn *(*s); // steal the pointer
+                else
+                    delete *s;
+            };
+        }
+    }
+
+    void
+    moveFrom(EventCallback &other) noexcept
+    {
+        if (other.invoke_) {
+            other.manage_(Op::MoveTo, other.buf_, buf_);
+            invoke_ = other.invoke_;
+            manage_ = other.manage_;
+            other.invoke_ = nullptr;
+            other.manage_ = nullptr;
+        }
+    }
+
+    void
+    reset() noexcept
+    {
+        if (invoke_) {
+            manage_(Op::Destroy, buf_, nullptr);
+            invoke_ = nullptr;
+            manage_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[inlineSize];
+    void (*invoke_)(void *) = nullptr;
+    void (*manage_)(Op, void *, void *) = nullptr;
+};
+
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = EventCallback;
 
     /** Schedule cb to run at absolute tick `when` (>= now). */
     void schedule(Tick when, Callback cb);
@@ -45,6 +158,9 @@ class EventQueue
 
     /** Tick of the earliest pending event, or maxTick if none. */
     Tick nextEventTick() const;
+
+    /** Total callbacks executed since construction (host-side metric). */
+    uint64_t executedEvents() const { return executed_; }
 
     /** Drop all pending events and reset the clock. */
     void clear();
@@ -68,9 +184,10 @@ class EventQueue
         }
     };
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::vector<Entry> heap_; ///< binary min-heap via std::push/pop_heap
     Tick now_ = 0;
     uint64_t nextSeq_ = 0;
+    uint64_t executed_ = 0;
 };
 
 } // namespace asf

@@ -47,6 +47,22 @@ StatHistogram::sample(double v)
 }
 
 void
+StatHistogram::sampleN(double v, uint64_t n)
+{
+    if (!n)
+        return;
+    count_ += n;
+    sum_ += v * double(n);
+    if (v > max_)
+        max_ = v;
+    auto idx = static_cast<size_t>(v / bucketWidth_);
+    if (idx >= buckets_.size())
+        overflow_ += n;
+    else
+        buckets_[idx] += n;
+}
+
+void
 StatHistogram::reset()
 {
     for (auto &b : buckets_)

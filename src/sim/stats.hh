@@ -57,6 +57,16 @@ class StatHistogram
     StatHistogram(unsigned bucket_count = 16, double bucket_width = 1.0);
 
     void sample(double v);
+
+    /**
+     * Record `n` identical samples of value `v`. Produces exactly the
+     * same state as calling sample(v) n times (the sum update uses one
+     * v*n product, which is exact for the small-integer sample values
+     * the simulator records) — used by the fast-forward path to replay
+     * skipped quiescent cycles.
+     */
+    void sampleN(double v, uint64_t n);
+
     void reset();
 
     uint64_t count() const { return count_; }
@@ -83,6 +93,33 @@ class StatHistogram
     double sum_ = 0.0;
     double max_ = 0.0;
     double bucketWidth_;
+};
+
+class StatGroup;
+
+/**
+ * Hot-path handle to a named scalar that binds lazily: the underlying
+ * stat is created in the group on the first increment, exactly like the
+ * string-lookup call sites it replaces (so the report keeps the same
+ * shape — untouched counters stay unregistered), while steady-state
+ * increments cost one null check instead of a string map lookup.
+ */
+class LazyStatScalar
+{
+  public:
+    LazyStatScalar(StatGroup &group, const char *name)
+        : group_(group), name_(name)
+    {
+    }
+
+    StatScalar &get();
+
+    void inc(uint64_t n = 1) { get().inc(n); }
+
+  private:
+    StatGroup &group_;
+    const char *name_;
+    StatScalar *stat_ = nullptr;
 };
 
 /**
@@ -135,6 +172,14 @@ class StatGroup
     std::map<std::string, StatAverage> averages_;
     std::map<std::string, StatHistogram> histograms_;
 };
+
+inline StatScalar &
+LazyStatScalar::get()
+{
+    if (!stat_)
+        stat_ = &group_.scalar(name_);
+    return *stat_;
+}
 
 } // namespace asf
 

@@ -96,6 +96,16 @@ struct SystemConfig
     /** Store drain throughput on an L1 hit. */
     Tick storeDrainLatency = 2;
 
+    /**
+     * Idle-cycle fast-forward: when every core reports quiescent (its
+     * next tick would change nothing but statistics), System::run jumps
+     * the clock to the next event or core wake tick instead of ticking
+     * through dead cycles. Host-side optimization only — simulated
+     * timing and statistics are bit-identical either way (enforced by
+     * tests/sys/test_fast_forward.cc). Off switch for A/B checks.
+     */
+    bool fastForward = true;
+
     /** Seed for all simulator-level randomness. */
     uint64_t seed = 1;
 

@@ -174,7 +174,62 @@ System::run(Tick max_cycles)
     while (eq_.now() < end) {
         if (allDone())
             return RunResult::AllDone;
-        eq_.runUntil(eq_.now() + 1);
+
+        Tick next = eq_.now() + 1;
+
+        if (cfg_.fastForward && next >= ffResumeAt_) {
+            // Idle-cycle fast-forward: if every component reports that
+            // its next ticks are pure statistics (stalled, idle, or a
+            // compute count-down), jump the clock to the earliest tick
+            // where anything can happen — the next queued event or a
+            // core's own wake deadline — and replay the skipped cycles'
+            // statistics in bulk. Simulated state and statistics are
+            // bit-identical to ticking through (see Core::quiescent).
+            //
+            // Two host-side throttles keep the quiescence walk off the
+            // hot path when it cannot pay for itself (declining to jump
+            // is always correct): events due within kMinGap cycles make
+            // the jump cheaper to tick through, and a failed walk
+            // usually means a busy core, so retry only after
+            // kWalkBackoff cycles.
+            static constexpr Tick kMinGap = 2;
+            static constexpr Tick kWalkBackoff = 8;
+            Tick target = std::min(eq_.nextEventTick(), end);
+            if (target >= next + kMinGap && mesh_->quiescent()) {
+                Tick wake = maxTick;
+                bool all_quiescent = true;
+                for (auto &c : cores_) {
+                    Tick w;
+                    if (!c->quiescent(w)) {
+                        all_quiescent = false;
+                        break;
+                    }
+                    wake = std::min(wake, w);
+                    wake = std::min(wake,
+                                    c->writeBuffer().nextWakeTick());
+                }
+                target = std::min(target, wake);
+                if (all_quiescent && target > next) {
+                    // Ticks at `next` .. `target - 1` are skipped; the
+                    // first real tick happens at `target`.
+                    Tick skipped = target - next;
+                    for (auto &c : cores_)
+                        c->skipCycles(skipped);
+                    eq_.setNow(target - 1);
+                    fastForwardedCycles_ += skipped;
+                    next = target;
+                } else if (!all_quiescent) {
+                    ffResumeAt_ = next + kWalkBackoff;
+                }
+            }
+        }
+
+        // Cheap precursor independent of fast-forward: only walk the
+        // event heap when an event is actually due this cycle.
+        if (eq_.nextEventTick() <= next)
+            eq_.runUntil(next);
+        else
+            eq_.setNow(next);
         for (auto &c : cores_)
             c->tick();
     }

@@ -63,6 +63,13 @@ class System
 
     Tick now() const { return eq_.now(); }
 
+    /**
+     * Cycles the fast-forward path skipped ticking (host-side metric;
+     * deliberately not part of the stats dump, which stays identical
+     * with fast-forward on or off).
+     */
+    uint64_t fastForwardedCycles() const { return fastForwardedCycles_; }
+
     // --- component access ----------------------------------------------
     const SystemConfig &config() const { return cfg_; }
     unsigned numCores() const { return cfg_.numCores; }
@@ -121,6 +128,10 @@ class System
     std::vector<std::unique_ptr<L1Cache>> l1s_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::shared_ptr<const Program>> programs_;
+    uint64_t fastForwardedCycles_ = 0;
+    /** Next tick worth re-attempting the quiescence walk after a core
+     *  reported busy (host-side throttle; see System::run). */
+    Tick ffResumeAt_ = 0;
 };
 
 } // namespace asf

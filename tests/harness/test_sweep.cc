@@ -1,0 +1,117 @@
+/**
+ * The parallel-sweep invariant: runSweep must produce results and a
+ * stats-JSON log that are byte-identical for any job count. Each job
+ * owns its System, so the only coupling is the log merge, which happens
+ * in job order on the merging thread. An outer ScopedRunCapture
+ * intercepts the merged batch, giving the test the exact per-run
+ * documents the file flusher would write.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "harness/sweep.hh"
+
+using namespace asf;
+using namespace asf::harness;
+using namespace asf::workloads;
+
+namespace
+{
+
+/** Eight small ustm configs: two benches crossed with four designs. */
+std::vector<SweepJob>
+makeJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (const char *name : {"Hash", "List"}) {
+        const TlrwBench &bench = ustmBenchByName(name);
+        for (FenceDesign d : {FenceDesign::SPlus, FenceDesign::WSPlus,
+                              FenceDesign::WPlus, FenceDesign::Wee}) {
+            jobs.push_back([&bench, d] {
+                return runUstmExperiment(bench, d, 4, 30'000);
+            });
+        }
+    }
+    return jobs;
+}
+
+struct SweepOutcome
+{
+    std::vector<ExperimentResult> results;
+    std::vector<std::string> docs;
+};
+
+SweepOutcome
+runWithJobs(unsigned num_jobs)
+{
+    SweepOutcome out;
+    ScopedRunCapture capture(out.docs);
+    out.results = runSweep(makeJobs(), num_jobs);
+    return out;
+}
+
+} // namespace
+
+TEST(Sweep, ParallelMatchesSerialByteForByte)
+{
+    SweepOutcome serial = runWithJobs(1);
+    SweepOutcome parallel = runWithJobs(4);
+
+    ASSERT_EQ(serial.results.size(), 8u);
+    ASSERT_EQ(parallel.results.size(), 8u);
+
+    // Results come back in job order regardless of which worker ran
+    // which job.
+    const char *expect_wl[] = {"Hash", "Hash", "Hash", "Hash",
+                               "List", "List", "List", "List"};
+    for (size_t i = 0; i < 8; i++) {
+        EXPECT_EQ(parallel.results[i].workload, expect_wl[i]);
+        EXPECT_EQ(parallel.results[i].workload,
+                  serial.results[i].workload);
+        EXPECT_EQ(parallel.results[i].design, serial.results[i].design);
+        EXPECT_TRUE(parallel.results[i].valid)
+            << parallel.results[i].validationError;
+        EXPECT_EQ(parallel.results[i].cycles, serial.results[i].cycles);
+        EXPECT_EQ(parallel.results[i].commits,
+                  serial.results[i].commits);
+        EXPECT_EQ(parallel.results[i].instrRetired,
+                  serial.results[i].instrRetired);
+    }
+
+    // The stats-JSON documents — the exact bytes the log file is built
+    // from — must match run for run.
+    ASSERT_EQ(serial.docs.size(), 8u);
+    ASSERT_EQ(parallel.docs.size(), 8u);
+    for (size_t i = 0; i < 8; i++)
+        EXPECT_EQ(parallel.docs[i], serial.docs[i])
+            << "stats document " << i << " differs between jobs=1 and "
+            << "jobs=4";
+}
+
+TEST(Sweep, OversubscribedAndClampedJobCounts)
+{
+    // More workers than jobs, and absurd counts, must behave the same.
+    SweepOutcome serial = runWithJobs(1);
+    SweepOutcome wide = runWithJobs(64);
+    ASSERT_EQ(wide.docs.size(), serial.docs.size());
+    for (size_t i = 0; i < serial.docs.size(); i++)
+        EXPECT_EQ(wide.docs[i], serial.docs[i]);
+    // jobs=0 clamps to 1 rather than deadlocking.
+    SweepOutcome zero = runWithJobs(0);
+    ASSERT_EQ(zero.docs.size(), serial.docs.size());
+    for (size_t i = 0; i < serial.docs.size(); i++)
+        EXPECT_EQ(zero.docs[i], serial.docs[i]);
+}
+
+TEST(Sweep, EmptyJobList)
+{
+    std::vector<std::string> docs;
+    ScopedRunCapture capture(docs);
+    std::vector<ExperimentResult> results = runSweep({}, 4);
+    EXPECT_TRUE(results.empty());
+    EXPECT_TRUE(docs.empty());
+}

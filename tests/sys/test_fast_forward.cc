@@ -1,0 +1,173 @@
+/**
+ * The fast-forward invariant: idle-cycle fast-forward is a host-side
+ * optimization only, and must leave every simulated observable — final
+ * cycle count, retired instructions, and the complete stats JSON dump —
+ * bit-identical to a plain cycle-by-cycle run. Checked on a hand-built
+ * two-core fence/miss workload (where fast-forward demonstrably
+ * engages) and on randomized fence-disciplined programs across all five
+ * fence designs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "../helpers.hh"
+#include "prog/fuzz.hh"
+
+using namespace asf;
+using namespace asf::test;
+
+namespace
+{
+
+struct RunOutcome
+{
+    Tick cycles = 0;
+    uint64_t instrRetired = 0;
+    uint64_t fastForwardedCycles = 0;
+    std::string statsJson;
+};
+
+/** Run `sys` to completion and harvest everything the invariant covers. */
+RunOutcome
+harvest(System &sys)
+{
+    runToCompletion(sys);
+    RunOutcome out;
+    out.cycles = sys.now();
+    out.instrRetired = sys.totalInstrRetired();
+    out.fastForwardedCycles = sys.fastForwardedCycles();
+    std::ostringstream os;
+    sys.dumpStatsJson(os);
+    out.statsJson = os.str();
+    return out;
+}
+
+/** The microbench-style idle-heavy kernel: a cold-miss store drained
+ *  through a strong fence, then a cold-miss load, per iteration. Every
+ *  iteration is dominated by off-chip stall cycles, so fast-forward
+ *  has long gaps to jump. */
+Program
+fenceMissProgram(int64_t iters)
+{
+    Assembler a("fence_miss");
+    a.li(4, 0);
+    a.li(5, iters);
+    a.bind("loop");
+    a.addi(3, 3, 1);
+    a.st(1, 0, 3);
+    a.fence(FenceRole::Critical);
+    a.ld(6, 2, 0);
+    a.addi(1, 1, 4096);
+    a.addi(2, 2, 4096);
+    a.addi(4, 4, 1);
+    a.blt(4, 5, "loop");
+    a.halt();
+    return a.finish();
+}
+
+void
+loadFenceMiss(System &sys, unsigned cores, int64_t iters)
+{
+    auto prog = share(fenceMissProgram(iters));
+    for (unsigned i = 0; i < cores; i++) {
+        sys.loadProgram(NodeId(i), prog);
+        // Disjoint streams, one per core, each homed locally.
+        sys.core(NodeId(i)).setReg(1, 0x1000000 + Addr(i) * 512);
+        sys.core(NodeId(i)).setReg(2, 0x4000000 + Addr(i) * 512);
+    }
+}
+
+} // namespace
+
+TEST(FastForward, TwoCoreFenceWorkloadBitIdentical)
+{
+    RunOutcome outcomes[2];
+    for (bool ff : {false, true}) {
+        SystemConfig cfg = smallConfig(FenceDesign::SPlus, 2);
+        cfg.fastForward = ff;
+        System sys(cfg);
+        loadFenceMiss(sys, 2, 50);
+        outcomes[ff] = harvest(sys);
+    }
+    const RunOutcome &off = outcomes[0], &on = outcomes[1];
+
+    EXPECT_EQ(off.fastForwardedCycles, 0u);
+    // The workload is stall-dominated: if fast-forward never engaged,
+    // the test is vacuous and the optimization silently regressed.
+    EXPECT_GT(on.fastForwardedCycles, 0u)
+        << "fast-forward never engaged on an idle-heavy workload";
+
+    EXPECT_EQ(on.cycles, off.cycles);
+    EXPECT_EQ(on.instrRetired, off.instrRetired);
+    EXPECT_EQ(on.statsJson, off.statsJson)
+        << "fast-forward changed a simulated statistic";
+}
+
+TEST(FastForward, BusyWorkloadUnaffected)
+{
+    // A never-idle spin loop: fast-forward must stay out of the way and
+    // change nothing.
+    RunOutcome outcomes[2];
+    for (bool ff : {false, true}) {
+        SystemConfig cfg = smallConfig(FenceDesign::SPlus, 1);
+        cfg.fastForward = ff;
+        System sys(cfg);
+        Assembler a("spin");
+        a.li(4, 0);
+        a.li(5, 2000);
+        a.bind("loop");
+        a.ld(2, 1, 0);
+        a.addi(2, 2, 1);
+        a.st(1, 0, 2);
+        a.addi(4, 4, 1);
+        a.blt(4, 5, "loop");
+        a.halt();
+        sys.loadProgram(0, share(a.finish()));
+        sys.core(0).setReg(1, 0x1000);
+        outcomes[ff] = harvest(sys);
+    }
+    EXPECT_EQ(outcomes[1].cycles, outcomes[0].cycles);
+    EXPECT_EQ(outcomes[1].instrRetired, outcomes[0].instrRetired);
+    EXPECT_EQ(outcomes[1].statsJson, outcomes[0].statsJson);
+}
+
+TEST(FastForward, FuzzProgramsBitIdenticalAcrossDesigns)
+{
+    // Randomized fence-disciplined programs: every design, two seeds,
+    // padded and packed layouts. Stats must match exactly with
+    // fast-forward on vs off in every combination.
+    for (FenceDesign design : allFenceDesigns) {
+        for (uint64_t seed : {5ull, 17ull}) {
+            for (bool packed : {false, true}) {
+                FuzzConfig fc;
+                fc.numThreads = 4;
+                fc.numLocations = 8;
+                fc.rounds = 8;
+                fc.packLocations = packed;
+                fc.seed = seed;
+                FuzzSetup setup = buildFuzz(fc);
+
+                RunOutcome outcomes[2];
+                for (bool ff : {false, true}) {
+                    SystemConfig cfg = smallConfig(design, 4);
+                    cfg.fastForward = ff;
+                    System sys(cfg);
+                    for (unsigned t = 0; t < fc.numThreads; t++)
+                        sys.loadProgram(
+                            NodeId(t),
+                            share(Program(setup.programs[t])));
+                    outcomes[ff] = harvest(sys);
+                }
+                EXPECT_EQ(outcomes[1].cycles, outcomes[0].cycles)
+                    << fenceDesignName(design) << " seed " << seed
+                    << (packed ? " packed" : " padded");
+                EXPECT_EQ(outcomes[1].statsJson, outcomes[0].statsJson)
+                    << fenceDesignName(design) << " seed " << seed
+                    << (packed ? " packed" : " padded");
+            }
+        }
+    }
+}

@@ -19,6 +19,7 @@
 
 #include "harness/experiment.hh"
 #include "harness/report.hh"
+#include "harness/sweep.hh"
 #include "sim/logging.hh"
 
 using namespace asf;
@@ -35,6 +36,7 @@ struct Options
     unsigned cores = 8;
     Tick cycles = 300'000; ///< budget (throughput) or cap (completion)
     bool allDesigns = false;
+    unsigned jobs = 1; ///< host worker threads for --all-designs
     bool csv = false;
     bool dumpStats = false;
     std::string statsJson; ///< --stats-json path ("" = off)
@@ -54,6 +56,10 @@ usage(int code)
         "  --all-designs           run every design and compare\n"
         "  --cores N               number of cores (default 8)\n"
         "  --cycles N              cycle budget (default 300000)\n"
+        "  --jobs N                host threads for --all-designs "
+        "(default 1)\n"
+        "  --no-fast-forward       tick every idle cycle (A/B check; "
+        "results are identical)\n"
         "  --stats                 dump per-core statistic counters\n"
         "  --stats-json PATH       write the full stats report "
         "(schemaVersion 1 JSON)\n"
@@ -106,6 +112,12 @@ parse(int argc, char **argv)
             opt.cores = unsigned(std::atoi(need("--cores")));
         else if (!std::strcmp(argv[i], "--cycles"))
             opt.cycles = Tick(std::atoll(need("--cycles")));
+        else if (!std::strcmp(argv[i], "--jobs"))
+            opt.jobs = unsigned(std::atoi(need("--jobs")));
+        else if (const char *v = eq_form("--jobs"))
+            opt.jobs = unsigned(std::atoi(v));
+        else if (!std::strcmp(argv[i], "--no-fast-forward"))
+            setFastForwardEnabled(false);
         else if (!std::strcmp(argv[i], "--stats"))
             opt.dumpStats = true;
         else if (!std::strcmp(argv[i], "--stats-json"))
@@ -218,8 +230,15 @@ main(int argc, char **argv)
                     "fenceStall,commits,tasks,recoveries,status\n");
 
     if (opt.allDesigns) {
+        if (opt.dumpStats && opt.jobs > 1) {
+            warn("--stats writes to stderr as it runs; using 1 job");
+            opt.jobs = 1;
+        }
+        std::vector<SweepJob> sweep;
         for (FenceDesign d : allFenceDesigns)
-            printResult(opt, runOne(opt, d));
+            sweep.push_back([&opt, d] { return runOne(opt, d); });
+        for (const ExperimentResult &r : runSweep(sweep, opt.jobs))
+            printResult(opt, r);
     } else {
         printResult(opt, runOne(opt, opt.design));
     }
