@@ -39,6 +39,11 @@ struct BenchOptions
     unsigned jobs = 1;     ///< host worker threads for the config sweep
     std::string statsJson; ///< --stats-json path ("" = off)
     std::string trace;     ///< --trace path ("" = off)
+    std::string fenceProfile; ///< --fence-profile JSONL path ("" = off)
+    /** Livelock watchdog window; on by default in the benches so a
+     *  livelocked configuration aborts with a diagnostic snapshot
+     *  instead of burning the full cycle budget. 0 disables. */
+    Tick watchdogCycles = 1'000'000;
 };
 
 inline BenchOptions
@@ -76,16 +81,28 @@ parseArgs(int argc, char **argv)
             opt.trace = need("--trace");
         else if (const char *v = eq_form("--trace"))
             opt.trace = v;
+        else if (!std::strcmp(argv[i], "--fence-profile"))
+            opt.fenceProfile = need("--fence-profile");
+        else if (const char *v = eq_form("--fence-profile"))
+            opt.fenceProfile = v;
+        else if (!std::strcmp(argv[i], "--watchdog-cycles"))
+            opt.watchdogCycles = Tick(std::atoll(need("--watchdog-cycles")));
+        else if (const char *v = eq_form("--watchdog-cycles"))
+            opt.watchdogCycles = Tick(std::atoll(v));
         else
             fatal("unknown option '%s' (supported: --csv --quick "
                   "--jobs N --no-fast-forward --stats-json PATH "
-                  "--trace PATH)",
+                  "--trace PATH --fence-profile PATH "
+                  "--watchdog-cycles N)",
                   argv[i]);
     }
     if (!opt.statsJson.empty())
         harness::setStatsJsonPath(opt.statsJson);
     if (!opt.trace.empty())
         harness::setTracePath(opt.trace);
+    if (!opt.fenceProfile.empty())
+        harness::setFenceProfilePath(opt.fenceProfile);
+    harness::setWatchdogCyclesDefault(opt.watchdogCycles);
     setVerbose(false);
     return opt;
 }

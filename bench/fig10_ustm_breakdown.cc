@@ -18,8 +18,15 @@ main(int argc, char **argv)
     BenchOptions opt = parseArgs(argc, argv);
     Tick run_cycles = opt.quick ? 100'000 : 300'000;
 
+    // Decomposed stall columns (normalized like busy): held = fence
+    // holds (strong + BS-full), wfwd = load wait-forward, wee = GRT
+    // wait + Remote-PS holds, bnc = bounce retries + Wee serialization,
+    // rcv = W+ recovery, l1/sqsh/wbf = L1 miss / squash refetch /
+    // WB-full, rmw = RMW drain + NoC queueing.
     Table table({"bench", "design", "cyclesPerTxn", "normCycles", "busy",
-                 "otherStall", "fenceStall", "fenceStallPct"});
+                 "otherStall", "fenceStall", "fenceStallPct", "held",
+                 "wfwd", "wee", "bnc", "rcv", "l1", "sqsh", "wbf",
+                 "rmw"});
 
     std::vector<SweepJob> sweep;
     for (const TlrwBench &bench : ustmBenches())
@@ -47,13 +54,30 @@ main(int argc, char **argv)
                 splus_cpt = cpt;
             double norm = splus_cpt > 0 ? cpt / splus_cpt : 0.0;
             double active = double(r.breakdown.active());
+            const CycleBreakdown &b = r.breakdown;
+            auto scaled = [&](uint64_t cycles) {
+                return fmtDouble(norm * double(cycles) / active, 3);
+            };
             table.addRow(
                 {bench.name, fenceDesignName(d), fmtDouble(cpt, 0),
                  fmtDouble(norm),
-                 fmtDouble(norm * double(r.breakdown.busy) / active),
-                 fmtDouble(norm * double(r.breakdown.otherStall) / active),
-                 fmtDouble(norm * double(r.breakdown.fenceStall) / active),
-                 fmtDouble(100.0 * r.breakdown.fenceFrac(), 1)});
+                 fmtDouble(norm * double(b.busy) / active),
+                 fmtDouble(norm * double(b.otherStall) / active),
+                 fmtDouble(norm * double(b.fenceStall) / active),
+                 fmtDouble(100.0 * b.fenceFrac(), 1),
+                 scaled(b.bucket(StallBucket::FenceHeldStrong) +
+                        b.bucket(StallBucket::FenceHeldBsFull)),
+                 scaled(b.bucket(StallBucket::FenceWaitForward)),
+                 scaled(b.bucket(StallBucket::FenceGrtWait) +
+                        b.bucket(StallBucket::FenceRemotePs)),
+                 scaled(b.bucket(StallBucket::FenceBounceRetry) +
+                        b.bucket(StallBucket::FenceSerialize)),
+                 scaled(b.bucket(StallBucket::FenceRecovering)),
+                 scaled(b.bucket(StallBucket::OtherL1Miss)),
+                 scaled(b.bucket(StallBucket::OtherSquashRefetch)),
+                 scaled(b.bucket(StallBucket::OtherWbFull)),
+                 scaled(b.bucket(StallBucket::OtherRmwDrain) +
+                        b.bucket(StallBucket::OtherNocQueue))});
             sum_norm[di] += norm;
             sum_fencepct[di] += r.breakdown.fenceFrac();
             di++;
@@ -65,7 +89,8 @@ main(int argc, char **argv)
     for (FenceDesign d : figureDesigns()) {
         table.addRow({"[ustm-AVG]", fenceDesignName(d), "-",
                       fmtDouble(sum_norm[di] / nbench), "-", "-", "-",
-                      fmtDouble(100.0 * sum_fencepct[di] / nbench, 1)});
+                      fmtDouble(100.0 * sum_fencepct[di] / nbench, 1),
+                      "-", "-", "-", "-", "-", "-", "-", "-", "-"});
         di++;
     }
 

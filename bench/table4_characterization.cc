@@ -25,11 +25,19 @@ struct GroupAccum
     double recoveries = 0;
     double demotions = 0;
     double bytesBase = 0, bytesOver = 0;
+    double active = 0, fenceStall = 0, weeHold = 0, bounce = 0;
     unsigned n = 0;
 
     void
     add(const ExperimentResult &r)
     {
+        active += double(r.breakdown.active());
+        fenceStall += double(r.breakdown.fenceStall);
+        weeHold += double(r.breakdown.bucket(StallBucket::FenceGrtWait) +
+                          r.breakdown.bucket(StallBucket::FenceRemotePs));
+        bounce +=
+            double(r.breakdown.bucket(StallBucket::FenceBounceRetry) +
+                   r.breakdown.bucket(StallBucket::FenceSerialize));
         instr += double(r.instrRetired);
         sf += double(r.fencesStrong);
         wf += double(r.fencesWeak);
@@ -67,7 +75,14 @@ rowFor(const std::string &group, const char *design, const GroupAccum &g)
             fmtDouble(g.bytesBase > 0
                           ? 100.0 * g.bytesOver / g.bytesBase
                           : 0.0,
-                      3)};
+                      3),
+            fmtDouble(g.active > 0 ? 100.0 * g.fenceStall / g.active
+                                   : 0.0,
+                      2),
+            fmtDouble(g.active > 0 ? 100.0 * g.weeHold / g.active : 0.0,
+                      2),
+            fmtDouble(g.active > 0 ? 100.0 * g.bounce / g.active : 0.0,
+                      2)};
 }
 
 } // namespace
@@ -78,9 +93,12 @@ main(int argc, char **argv)
     BenchOptions opt = parseArgs(argc, argv);
     Tick ustm_cycles = opt.quick ? 80'000 : 250'000;
 
+    // fence% / weeHold% / bounce% are CPI-stack shares of active
+    // cycles: total fence stall, Wee GRT-wait + Remote-PS holds, and
+    // bounce retries + Wee serialization respectively.
     Table table({"group", "design", "sf/1000i", "wf/1000i", "lines/BS",
                  "wrBounc/wf", "retries/wr", "recov/wf", "demote/1000i",
-                 "trafficIncr%"});
+                 "trafficIncr%", "fence%", "weeHold%", "bounce%"});
 
     std::vector<FenceDesign> designs = {FenceDesign::SPlus,
                                         FenceDesign::WSPlus,

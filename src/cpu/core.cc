@@ -2,9 +2,11 @@
 
 #include <algorithm>
 
+#include "fence/profile.hh"
 #include "mem/address.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "sys/system.hh"
 
 namespace asf
 {
@@ -87,7 +89,7 @@ void
 Core::tick()
 {
     retiredThisCycle_ = 0;
-    stallReason_ = Stall::Other;
+    weeSerializeStall_ = false;
 
     if (done()) {
         hot_.idleCycles.inc();
@@ -117,18 +119,71 @@ Core::classifyCycle()
         hot_.idleCycles.inc();
         return;
     }
-    switch (stallReason_) {
-      case Stall::Fence:
-        hot_.fenceStallCycles.inc();
-        break;
-      case Stall::RmwDrain:
-        hot_.rmwDrainCycles.inc();
-        hot_.otherStallCycles.inc();
-        break;
-      case Stall::Other:
-        hot_.otherStallCycles.inc();
-        break;
+    recordStallCycles(weeSerializeStall_ ? StallBucket::FenceSerialize
+                                         : stallBucket(),
+                      1);
+}
+
+StallBucket
+Core::stallBucket() const
+{
+    if (recovering_)
+        return StallBucket::FenceRecovering;
+    if (load_.phase != LoadPhase::Inactive) {
+        switch (load_.phase) {
+          case LoadPhase::Held:
+            switch (load_.hold) {
+              case HoldReason::StrongFence:
+                return StallBucket::FenceHeldStrong;
+              case HoldReason::BsFull:
+                return StallBucket::FenceHeldBsFull;
+              case HoldReason::GrtPending:
+              case HoldReason::NonHomeLine:
+                return StallBucket::FenceGrtWait;
+              case HoldReason::RemotePs:
+                return StallBucket::FenceRemotePs;
+              case HoldReason::None:
+                break; // not a steady state; classify conservatively
+            }
+            return StallBucket::FenceHeldStrong;
+          case LoadPhase::WaitForward:
+            return StallBucket::FenceWaitForward;
+          default:
+            // AccessPending / PerformWait / MissPending / Performed:
+            // the memory system is working on the load.
+            return load_.squashed ? StallBucket::OtherSquashRefetch
+                                  : StallBucket::OtherL1Miss;
+        }
     }
+    if (rmw_.phase != RmwPhase::Inactive)
+        return rmw_.phase == RmwPhase::Drain ? StallBucket::OtherRmwDrain
+                                             : StallBucket::OtherNocQueue;
+    // Executable thread that could not act: a store stalled on a full
+    // write buffer. With a bounced store among the blockers the fence
+    // protocol is what keeps the buffer from draining.
+    return anyStoreBounced() ? StallBucket::FenceBounceRetry
+                             : StallBucket::OtherWbFull;
+}
+
+void
+Core::recordStallCycles(StallBucket b, uint64_t n)
+{
+    hot_.stall[unsigned(b)]->inc(n);
+    if (stallBucketIsFence(b))
+        hot_.fenceStallCycles.inc(n);
+    else
+        hot_.otherStallCycles.inc(n);
+}
+
+void
+Core::addBreakdown(CycleBreakdown &b) const
+{
+    b.busy += hot_.busyCycles.value();
+    b.fenceStall += hot_.fenceStallCycles.value();
+    b.otherStall += hot_.otherStallCycles.value();
+    b.idle += hot_.idleCycles.value();
+    for (unsigned i = 0; i < numStallBuckets; i++)
+        b.stall[i] += hot_.stall[i]->value();
 }
 
 // ---------------------------------------------------------------------
@@ -359,10 +414,13 @@ Core::quiescent(Tick &wake) const
 void
 Core::skipCycles(uint64_t n)
 {
-    // Replay exactly what n quiescent tick() calls would have recorded.
-    // The branch structure mirrors tick/tickExecute/classifyCycle
-    // priority: done -> idle; compute -> busy; otherwise one stall
-    // bucket (plus its detail counter) per cycle.
+    // Replay exactly what n quiescent tick() calls would have recorded:
+    // done -> idle; compute -> busy; halted with inactive units -> idle;
+    // otherwise the shared stallBucket() classification — the same
+    // function classifyCycle uses, which is what keeps tick and skip
+    // bit-identical. (The Wee serialize marker is a transition state:
+    // executeQuiescent returns false at a fence instruction, so skips
+    // never span it.)
     if (!n)
         return;
     if (done()) {
@@ -370,59 +428,22 @@ Core::skipCycles(uint64_t n)
         return;
     }
     hot_.wbOccupancy.sampleN(double(wb_.size()), n);
-    if (recovering_) {
-        hot_.fenceStallCycles.inc(n);
-        hot_.stallRecovering.inc(n);
-        return;
-    }
-    if (computeRemaining_ > 0) {
-        if (n > computeRemaining_)
-            panic("core %d: fast-forward past compute-burst end", id_);
-        computeRemaining_ -= n;
-        hot_.busyCycles.inc(n);
-        return;
-    }
-    if (load_.phase != LoadPhase::Inactive) {
-        if (load_.phase == LoadPhase::Held) {
-            hot_.fenceStallCycles.inc(n);
-            switch (load_.hold) {
-              case HoldReason::StrongFence:
-                hot_.stallHeldStrong.inc(n);
-                break;
-              case HoldReason::BsFull:
-                hot_.stallHeldBsFull.inc(n);
-                break;
-              case HoldReason::GrtPending:
-              case HoldReason::NonHomeLine:
-              case HoldReason::RemotePs:
-                hot_.stallHeldWee.inc(n);
-                break;
-              case HoldReason::None:
-                break;
-            }
-        } else if (load_.phase == LoadPhase::WaitForward) {
-            hot_.fenceStallCycles.inc(n);
-            hot_.stallWaitForward.inc(n);
-        } else {
-            hot_.otherStallCycles.inc(n);
+    if (!recovering_) {
+        if (computeRemaining_ > 0) {
+            if (n > computeRemaining_)
+                panic("core %d: fast-forward past compute-burst end",
+                      id_);
+            computeRemaining_ -= n;
+            hot_.busyCycles.inc(n);
+            return;
         }
-        return;
+        if (thread_.halted() && load_.phase == LoadPhase::Inactive &&
+            rmw_.phase == RmwPhase::Inactive) {
+            hot_.idleCycles.inc(n);
+            return;
+        }
     }
-    if (rmw_.phase != RmwPhase::Inactive) {
-        if (rmw_.phase == RmwPhase::Drain)
-            hot_.rmwDrainCycles.inc(n);
-        hot_.otherStallCycles.inc(n);
-        return;
-    }
-    if (thread_.halted()) {
-        hot_.idleCycles.inc(n);
-        return;
-    }
-    // Executable thread, quiescent: a store stalled on a full buffer.
-    if (anyStoreBounced())
-        hot_.fenceStallCycles.inc(n);
-    else
-        hot_.otherStallCycles.inc(n);
+    recordStallCycles(stallBucket(), n);
 }
 
 // ---------------------------------------------------------------------
@@ -485,8 +506,11 @@ Core::completeFence(FenceInstance &f)
         m.dst = f.grtHome;
         m.requester = id_;
         m.trafficClass = TrafficClass::Grt;
+        m.fenceId = f.profileId;
         mesh_.send(std::move(m));
     }
+    if (profiler_ && f.profileId)
+        profiler_->onComplete(f.profileId, eq_.now());
 }
 
 void
@@ -538,6 +562,8 @@ Core::recoverWPlus(FenceInstance &f)
     stats_.scalar("wPlusRecoveries").inc();
     thread_ = f.checkpoint;
     unsigned squashed = wb_.dropYoungerThan(f.lastPreStoreSeq);
+    if (profiler_)
+        profiler_->onRecovery(f.profileId, squashed);
     ASF_TRACE(instant(eq_.now(), uint32_t(id_), "fence", "W+ recovery",
                       format("{\"fence\":%llu,\"squashedStores\":%u}",
                              (unsigned long long)f.id, squashed)));
@@ -555,8 +581,11 @@ Core::recoverWPlus(FenceInstance &f)
     f.bouncedSomeone = false;
     f.timing = false;
     // Every younger fence was executed by squashed post-checkpoint code.
-    while (!fences_.empty() && &fences_.back() != &f)
+    while (!fences_.empty() && &fences_.back() != &f) {
+        if (profiler_ && fences_.back().profileId)
+            profiler_->onSquashed(fences_.back().profileId);
         fences_.pop_back();
+    }
     // Stall at the fence until the pre-fence stores drain; then the same
     // deadlock is no longer possible.
     recovering_ = true;
@@ -571,6 +600,8 @@ Core::demoteWee(FenceInstance &f)
     f.demoted = true;
     f.timing = false;
     bs_.clear();
+    if (profiler_)
+        profiler_->onDemote(f.profileId);
 }
 
 // ---------------------------------------------------------------------
@@ -658,6 +689,7 @@ Core::issueStores()
 
         MsgType type = MsgType::GetX;
         TrafficClass tc = TrafficClass::Base;
+        uint64_t order_fence_id = 0;
         if (rs.everNacked) {
             tc = TrafficClass::Retry;
             // "If the core then executes a wf, the hardware sets the O
@@ -666,8 +698,11 @@ Core::issueStores()
             bool wf_after = false;
             for (const auto &f : fences_)
                 if (f.kind == FenceKind::Weak && !f.demoted &&
-                    f.lastPreStoreSeq >= e->seq)
+                    f.lastPreStoreSeq >= e->seq) {
                     wf_after = true;
+                    if (!order_fence_id)
+                        order_fence_id = f.profileId;
+                }
             if (wf_after && cfg_.design == FenceDesign::WSPlus)
                 type = MsgType::OrderWrite;
             else if (wf_after && cfg_.design == FenceDesign::SWPlus)
@@ -685,7 +720,8 @@ Core::issueStores()
             l1_.pin(line);
         e->issued = true;
         l1_.sendWriteReq(type, e->addr, e->value,
-                         type == MsgType::GetX && has_shared, tc);
+                         type == MsgType::GetX && has_shared, tc,
+                         type != MsgType::GetX ? order_fence_id : 0);
         if (type != MsgType::GetX)
             stats_.scalar("orderRequests").inc();
     }
@@ -785,6 +821,7 @@ Core::evaluateLoadGate()
     HoldReason hr = HoldReason::None;
     bool needs_bs = false;
     uint64_t epoch = 0;
+    uint64_t epoch_profile = 0;
     FenceInstance *wee = nullptr;
 
     for (auto &f : fences_) {
@@ -795,6 +832,7 @@ Core::evaluateLoadGate()
         if (f.kind == FenceKind::Weak) {
             needs_bs = true;
             epoch = f.id;
+            epoch_profile = f.profileId;
             continue;
         }
         // WeeFence rules. Private Access Filtering first: no other
@@ -804,6 +842,7 @@ Core::evaluateLoadGate()
             isPrivate_(load_.line)) {
             needs_bs = true;
             epoch = f.id;
+            epoch_profile = f.profileId;
             continue;
         }
         if (f.grtHome == invalidNode) {
@@ -811,12 +850,15 @@ Core::evaluateLoadGate()
             // as the fence's GRT module and fetch its Remote PS.
             f.grtHome = homeNode(load_.line, cfg_.numCores);
             f.grtPending = true;
+            if (profiler_)
+                profiler_->onGrtDeposit(f.profileId, 0, eq_.now());
             Message m;
             m.type = MsgType::GrtDeposit;
             m.src = id_;
             m.dst = f.grtHome;
             m.requester = id_;
             m.trafficClass = TrafficClass::Grt;
+            m.fenceId = f.profileId;
             mesh_.send(std::move(m));
             hr = HoldReason::GrtPending;
             break;
@@ -837,11 +879,14 @@ Core::evaluateLoadGate()
         }
         needs_bs = true;
         epoch = f.id;
+        epoch_profile = f.profileId;
     }
 
     if (hr == HoldReason::None && needs_bs && !load_.inBs) {
         if (bs_.insert(load_.addr, epoch)) {
             load_.inBs = true;
+            if (profiler_ && epoch_profile)
+                profiler_->onBsInsert(epoch_profile);
         } else {
             hr = HoldReason::BsFull;
             if (load_.hold != HoldReason::BsFull)
@@ -854,6 +899,13 @@ Core::evaluateLoadGate()
         return;
     }
 
+    // Count Remote-PS holds on the transition (like bsFullHolds above),
+    // not per re-evaluation cycle.
+    if (profiler_ && hr == HoldReason::RemotePs &&
+        (load_.phase != LoadPhase::Held ||
+         load_.hold != HoldReason::RemotePs))
+        profiler_->onRemotePsHold(wee->profileId);
+
     load_.phase = LoadPhase::Held;
     load_.hold = hr;
     if (hr == HoldReason::RemotePs && eq_.now() >= load_.nextGrtCheckAt) {
@@ -864,6 +916,7 @@ Core::evaluateLoadGate()
         m.addr = load_.line;
         m.requester = id_;
         m.trafficClass = TrafficClass::Grt;
+        m.fenceId = wee->profileId;
         mesh_.send(std::move(m));
         load_.nextGrtCheckAt = eq_.now() + cfg_.grtRecheckInterval;
     }
@@ -953,48 +1006,19 @@ Core::performRmwLocal()
 void
 Core::tickExecute()
 {
-    if (recovering_) {
-        stallReason_ = Stall::Fence;
-        hot_.stallRecovering.inc();
+    // Cycle classification moved wholesale to classifyCycle/stallBucket
+    // (end-of-tick state): this stage only advances execution.
+    if (recovering_)
         return;
-    }
     if (computeRemaining_ > 0) {
         computeRemaining_--;
         // Compute cycles count as busy via a synthetic retire credit.
         retiredThisCycle_++;
         return;
     }
-    if (load_.phase != LoadPhase::Inactive) {
-        if (load_.phase == LoadPhase::Held) {
-            stallReason_ = Stall::Fence;
-            switch (load_.hold) {
-              case HoldReason::StrongFence:
-                hot_.stallHeldStrong.inc();
-                break;
-              case HoldReason::BsFull:
-                hot_.stallHeldBsFull.inc();
-                break;
-              case HoldReason::GrtPending:
-              case HoldReason::NonHomeLine:
-              case HoldReason::RemotePs:
-                hot_.stallHeldWee.inc();
-                break;
-              case HoldReason::None:
-                break;
-            }
-        } else if (load_.phase == LoadPhase::WaitForward) {
-            stallReason_ = Stall::Fence;
-            hot_.stallWaitForward.inc();
-        } else {
-            stallReason_ = Stall::Other;
-        }
-        return;
-    }
-    if (rmw_.phase != RmwPhase::Inactive) {
-        stallReason_ =
-            rmw_.phase == RmwPhase::Drain ? Stall::RmwDrain : Stall::Other;
-        return;
-    }
+    if (load_.phase != LoadPhase::Inactive ||
+        rmw_.phase != RmwPhase::Inactive)
+        return; // execution stalls behind the active unit
     if (thread_.halted())
         return;
 
@@ -1012,11 +1036,9 @@ Core::executeOne(unsigned &budget)
         startLoad(ins);
         return false;
       case Op::St: {
-        if (wb_.full()) {
-            stallReason_ =
-                anyStoreBounced() ? Stall::Fence : Stall::Other;
-            return false;
-        }
+        if (wb_.full())
+            return false; // classifies as bounce-retry / wb-full
+
         Addr addr = thread_.reg(ins.ra) + uint64_t(ins.imm);
         if (!isWordAligned(addr))
             fatal("core %d: unaligned store to %#llx (pc %llu)", id_,
@@ -1144,6 +1166,8 @@ Core::startFence(const Instr &ins)
             break;
         }
         stats_.scalar("fencesInstant").inc();
+        if (profiler_)
+            profiler_->onInstant(id_, kind, eq_.now());
         thread_.setPc(thread_.pc() + 1);
         retiredThisCycle_++;
         hot_.instrRetired.inc();
@@ -1154,7 +1178,7 @@ Core::startFence(const Instr &ins)
         // The GRT holds a single Pending Set per core, so WeeFences
         // serialize. Plain weak fences may overlap: the BS simply stays
         // armed until the youngest one completes.
-        stallReason_ = Stall::Fence;
+        weeSerializeStall_ = true;
         return;
     }
 
@@ -1163,6 +1187,8 @@ Core::startFence(const Instr &ins)
     f.id = ++nextFenceId_;
     f.lastPreStoreSeq = wb_.lastSeq();
     f.executedAt = eq_.now();
+    if (profiler_)
+        f.profileId = profiler_->onIssue(id_, kind, eq_.now());
 
     thread_.setPc(thread_.pc() + 1);
 
@@ -1204,9 +1230,14 @@ Core::startFence(const Instr &ins)
             // fence (paper Section 2.3).
             f.demoted = true;
             stats_.scalar("weeMultiModuleDemotions").inc();
+            if (profiler_)
+                profiler_->onDemote(f.profileId);
         } else {
             f.grtHome = home;
             f.grtPending = true;
+            if (profiler_)
+                profiler_->onGrtDeposit(f.profileId, ps.size(),
+                                        eq_.now());
             Message m;
             m.type = MsgType::GrtDeposit;
             m.src = id_;
@@ -1214,6 +1245,7 @@ Core::startFence(const Instr &ins)
             m.requester = id_;
             m.addrSet = std::move(ps);
             m.trafficClass = TrafficClass::Grt;
+            m.fenceId = f.profileId;
             mesh_.send(std::move(m));
         }
         break;
@@ -1264,8 +1296,11 @@ Core::onBsBounce(Addr line)
 {
     (void)line;
     stats_.scalar("bsBounces").inc();
-    if (FenceInstance *wf = activeWeakFence())
+    if (FenceInstance *wf = activeWeakFence()) {
         wf->bouncedSomeone = true;
+        if (profiler_ && wf->profileId)
+            profiler_->onBounce(wf->profileId);
+    }
 }
 
 void
@@ -1278,6 +1313,7 @@ Core::onLineInvalidated(Addr line)
         // re-performs (and will observe the new value).
         load_.phase = LoadPhase::AccessPending;
         load_.inBs = false;
+        load_.squashed = true;
         stats_.scalar("loadSquashes").inc();
         ASF_TRACE(instant(eq_.now(), uint32_t(id_), "cpu", "load squash",
                           format("{\"line\":%llu}",
@@ -1346,6 +1382,15 @@ Core::onL1Reply(const Message &msg)
                 l1_.unpin(txn->line);
             txn->active = false;
             stats_.scalar("storeNacks").inc();
+            if (profiler_) {
+                // Attribute the bounce round to the oldest fence the
+                // nacked store is pending under.
+                for (const auto &f : fences_)
+                    if (f.profileId && f.lastPreStoreSeq >= e->seq) {
+                        profiler_->onStoreNack(f.profileId);
+                        break;
+                    }
+            }
         } else if (rmw_.phase == RmwPhase::WaitLine &&
                    rmw_.line == msg.addr) {
             if (rmw_.pinned) {
@@ -1378,6 +1423,8 @@ Core::onGrtMessage(const Message &msg)
                 f.grtHome == msg.src) {
                 f.remotePs = msg.addrSet;
                 f.grtPending = false;
+                if (profiler_ && f.profileId)
+                    profiler_->onGrtReply(f.profileId, eq_.now());
                 return;
             }
         }
@@ -1398,6 +1445,89 @@ Core::onGrtMessage(const Message &msg)
         panic("core %d: unexpected GRT message %s", id_,
               msg.toString().c_str());
     }
+}
+
+// ---------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+const char *
+loadPhaseName(int p)
+{
+    static const char *names[] = {"Inactive",    "WaitForward",
+                                  "AccessPending", "PerformWait",
+                                  "MissPending", "Performed", "Held"};
+    return names[p];
+}
+
+const char *
+holdReasonName(int h)
+{
+    static const char *names[] = {"None",       "StrongFence", "BsFull",
+                                  "GrtPending", "NonHomeLine",
+                                  "RemotePs"};
+    return names[h];
+}
+
+const char *
+rmwPhaseName(int p)
+{
+    static const char *names[] = {"Inactive", "Drain", "Access",
+                                  "WaitLine"};
+    return names[p];
+}
+
+} // namespace
+
+void
+Core::debugDump(std::ostream &os) const
+{
+    os << "core" << unsigned(id_) << ": pc=" << thread_.pc()
+       << (thread_.halted() ? " halted" : "")
+       << (recovering_ ? " RECOVERING" : "");
+    if (!done() && retiredThisCycle_ == 0 &&
+        !(thread_.halted() && load_.phase == LoadPhase::Inactive &&
+          rmw_.phase == RmwPhase::Inactive))
+        os << " stall=" << stallBucketStatName(stallBucket());
+    os << "\n";
+    if (load_.phase != LoadPhase::Inactive) {
+        os << "  load: phase=" << loadPhaseName(int(load_.phase))
+           << " hold=" << holdReasonName(int(load_.hold)) << " addr=0x"
+           << std::hex << load_.addr << std::dec
+           << (load_.squashed ? " squashed" : "")
+           << (load_.inBs ? " inBs" : "") << "\n";
+    }
+    if (rmw_.phase != RmwPhase::Inactive)
+        os << "  rmw: phase=" << rmwPhaseName(int(rmw_.phase))
+           << " addr=0x" << std::hex << rmw_.addr << std::dec
+           << " retries=" << rmw_.retries << " nextTryAt="
+           << rmw_.nextTryAt << "\n";
+    os << "  wb: " << wb_.size() << "/" << wb_.capacity() << " entries";
+    if (!wb_.empty()) {
+        const WriteBuffer::Entry &e = wb_.front();
+        os << "; head seq=" << e.seq << " addr=0x" << std::hex << e.addr
+           << std::dec << (e.issued ? " issued" : "")
+           << (e.done ? " done" : "");
+        if (auto it = storeRetry_.find(e.seq); it != storeRetry_.end())
+            os << " retries=" << it->second.retries
+               << (it->second.everNacked ? " nacked" : "")
+               << " nextTryAt=" << it->second.nextTryAt;
+    }
+    os << "\n";
+    for (const auto &f : fences_)
+        os << "  fence: kind=" << fenceKindName(f.kind) << " id=" << f.id
+           << " profileId=" << f.profileId
+           << " lastPreStoreSeq=" << f.lastPreStoreSeq
+           << (f.demoted ? " demoted" : "")
+           << (f.grtPending ? " grtPending" : "")
+           << (f.timing ? " timing" : "")
+           << (f.bouncedSomeone ? " bouncedSomeone" : "")
+           << " executedAt=" << f.executedAt << "\n";
+    if (bs_.lineCount() > 0)
+        os << "  bs: " << bs_.lineCount() << " lines\n";
 }
 
 } // namespace asf

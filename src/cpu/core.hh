@@ -34,6 +34,7 @@
 #include <map>
 #include <optional>
 
+#include "cpu/cpi_stack.hh"
 #include "cpu/write_buffer.hh"
 #include "fence/bypass_set.hh"
 #include "fence/fence_kind.hh"
@@ -47,6 +48,9 @@
 
 namespace asf
 {
+
+class FenceProfiler;
+struct CycleBreakdown;
 
 class Core
 {
@@ -100,6 +104,27 @@ class Core
 
     /** Reset statistics, including write-buffer occupancy accounting. */
     void resetStats();
+
+    /** Add this core's cycle classification (coarse categories plus the
+     *  fine CPI-stack buckets) into `b`, reading through the cached hot
+     *  handles — no string lookups. */
+    void addBreakdown(CycleBreakdown &b) const;
+
+    /** Monotone forward-progress metric for the System livelock
+     *  watchdog: grows whenever the core retires an instruction, drains
+     *  a store, or counts a busy (compute) cycle. */
+    uint64_t progressCount() const
+    {
+        return hot_.instrRetired.value() + hot_.storesDrained.value() +
+               hot_.busyCycles.value();
+    }
+
+    /** Attach the per-System fence-lifecycle profiler (nullptr = off;
+     *  observation-only either way). */
+    void setProfiler(FenceProfiler *p) { profiler_ = p; }
+
+    /** One-line-per-item diagnostic state dump (watchdog snapshot). */
+    void debugDump(std::ostream &os) const;
 
     /** Guest Mark-instruction counters. */
     const std::map<int64_t, uint64_t> &markCounters() const
@@ -160,6 +185,8 @@ class Core
         bool grtPending = false;
         NodeId grtHome = invalidNode;
         std::vector<Addr> remotePs;
+        /** FenceProfiler record id (0 when profiling is off). */
+        uint64_t profileId = 0;
 
         bool isWeak() const { return kind != FenceKind::Strong && !demoted; }
     };
@@ -211,6 +238,10 @@ class Core
         /** Value forwarded from this core's own buffered store; such a
          *  value cannot be invalidated by remote writes. */
         bool forwarded = false;
+        /** A conflicting invalidation squashed a performed value at
+         *  least once: refetch cycles classify as squash-refetch, not
+         *  plain L1-miss. */
+        bool squashed = false;
     };
 
     void loadAccess();
@@ -316,9 +347,24 @@ class Core
     bool recovering_ = false;
     std::function<bool(Addr)> isPrivate_;
 
+    /**
+     * CPI-stack classification: the one stall bucket this cycle's state
+     * falls in. Precondition: nothing retired, the core is not done and
+     * not idle-halted. Const and state-derived, so the tick and
+     * fast-forward skip paths share it and stay bit-identical.
+     */
+    StallBucket stallBucket() const;
+
+    /** Count `n` cycles against bucket `b` and its coarse category
+     *  (fenceStallCycles / otherStallCycles). */
+    void recordStallCycles(StallBucket b, uint64_t n);
+
     unsigned retiredThisCycle_ = 0;
-    enum class Stall { Other, Fence, RmwDrain };
-    Stall stallReason_ = Stall::Other;
+    /** Set by startFence when a WeeFence serializes behind an earlier
+     *  one — the only stall whose cause is not visible in end-of-cycle
+     *  state. Transition-adjacent, so never reached by skipCycles. */
+    bool weeSerializeStall_ = false;
+    FenceProfiler *profiler_ = nullptr;
 
     std::map<int64_t, uint64_t> markCounters_;
     /** Marks executed while a checkpointed (W+) weak fence was active:
@@ -347,16 +393,16 @@ class Core
               storesDrained(g.scalar("storesDrained")),
               wbOccupancy(
                   g.histogram("wbOccupancy", cfg.wbEntries + 1, 1.0)),
-              rmwDrainCycles(g, "rmwDrainCycles"),
-              stallRecovering(g, "stallRecovering"),
-              stallHeldStrong(g, "stallHeldStrong"),
-              stallHeldBsFull(g, "stallHeldBsFull"),
-              stallHeldWee(g, "stallHeldWee"),
-              stallWaitForward(g, "stallWaitForward"),
               loadsDelivered(g, "loadsDelivered"),
               loadsExecuted(g, "loadsExecuted"),
               storesExecuted(g, "storesExecuted")
         {
+            // The CPI-stack buckets bind eagerly: pre-registering all
+            // of them keeps the JSON report shape identical across
+            // runs (and across fast-forward on/off).
+            for (unsigned i = 0; i < numStallBuckets; i++)
+                stall[i] = &g.scalar(
+                    stallBucketStatName(StallBucket(i)));
         }
 
         StatScalar &busyCycles;
@@ -366,15 +412,10 @@ class Core
         StatScalar &instrRetired;
         StatScalar &storesDrained;
         StatHistogram &wbOccupancy;
-        LazyStatScalar rmwDrainCycles;
-        LazyStatScalar stallRecovering;
-        LazyStatScalar stallHeldStrong;
-        LazyStatScalar stallHeldBsFull;
-        LazyStatScalar stallHeldWee;
-        LazyStatScalar stallWaitForward;
         LazyStatScalar loadsDelivered;
         LazyStatScalar loadsExecuted;
         LazyStatScalar storesExecuted;
+        StatScalar *stall[numStallBuckets];
     };
     HotStats hot_;
 };

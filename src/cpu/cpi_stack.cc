@@ -1,0 +1,54 @@
+#include "cpu/cpi_stack.hh"
+
+namespace asf
+{
+
+bool
+stallBucketIsFence(StallBucket b)
+{
+    return unsigned(b) < numFenceStallBuckets;
+}
+
+const char *
+stallBucketStatName(StallBucket b)
+{
+    switch (b) {
+      case StallBucket::FenceWaitForward:   return "stallWaitForward";
+      case StallBucket::FenceHeldStrong:    return "stallHeldStrong";
+      case StallBucket::FenceHeldBsFull:    return "stallHeldBsFull";
+      case StallBucket::FenceGrtWait:       return "stallGrtWait";
+      case StallBucket::FenceRemotePs:      return "stallRemotePs";
+      case StallBucket::FenceRecovering:    return "stallRecovering";
+      case StallBucket::FenceBounceRetry:   return "stallBounceRetry";
+      case StallBucket::FenceSerialize:     return "stallFenceSerialize";
+      case StallBucket::OtherL1Miss:        return "stallL1Miss";
+      case StallBucket::OtherSquashRefetch: return "stallSquashRefetch";
+      case StallBucket::OtherRmwDrain:      return "stallRmwDrain";
+      case StallBucket::OtherNocQueue:      return "stallNocQueue";
+      case StallBucket::OtherWbFull:        return "stallWbFull";
+    }
+    return "stallUnknown";
+}
+
+const char *
+stallBucketJsonKey(StallBucket b)
+{
+    switch (b) {
+      case StallBucket::FenceWaitForward:   return "waitForward";
+      case StallBucket::FenceHeldStrong:    return "heldStrong";
+      case StallBucket::FenceHeldBsFull:    return "heldBsFull";
+      case StallBucket::FenceGrtWait:       return "grtWait";
+      case StallBucket::FenceRemotePs:      return "remotePs";
+      case StallBucket::FenceRecovering:    return "recovering";
+      case StallBucket::FenceBounceRetry:   return "bounceRetry";
+      case StallBucket::FenceSerialize:     return "serialize";
+      case StallBucket::OtherL1Miss:        return "l1Miss";
+      case StallBucket::OtherSquashRefetch: return "squashRefetch";
+      case StallBucket::OtherRmwDrain:      return "rmwDrain";
+      case StallBucket::OtherNocQueue:      return "nocQueue";
+      case StallBucket::OtherWbFull:        return "wbFull";
+    }
+    return "unknown";
+}
+
+} // namespace asf

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The per-core CPI-stack taxonomy: every non-busy, non-idle cycle is
+ * attributed to exactly one fine-grained stall bucket. Buckets come in
+ * two categories that sum to the coarse counters the benches and tests
+ * key on:
+ *
+ *  - fence buckets sum to `fenceStallCycles` (cycles a fence design is
+ *    responsible for and a better design could remove);
+ *  - other buckets sum to `otherStallCycles` (memory-system cycles all
+ *    designs pay alike).
+ *
+ * System::breakdown() asserts both identities, which together give the
+ * CPI-stack invariant sum(buckets) == active().
+ */
+
+#ifndef ASF_CPU_CPI_STACK_HH
+#define ASF_CPU_CPI_STACK_HH
+
+namespace asf
+{
+
+enum class StallBucket
+{
+    // --- fence category (a fence design rule blocks progress) --------
+    FenceWaitForward,  ///< forward from a pre-sf store must drain first
+    FenceHeldStrong,   ///< load performed, held by an incomplete sf
+    FenceHeldBsFull,   ///< wf path, but the Bypass Set is full
+    FenceGrtWait,      ///< Wee: GRT fetch pending or non-home line
+    FenceRemotePs,     ///< Wee: load matches a Remote Pending Set
+    FenceRecovering,   ///< W+ rollback: draining to the checkpoint fence
+    FenceBounceRetry,  ///< WB full while a bounced store backs off
+    FenceSerialize,    ///< Wee: second WeeFence waits for the first
+    // --- other category (memory system; design-independent) ----------
+    OtherL1Miss,       ///< load miss / L1 access in flight
+    OtherSquashRefetch,///< squashed speculative load re-fetching
+    OtherRmwDrain,     ///< atomic draining fences + write buffer
+    OtherNocQueue,     ///< atomic's exclusive request in the network
+    OtherWbFull,       ///< store stalled on a full write buffer
+};
+
+inline constexpr unsigned numStallBuckets = 13;
+inline constexpr unsigned numFenceStallBuckets = 8;
+
+/** Bucket falls in the fence category (else: other). */
+bool stallBucketIsFence(StallBucket b);
+
+/** Per-core scalar stat name, e.g. "stallHeldStrong". */
+const char *stallBucketStatName(StallBucket b);
+
+/** Short key used in the stats-JSON `cpiStack` object and the trace
+ *  counter track, e.g. "heldStrong". */
+const char *stallBucketJsonKey(StallBucket b);
+
+} // namespace asf
+
+#endif // ASF_CPU_CPI_STACK_HH

@@ -14,9 +14,10 @@ Grt::Grt(NodeId node)
 }
 
 void
-Grt::deposit(NodeId core, const std::vector<Addr> &pending_set)
+Grt::deposit(NodeId core, const std::vector<Addr> &pending_set,
+             uint64_t fence_id)
 {
-    table_[core] = pending_set;
+    table_[core] = Deposit{pending_set, fence_id};
     statDeposits_.inc();
 }
 
@@ -31,10 +32,10 @@ std::vector<Addr>
 Grt::remotePendingSet(NodeId core) const
 {
     std::vector<Addr> out;
-    for (const auto &[owner, set] : table_) {
+    for (const auto &[owner, d] : table_) {
         if (owner == core)
             continue;
-        out.insert(out.end(), set.begin(), set.end());
+        out.insert(out.end(), d.lines.begin(), d.lines.end());
     }
     std::sort(out.begin(), out.end());
     out.erase(std::unique(out.begin(), out.end()), out.end());
@@ -44,10 +45,11 @@ Grt::remotePendingSet(NodeId core) const
 bool
 Grt::blocks(NodeId core, Addr line) const
 {
-    for (const auto &[owner, set] : table_) {
+    for (const auto &[owner, d] : table_) {
         if (owner == core)
             continue;
-        if (std::find(set.begin(), set.end(), line) != set.end())
+        if (std::find(d.lines.begin(), d.lines.end(), line) !=
+            d.lines.end())
             return true;
     }
     return false;
@@ -57,6 +59,22 @@ bool
 Grt::hasDeposit(NodeId core) const
 {
     return table_.count(core) != 0;
+}
+
+void
+Grt::debugDump(std::ostream &os) const
+{
+    if (table_.empty())
+        return;
+    os << "grt" << unsigned(node_) << ":\n";
+    for (const auto &[owner, d] : table_) {
+        os << "  core" << unsigned(owner) << " fenceId=" << d.fenceId
+           << " ps={";
+        for (size_t i = 0; i < d.lines.size(); i++)
+            os << (i ? "," : "") << "0x" << std::hex << d.lines[i]
+               << std::dec;
+        os << "}\n";
+    }
 }
 
 } // namespace asf

@@ -16,6 +16,7 @@
 #define ASF_FENCE_GRT_HH
 
 #include <map>
+#include <ostream>
 #include <vector>
 
 #include "mem/message.hh"
@@ -30,8 +31,11 @@ class Grt
   public:
     explicit Grt(NodeId node);
 
-    /** Deposit `core`'s pending set, replacing any previous deposit. */
-    void deposit(NodeId core, const std::vector<Addr> &pending_set);
+    /** Deposit `core`'s pending set, replacing any previous deposit.
+     *  `fence_id` is the depositing fence's profiler id (observability
+     *  only; shows up in debugDump). */
+    void deposit(NodeId core, const std::vector<Addr> &pending_set,
+                 uint64_t fence_id = 0);
 
     /** Remove `core`'s deposit (its fence completed). */
     void clear(NodeId core);
@@ -45,11 +49,20 @@ class Grt
     bool hasDeposit(NodeId core) const;
     size_t numDeposits() const { return table_.size(); }
 
+    /** One-line-per-deposit diagnostic dump (watchdog snapshot). */
+    void debugDump(std::ostream &os) const;
+
     StatGroup &stats() { return stats_; }
 
   private:
+    struct Deposit
+    {
+        std::vector<Addr> lines;
+        uint64_t fenceId = 0;
+    };
+
     NodeId node_;
-    std::map<NodeId, std::vector<Addr>> table_;
+    std::map<NodeId, Deposit> table_;
     StatGroup stats_;
     // Hot-path handles into stats_ (lazily bound; see LazyStatScalar).
     LazyStatScalar statDeposits_;

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 #include "harness/report.hh"
@@ -33,6 +34,40 @@ statsJsonRuns()
 thread_local std::vector<std::string> *runCaptureSink = nullptr;
 
 std::atomic<bool> fastForwardDefault{true};
+std::atomic<Tick> watchdogDefault{0};
+
+std::string &
+fenceProfilePathRef()
+{
+    static std::string path;
+    return path;
+}
+
+/** Serializes raw-profile appends from parallel sweep jobs. */
+std::mutex &
+fenceProfileMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Append this run's raw per-fence records to the JSONL dump. */
+void
+appendFenceProfileRaw(System &sys)
+{
+    const std::string &path = fenceProfilePathRef();
+    if (path.empty() || !sys.fenceProfiler())
+        return;
+    std::lock_guard<std::mutex> lock(fenceProfileMutex());
+    static bool truncated = false;
+    std::ofstream f(path, truncated ? std::ios::app : std::ios::trunc);
+    if (!f) {
+        warn("cannot write fence profile to '%s'", path.c_str());
+        return;
+    }
+    truncated = true;
+    sys.fenceProfiler()->dumpRawJsonl(f);
+}
 
 /** One viewer process row per experiment, labelled like "fib/W+/8c". */
 void
@@ -47,6 +82,7 @@ beginRunTrace(const std::string &workload, FenceDesign design,
 void
 recordRun(System &sys, const ExperimentResult &r)
 {
+    appendFenceProfileRaw(sys);
     // A capture sink wants the document even when no log file is set
     // (the bytes may end up in a file chosen at merge time).
     if (statsJsonPathRef().empty() && !runCaptureSink)
@@ -89,6 +125,9 @@ recordRun(System &sys, const ExperimentResult &r)
         w.field("fenceStall", r.breakdown.fenceStall);
         w.field("otherStall", r.breakdown.otherStall);
         w.field("idle", r.breakdown.idle);
+        for (unsigned i = 0; i < numStallBuckets; i++)
+            w.field(stallBucketJsonKey(StallBucket(i)),
+                    r.breakdown.stall[i]);
         w.endObject();
 
         std::ostringstream sys_json;
@@ -156,6 +195,30 @@ fastForwardEnabled()
 }
 
 void
+setWatchdogCyclesDefault(Tick cycles)
+{
+    watchdogDefault.store(cycles, std::memory_order_relaxed);
+}
+
+Tick
+watchdogCyclesDefault()
+{
+    return watchdogDefault.load(std::memory_order_relaxed);
+}
+
+void
+setFenceProfilePath(const std::string &path)
+{
+    fenceProfilePathRef() = path;
+}
+
+const std::string &
+fenceProfilePath()
+{
+    return fenceProfilePathRef();
+}
+
+void
 setStatsJsonPath(const std::string &path)
 {
     statsJsonPathRef() = path;
@@ -184,7 +247,7 @@ flushStatsJson()
         warn("cannot write stats JSON to '%s'", path.c_str());
         return;
     }
-    f << "{\"schemaVersion\":1,\"runs\":[";
+    f << "{\"schemaVersion\":2,\"runs\":[";
     const auto &runs = statsJsonRuns();
     for (size_t i = 0; i < runs.size(); i++)
         f << (i ? ",\n" : "\n") << runs[i];
@@ -265,6 +328,8 @@ runCilkExperiment(const workloads::CilkApp &app, FenceDesign design,
     cfg.numCores = cores;
     cfg.design = design;
     cfg.fastForward = fastForwardEnabled();
+    cfg.watchdogCycles = watchdogCyclesDefault();
+    cfg.fenceProfileRaw = !fenceProfilePath().empty();
     System sys(cfg);
     auto setup = workloads::setupCilkApp(sys, app);
 
@@ -278,7 +343,9 @@ runCilkExperiment(const workloads::CilkApp &app, FenceDesign design,
     if (stats_out)
         sys.dumpStats(*stats_out);
 
-    if (result != System::RunResult::AllDone) {
+    if (result == System::RunResult::Watchdog) {
+        r.validationError = "livelock watchdog fired (no forward progress)";
+    } else if (result != System::RunResult::AllDone) {
         r.validationError = "did not finish within the cycle budget";
     } else if (r.tasks != setup.expectedTasks) {
         r.validationError =
@@ -334,6 +401,8 @@ runUstmExperiment(const workloads::TlrwBench &bench, FenceDesign design,
     cfg.numCores = cores;
     cfg.design = design;
     cfg.fastForward = fastForwardEnabled();
+    cfg.watchdogCycles = watchdogCyclesDefault();
+    cfg.fenceProfileRaw = !fenceProfilePath().empty();
     System sys(cfg);
     auto setup = workloads::setupTlrwWorkload(sys, bench, 0);
 
@@ -341,11 +410,16 @@ runUstmExperiment(const workloads::TlrwBench &bench, FenceDesign design,
     r.workload = bench.name;
     r.design = design;
 
-    sys.run(run_cycles);
+    auto result = sys.run(run_cycles);
     r.cycles = sys.now();
     harvestStats(sys, r);
     if (stats_out)
         sys.dumpStats(*stats_out);
+    if (result == System::RunResult::Watchdog) {
+        r.validationError = "livelock watchdog fired (no forward progress)";
+        recordRun(sys, r);
+        return r;
+    }
     // In-flight transactions may have performed their increments but not
     // yet reached the commit mark, hence the per-thread slack.
     validateTlrw(sys, bench, setup, false, r);
@@ -363,6 +437,8 @@ runStampExperiment(const workloads::StampApp &app, FenceDesign design,
     cfg.numCores = cores;
     cfg.design = design;
     cfg.fastForward = fastForwardEnabled();
+    cfg.watchdogCycles = watchdogCyclesDefault();
+    cfg.fenceProfileRaw = !fenceProfilePath().empty();
     System sys(cfg);
     auto setup = workloads::setupTlrwWorkload(sys, app.bench,
                                               app.txnsPerThread);
@@ -379,7 +455,9 @@ runStampExperiment(const workloads::StampApp &app, FenceDesign design,
 
     uint64_t expected_commits =
         uint64_t(app.txnsPerThread) * sys.numCores();
-    if (result != System::RunResult::AllDone) {
+    if (result == System::RunResult::Watchdog) {
+        r.validationError = "livelock watchdog fired (no forward progress)";
+    } else if (result != System::RunResult::AllDone) {
         r.validationError = "did not finish within the cycle budget";
     } else if (r.commits != expected_commits) {
         r.validationError =

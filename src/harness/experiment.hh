@@ -139,6 +139,25 @@ void appendStatsJsonRuns(std::vector<std::string> docs);
 void setFastForwardEnabled(bool on);
 bool fastForwardEnabled();
 
+/**
+ * Process-wide default for SystemConfig::watchdogCycles, consulted by
+ * the experiment runners. 0 (library default) disables; the bench
+ * binaries set a large value so a livelocked configuration aborts with
+ * a diagnostic snapshot instead of burning the whole cycle budget.
+ */
+void setWatchdogCyclesDefault(Tick cycles);
+Tick watchdogCyclesDefault();
+
+/**
+ * Append every subsequent run's raw per-fence lifecycle records to
+ * `path` as JSON lines (`--fence-profile`; see README.md
+ * "Observability"). The first write truncates the file. Empty string
+ * disables. Implies SystemConfig::fenceProfileRaw for runs started
+ * after the call.
+ */
+void setFenceProfilePath(const std::string &path);
+const std::string &fenceProfilePath();
+
 } // namespace asf::harness
 
 #endif // ASF_HARNESS_EXPERIMENT_HH

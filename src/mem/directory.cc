@@ -51,6 +51,31 @@ Directory::queuedRequests(Addr line) const
 }
 
 void
+Directory::debugDump(std::ostream &os) const
+{
+    if (active_.empty() && waiting_.empty())
+        return;
+    os << "dir" << unsigned(node_) << ":\n";
+    for (const auto &[line, txn] : active_) {
+        os << "  txn line=0x" << std::hex << line << std::dec << " "
+           << msgTypeName(txn.req.type) << " from core"
+           << unsigned(txn.req.src) << " fenceId=" << txn.req.fenceId
+           << " storageReady=" << txn.storageReady
+           << " pendingAcks=" << txn.pendingAcks
+           << " anyBounce=" << txn.anyBounce << "\n";
+    }
+    for (const auto &[line, q] : waiting_) {
+        if (q.empty())
+            continue;
+        os << "  queued line=0x" << std::hex << line << std::dec << " [";
+        for (size_t i = 0; i < q.size(); i++)
+            os << (i ? "," : "") << msgTypeName(q[i].type) << ":core"
+               << unsigned(q[i].src);
+        os << "]\n";
+    }
+}
+
+void
 Directory::handle(const Message &msg)
 {
     if (traceEnabledFor(msg.addr))
@@ -193,11 +218,11 @@ Directory::onProbeAck(const Message &ack)
     if (ack.bounced) {
         txn.anyBounce = true;
         statBounces_.inc();
-        ASF_TRACE(instant(eq_.now(), 1000 + uint32_t(node_), "dir",
-                          "bounce",
-                          format("{\"line\":%llu,\"by\":%d,\"for\":%d}",
-                                 (unsigned long long)ack.addr, ack.src,
-                                 txn.req.src)));
+        ASF_TRACE(instant(
+            eq_.now(), 1000 + uint32_t(node_), "dir", "bounce",
+            format("{\"line\":%llu,\"by\":%d,\"for\":%d,\"fenceId\":%llu}",
+                   (unsigned long long)ack.addr, ack.src, txn.req.src,
+                   (unsigned long long)txn.req.fenceId)));
     } else if (ack.type == MsgType::InvAck) {
         if (ack.keepSharer)
             txn.keepAsSharers.insert(ack.src);
@@ -277,11 +302,11 @@ Directory::finalizeGetX(Txn &txn, Entry &entry)
 
     if (txn.anyBounce) {
         stats_.scalar("getxNacked").inc();
-        ASF_TRACE(instant(eq_.now(), 1000 + uint32_t(node_), "dir",
-                          "NackX",
-                          format("{\"line\":%llu,\"to\":%d}",
-                                 (unsigned long long)txn.req.addr,
-                                 txn.req.src)));
+        ASF_TRACE(instant(
+            eq_.now(), 1000 + uint32_t(node_), "dir", "NackX",
+            format("{\"line\":%llu,\"to\":%d,\"fenceId\":%llu}",
+                   (unsigned long long)txn.req.addr, txn.req.src,
+                   (unsigned long long)txn.req.fenceId)));
         reply(txn, MsgType::NackX, false, TrafficClass::Retry);
         return;
     }
@@ -320,11 +345,11 @@ Directory::finalizeOrder(Txn &txn, Entry &entry)
     if (conditional && txn.anyTrueShare) {
         // CO fails: discard the update, requester retries as CO.
         stats_.scalar("coFailed").inc();
-        ASF_TRACE(instant(eq_.now(), 1000 + uint32_t(node_), "dir",
-                          "NackCO",
-                          format("{\"line\":%llu,\"to\":%d}",
-                                 (unsigned long long)txn.req.addr,
-                                 txn.req.src)));
+        ASF_TRACE(instant(
+            eq_.now(), 1000 + uint32_t(node_), "dir", "NackCO",
+            format("{\"line\":%llu,\"to\":%d,\"fenceId\":%llu}",
+                   (unsigned long long)txn.req.addr, txn.req.src,
+                   (unsigned long long)txn.req.fenceId)));
         reply(txn, MsgType::NackCO, false, TrafficClass::Retry);
         return;
     }

@@ -25,6 +25,7 @@
 
 #include <deque>
 #include <map>
+#include <ostream>
 #include <set>
 #include <vector>
 
@@ -54,6 +55,10 @@ class Directory
     bool isExclusive(Addr line, NodeId owner) const;
     bool lineBusy(Addr line) const { return active_.count(line) != 0; }
     size_t queuedRequests(Addr line) const;
+
+    /** In-flight transactions and queued requests, one line each
+     *  (watchdog diagnostic snapshot). Silent when idle. */
+    void debugDump(std::ostream &os) const;
 
   private:
     struct Entry

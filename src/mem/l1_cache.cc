@@ -74,7 +74,8 @@ L1Cache::sendGetS(Addr line_addr)
 
 void
 L1Cache::sendWriteReq(MsgType type, Addr addr, uint64_t value,
-                      bool req_has_line, TrafficClass tc)
+                      bool req_has_line, TrafficClass tc,
+                      uint64_t fence_id)
 {
     Addr line = lineAlign(addr);
     Message m;
@@ -85,6 +86,7 @@ L1Cache::sendWriteReq(MsgType type, Addr addr, uint64_t value,
     m.requester = node_;
     m.reqHasLine = req_has_line;
     m.trafficClass = tc;
+    m.fenceId = fence_id;
     if (type == MsgType::OrderWrite || type == MsgType::CondOrderWrite) {
         m.updateWord = wordInLine(addr);
         m.updateValue = value;

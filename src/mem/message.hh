@@ -128,6 +128,15 @@ struct Message
 
     TrafficClass trafficClass = TrafficClass::Base;
 
+    /**
+     * Fence-lifecycle profiler id of the fence this message acts for
+     * (Order/CondOrder writes, GRT traffic); 0 when unrelated or when
+     * profiling is off. Observability metadata only: deliberately
+     * excluded from sizeBytes() so profiling cannot perturb simulated
+     * traffic or timing.
+     */
+    uint64_t fenceId = 0;
+
     /** On-wire size for traffic accounting. */
     unsigned sizeBytes() const;
 

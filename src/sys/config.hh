@@ -106,6 +106,29 @@ struct SystemConfig
      */
     bool fastForward = true;
 
+    /**
+     * Livelock/hang watchdog: if System::run observes no system-wide
+     * forward progress (no retired instruction, drained store, or busy
+     * cycle on any core) for this many cycles, it dumps a diagnostic
+     * snapshot and returns RunResult::Watchdog instead of spinning to
+     * the cycle budget. 0 disables (library default); the bench
+     * binaries and asf_sim turn it on. The check is throttled to once
+     * per window, so a hang is declared after between N and 2N quiet
+     * cycles.
+     */
+    Tick watchdogCycles = 0;
+
+    /**
+     * Per-fence-instance lifecycle profiler (the `fenceProfile` object
+     * of the stats JSON). Observation-only: simulated timing and every
+     * other statistic are bit-identical with it on or off (enforced by
+     * tests/cpu/test_cpi_stack.cc).
+     */
+    bool fenceProfile = true;
+
+    /** Keep raw per-fence records for a --fence-profile JSONL dump. */
+    bool fenceProfileRaw = false;
+
     /** Seed for all simulator-level randomness. */
     uint64_t seed = 1;
 

@@ -1,11 +1,39 @@
 #include "sys/system.hh"
 
+#include <cassert>
+#include <iostream>
+
 #include "harness/report.hh"
 #include "mem/address.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace asf
 {
+
+uint64_t
+CycleBreakdown::fenceSum() const
+{
+    uint64_t sum = 0;
+    for (unsigned i = 0; i < numFenceStallBuckets; i++)
+        sum += stall[i];
+    return sum;
+}
+
+uint64_t
+CycleBreakdown::otherSum() const
+{
+    uint64_t sum = 0;
+    for (unsigned i = numFenceStallBuckets; i < numStallBuckets; i++)
+        sum += stall[i];
+    return sum;
+}
+
+double
+CycleBreakdown::bucketFrac(StallBucket b) const
+{
+    return total() ? double(bucket(b)) / double(total()) : 0.0;
+}
 
 double
 CycleBreakdown::busyFrac() const
@@ -28,6 +56,9 @@ CycleBreakdown::otherFrac() const
 System::System(SystemConfig cfg) : cfg_(cfg)
 {
     cfg_.validate();
+    if (cfg_.fenceProfile)
+        profiler_ =
+            std::make_unique<FenceProfiler>(cfg_.fenceProfileRaw);
     mesh_ = std::make_unique<Mesh>(eq_, cfg_.numCores, cfg_.hopLatency,
                                    cfg_.linkBytes);
     for (unsigned i = 0; i < cfg_.numCores; i++) {
@@ -43,6 +74,7 @@ System::System(SystemConfig cfg) : cfg_(cfg)
             id, cfg_.numCores, *mesh_, cfg_.l1SizeBytes, cfg_.l1Assoc));
         cores_.push_back(
             std::make_unique<Core>(id, cfg_, *l1s_[i], *mesh_, eq_));
+        cores_.back()->setProfiler(profiler_.get());
         mesh_->setSink(id, [this, id](const Message &msg) {
             dispatch(id, msg);
         });
@@ -127,7 +159,7 @@ System::handleGrtRequest(NodeId node, const Message &msg)
     Grt &grt = *grts_[node];
     switch (msg.type) {
       case MsgType::GrtDeposit: {
-        grt.deposit(msg.src, msg.addrSet);
+        grt.deposit(msg.src, msg.addrSet, msg.fenceId);
         Message reply;
         reply.type = MsgType::GrtFetchReply;
         reply.src = node;
@@ -135,6 +167,7 @@ System::handleGrtRequest(NodeId node, const Message &msg)
         reply.requester = msg.src;
         reply.addrSet = grt.remotePendingSet(msg.src);
         reply.trafficClass = TrafficClass::Grt;
+        reply.fenceId = msg.fenceId;
         mesh_->send(std::move(reply));
         return;
       }
@@ -171,9 +204,29 @@ System::RunResult
 System::run(Tick max_cycles)
 {
     Tick end = eq_.now() + max_cycles;
+    // Livelock watchdog: declare a hang when a full window of
+    // watchdogCycles passes without any core making forward progress.
+    // The check is a Tick comparison per iteration plus one progress
+    // sweep per window, so the effective timeout lands between N and 2N.
+    const Tick wd = cfg_.watchdogCycles;
+    uint64_t wd_progress = wd ? progressCount() : 0;
+    Tick wd_check_at = wd ? eq_.now() + wd : maxTick;
     while (eq_.now() < end) {
         if (allDone())
             return RunResult::AllDone;
+        if (eq_.now() >= wd_check_at) {
+            uint64_t p = progressCount();
+            if (p == wd_progress) {
+                watchdogFired_ = true;
+                std::cerr << "asf: watchdog: no forward progress in "
+                          << wd << " cycles (now " << eq_.now()
+                          << "); state snapshot:\n";
+                dumpWatchdogSnapshot(std::cerr);
+                return RunResult::Watchdog;
+            }
+            wd_progress = p;
+            wd_check_at = eq_.now() + wd;
+        }
 
         Tick next = eq_.now() + 1;
 
@@ -232,8 +285,51 @@ System::run(Tick max_cycles)
             eq_.setNow(next);
         for (auto &c : cores_)
             c->tick();
+        if (Trace::get().enabled() && eq_.now() >= traceNextCpiAt_)
+            sampleCpiCounters();
     }
     return allDone() ? RunResult::AllDone : RunResult::MaxCycles;
+}
+
+uint64_t
+System::progressCount() const
+{
+    uint64_t sum = 0;
+    for (const auto &c : cores_)
+        sum += c->progressCount();
+    return sum;
+}
+
+void
+System::sampleCpiCounters()
+{
+    // Per-core CPI counter tracks for the Chrome trace: the cycles each
+    // bucket gained since the last sample, rendered by the viewer as a
+    // stacked where-do-cycles-go chart. Trace-only observability; never
+    // touches simulated state.
+    constexpr Tick interval = 1024;
+    if (traceCpiPrev_.empty())
+        traceCpiPrev_.resize(cores_.size());
+    for (size_t i = 0; i < cores_.size(); i++) {
+        CycleBreakdown cur;
+        cores_[i]->addBreakdown(cur);
+        const CycleBreakdown &prev = traceCpiPrev_[i];
+        std::string args = format("{\"busy\":%llu,\"idle\":%llu",
+                                  (unsigned long long)(cur.busy - prev.busy),
+                                  (unsigned long long)(cur.idle - prev.idle));
+        for (unsigned b = 0; b < numStallBuckets; b++) {
+            uint64_t d = cur.stall[b] - prev.stall[b];
+            if (d)
+                args += format(",\"%s\":%llu",
+                               stallBucketJsonKey(StallBucket(b)),
+                               (unsigned long long)d);
+        }
+        args += "}";
+        Trace::get().counter(eq_.now(), uint32_t(i),
+                             format("core%zu cpi", i), std::move(args));
+        traceCpiPrev_[i] = cur;
+    }
+    traceNextCpiAt_ = eq_.now() + interval;
 }
 
 uint64_t
@@ -252,12 +348,15 @@ CycleBreakdown
 System::breakdown() const
 {
     CycleBreakdown b;
-    for (const auto &c : cores_) {
-        b.busy += c->stats().get("busyCycles");
-        b.fenceStall += c->stats().get("fenceStallCycles");
-        b.otherStall += c->stats().get("otherStallCycles");
-        b.idle += c->stats().get("idleCycles");
-    }
+    for (const auto &c : cores_)
+        c->addBreakdown(b); // cached hot handles; no string lookups
+    // The CPI-stack invariant: every stall cycle lands in exactly one
+    // fine bucket and its coarse category, so the buckets re-add to the
+    // categories and sum(buckets) == active().
+    assert(b.fenceSum() == b.fenceStall &&
+           "fence CPI buckets must sum to fenceStall");
+    assert(b.otherSum() == b.otherStall &&
+           "other CPI buckets must sum to otherStall");
     return b;
 }
 
@@ -310,7 +409,7 @@ System::dumpStats(std::ostream &os) const
 }
 
 void
-System::dumpStatsJson(std::ostream &os)
+System::dumpStatsJson(std::ostream &os, bool include_profile)
 {
     using harness::JsonWriter;
     for (auto &c : cores_)
@@ -318,7 +417,7 @@ System::dumpStatsJson(std::ostream &os)
 
     JsonWriter w(os);
     w.beginObject();
-    w.field("schemaVersion", uint64_t(1));
+    w.field("schemaVersion", uint64_t(2));
     w.field("cycles", uint64_t(eq_.now()));
 
     w.key("config").beginObject();
@@ -330,6 +429,36 @@ System::dumpStatsJson(std::ostream &os)
     w.field("hopLatency", uint64_t(cfg_.hopLatency));
     w.field("linkBytes", cfg_.linkBytes);
     w.endObject();
+
+    // The aggregated CPI stack (schemaVersion 2): coarse categories
+    // plus the fine buckets, grouped by category so consumers can check
+    // the sum(buckets) == active() invariant directly.
+    CycleBreakdown b = breakdown();
+    w.key("cpiStack").beginObject();
+    w.field("busy", b.busy);
+    w.field("idle", b.idle);
+    w.key("fence").beginObject();
+    for (unsigned i = 0; i < numFenceStallBuckets; i++)
+        w.field(stallBucketJsonKey(StallBucket(i)), b.stall[i]);
+    w.field("total", b.fenceStall);
+    w.endObject();
+    w.key("other").beginObject();
+    for (unsigned i = numFenceStallBuckets; i < numStallBuckets; i++)
+        w.field(stallBucketJsonKey(StallBucket(i)), b.stall[i]);
+    w.field("total", b.otherStall);
+    w.endObject();
+    w.field("active", b.active());
+    w.endObject();
+
+    w.key("watchdog").beginObject();
+    w.field("cycles", uint64_t(cfg_.watchdogCycles));
+    w.field("fired", watchdogFired_);
+    w.endObject();
+
+    if (include_profile && profiler_) {
+        w.key("fenceProfile");
+        profiler_->dumpJson(w);
+    }
 
     auto emit_group = [&w](const StatGroup &g) {
         w.beginObject();
@@ -405,11 +534,34 @@ System::dumpStatsJson(std::ostream &os)
 }
 
 void
+System::dumpWatchdogSnapshot(std::ostream &os) const
+{
+    os << "--- cores ---\n";
+    for (const auto &c : cores_)
+        c->debugDump(os);
+    os << "--- directories ---\n";
+    for (const auto &d : dirs_)
+        d->debugDump(os);
+    os << "--- GRT modules ---\n";
+    for (const auto &g : grts_)
+        g->debugDump(os);
+}
+
+void
 System::resetStats()
 {
     for (auto &c : cores_) {
         c->resetStats();
         c->clearMarkCounters();
+    }
+    if (profiler_) {
+        // Post-warmup reset: restart profiling from scratch, like every
+        // other statistic. Fences active across the reset simply drop
+        // their records (their completion hooks find no match).
+        profiler_ =
+            std::make_unique<FenceProfiler>(cfg_.fenceProfileRaw);
+        for (auto &c : cores_)
+            c->setProfiler(profiler_.get());
     }
     for (auto &l : l1s_)
         l->stats().resetAll();

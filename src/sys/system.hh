@@ -14,7 +14,9 @@
 #include <vector>
 
 #include "cpu/core.hh"
+#include "cpu/cpi_stack.hh"
 #include "fence/grt.hh"
+#include "fence/profile.hh"
 #include "mem/directory.hh"
 #include "mem/l1_cache.hh"
 #include "mem/l2_bank.hh"
@@ -27,20 +29,34 @@
 namespace asf
 {
 
-/** Aggregated per-core cycle classification. */
+/**
+ * Aggregated per-core cycle classification: the coarse categories plus
+ * the fine CPI-stack buckets (indexed by StallBucket; see
+ * cpu/cpi_stack.hh). Invariants, asserted by System::breakdown():
+ * the fence buckets sum to fenceStall, the other buckets to
+ * otherStall — so sum(buckets) == active() exactly.
+ */
 struct CycleBreakdown
 {
     uint64_t busy = 0;
     uint64_t fenceStall = 0;
     uint64_t otherStall = 0;
     uint64_t idle = 0;
+    uint64_t stall[numStallBuckets] = {};
 
     uint64_t active() const { return busy + fenceStall + otherStall; }
     uint64_t total() const { return active() + idle; }
 
+    uint64_t bucket(StallBucket b) const { return stall[unsigned(b)]; }
+    /** Sum of the fence-category (resp. other-category) buckets. */
+    uint64_t fenceSum() const;
+    uint64_t otherSum() const;
+
     double busyFrac() const;
     double fenceFrac() const;
     double otherFrac() const;
+    /** Bucket share of total() (0 when total() is 0). */
+    double bucketFrac(StallBucket b) const;
 };
 
 class System
@@ -56,10 +72,23 @@ class System
     {
         AllDone,   ///< every thread halted and all buffers drained
         MaxCycles, ///< cycle budget exhausted
+        Watchdog,  ///< livelock watchdog fired (no forward progress)
     };
 
     /** Advance up to max_cycles further cycles. */
     RunResult run(Tick max_cycles);
+
+    /** The livelock watchdog fired during a run() call. */
+    bool watchdogFired() const { return watchdogFired_; }
+
+    /** The diagnostic snapshot the watchdog prints when it fires:
+     *  per-core stall reason + PC + WB head, in-flight directory
+     *  transactions, GRT contents. Callable any time. */
+    void dumpWatchdogSnapshot(std::ostream &os) const;
+
+    /** The fence-lifecycle profiler (nullptr when cfg.fenceProfile is
+     *  off). */
+    const FenceProfiler *fenceProfiler() const { return profiler_.get(); }
 
     Tick now() const { return eq_.now(); }
 
@@ -107,16 +136,27 @@ class System
 
     /**
      * Serialize every component's statistics (scalars, averages,
-     * histograms with percentiles) plus the per-link NoC heatmap to the
-     * machine-readable JSON report (schemaVersion 1; see README.md
-     * "Observability").
+     * histograms with percentiles), the cpiStack object, the
+     * fenceProfile aggregates, the watchdog metadata, and the per-link
+     * NoC heatmap to the machine-readable JSON report (schemaVersion 2;
+     * see README.md "Observability"). `include_profile = false` omits
+     * the fenceProfile object — used by the profiling-on/off
+     * bit-identity test to compare the remainder byte-for-byte.
      */
-    void dumpStatsJson(std::ostream &os);
+    void dumpStatsJson(std::ostream &os, bool include_profile = true);
 
   private:
     void dispatch(NodeId node, const Message &msg);
     void handleGrtRequest(NodeId node, const Message &msg);
     bool allDone() const;
+
+    /** System-wide forward-progress metric for the watchdog: any
+     *  retired instruction, drained store, or busy cycle counts. */
+    uint64_t progressCount() const;
+
+    /** Emit delta-based per-core CPI counter-track samples into the
+     *  Chrome trace (no-op unless tracing is enabled). */
+    void sampleCpiCounters();
 
     SystemConfig cfg_;
     EventQueue eq_;
@@ -128,6 +168,12 @@ class System
     std::vector<std::unique_ptr<L1Cache>> l1s_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::shared_ptr<const Program>> programs_;
+    std::unique_ptr<FenceProfiler> profiler_;
+    bool watchdogFired_ = false;
+    /** Next tick at/after which to emit CPI counter-track samples. */
+    Tick traceNextCpiAt_ = 0;
+    /** Previous sample per core, for delta-based counter values. */
+    std::vector<CycleBreakdown> traceCpiPrev_;
     uint64_t fastForwardedCycles_ = 0;
     /** Next tick worth re-attempting the quiescence walk after a core
      *  reported busy (host-side throttle; see System::run). */

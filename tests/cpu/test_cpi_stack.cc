@@ -1,0 +1,249 @@
+/**
+ * @file
+ * CPI-stack attribution tests: every stall cycle must land in exactly
+ * one fine bucket (sum(buckets) == active - busy, per category), and
+ * directed programs must produce nonzero cycles in the bucket their
+ * scenario forces — for each fence design. Also checks that the
+ * fence-lifecycle profiler is observation-only: simulated cycles and
+ * the rest of the stats JSON are bit-identical with it on or off.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers.hh"
+#include "cpu/cpi_stack.hh"
+#include "fence/profile.hh"
+
+using namespace asf;
+using namespace asf::test;
+
+namespace
+{
+
+uint64_t
+coreStat(System &sys, const char *name)
+{
+    uint64_t sum = 0;
+    for (unsigned i = 0; i < sys.numCores(); i++)
+        sum += sys.core(NodeId(i)).stats().get(name);
+    return sum;
+}
+
+/** st mine = 1; wf; ld other -> res (see test_fence_semantics.cc). */
+Program
+fencedPair(Addr st_addr, Addr ld_addr, Addr res, unsigned warm = 0)
+{
+    Assembler a("pair");
+    a.li(1, int64_t(st_addr));
+    a.li(2, int64_t(ld_addr));
+    a.li(3, int64_t(res));
+    if (warm > 0) {
+        a.ld(4, 2, 0);
+        a.compute(int64_t(warm));
+    }
+    a.li(4, 1);
+    a.st(1, 0, 4);
+    a.fence(FenceRole::Critical);
+    a.ld(5, 2, 0);
+    a.st(3, 0, 5);
+    a.halt();
+    return a.finish();
+}
+
+/** The buckets must re-add to the coarse categories exactly. */
+void
+expectInvariant(System &sys)
+{
+    CycleBreakdown b = sys.breakdown();
+    EXPECT_EQ(b.fenceSum(), b.fenceStall);
+    EXPECT_EQ(b.otherSum(), b.otherStall);
+    EXPECT_EQ(b.busy + b.fenceSum() + b.otherSum(), b.active());
+    // Cross-check through the per-core stat names as well.
+    uint64_t named = 0;
+    for (unsigned i = 0; i < numStallBuckets; i++)
+        named += coreStat(sys, stallBucketStatName(StallBucket(i)));
+    EXPECT_EQ(named, b.fenceStall + b.otherStall);
+}
+
+} // namespace
+
+TEST(CpiStack, BucketsSumToCategoriesAcrossDesigns)
+{
+    for (FenceDesign d : allFenceDesigns) {
+        SCOPED_TRACE(fenceDesignName(d));
+        System sys(smallConfig(d, 4));
+        // Contended false-sharing cross pair (colliding lines, distinct
+        // words): bounces and Order/GRT traffic under every design, and
+        // resolvable by all of them (a true-sharing cycle is not, for
+        // SW+).
+        sys.loadProgram(0, share(fencedPair(0x1200, 0x1400, 0x3000,
+                                            600)));
+        sys.loadProgram(3, share(fencedPair(0x1400 + 8, 0x1200 + 8,
+                                            0x3020, 600)));
+        runToCompletion(sys);
+        expectInvariant(sys);
+    }
+}
+
+TEST(CpiStack, StrongFenceHoldGoesToHeldStrong)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 2));
+    sys.loadProgram(0, share(fencedPair(0x1000, 0x2000, 0x3000, 600)));
+    runToCompletion(sys);
+    EXPECT_GT(sys.core(0).stats().get("stallHeldStrong"), 0u);
+    expectInvariant(sys);
+}
+
+TEST(CpiStack, StoreToLoadDependenceGoesToWaitForward)
+{
+    // A strong fence between a cache-missing store and a load of the
+    // same address forbids forwarding: the load waits for the drain.
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    Assembler a("stld");
+    a.li(1, 0x1000);
+    a.li(2, 7);
+    a.st(1, 0, 2);
+    a.fence(FenceRole::Critical);
+    a.ld(3, 1, 0);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_GT(sys.core(0).stats().get("stallWaitForward"), 50u);
+    expectInvariant(sys);
+}
+
+TEST(CpiStack, BsExhaustionGoesToHeldBsFull)
+{
+    // A 1-entry Bypass Set: the second post-fence load cannot insert
+    // and must hold until the fence completes.
+    SystemConfig cfg = smallConfig(FenceDesign::WSPlus, 2);
+    cfg.bsEntries = 1;
+    System sys(cfg);
+    Assembler a("bsfull");
+    a.li(1, 0x1000); // store target (cold miss)
+    a.li(2, 0x2000); // post-fence load 1
+    a.li(3, 0x5000); // post-fence load 2 (different line)
+    a.ld(4, 2, 0);   // warm both load targets
+    a.ld(4, 3, 0);
+    a.compute(600);
+    a.li(4, 1);
+    a.st(1, 0, 4);
+    a.fence(FenceRole::Critical);
+    a.ld(5, 2, 0);
+    a.ld(6, 3, 0);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_GT(sys.core(0).stats().get("stallHeldBsFull"), 0u);
+    expectInvariant(sys);
+}
+
+TEST(CpiStack, BouncedStoreBackpressureGoesToBounceRetry)
+{
+    // Core 0's BS bounces core 1's store to y; core 1's tiny write
+    // buffer fills behind the bouncing head, so its execution stalls
+    // with a bounced store at the WB head: FenceBounceRetry cycles.
+    SystemConfig cfg = smallConfig(FenceDesign::WSPlus, 2);
+    cfg.wbEntries = 2;
+    System sys(cfg);
+    Addr x = 0x1000, y = 0x2000;
+    sys.loadProgram(0, share(fencedPair(x, y, 0x3000, 600)));
+    Assembler b("latewriter");
+    b.li(1, int64_t(y));
+    b.ld(2, 1, 0);  // warm y so the later store is a fast upgrade
+    b.compute(650); // arrive just after core 0's load enters the BS
+    b.li(2, 7);
+    b.st(1, 0, 2);     // bounces off core 0's BS
+    b.st(1, 0x1000, 2); // distinct missing lines fill the 2-entry WB
+    b.st(1, 0x2000, 2);
+    b.st(1, 0x3000, 2);
+    b.halt();
+    sys.loadProgram(1, share(b.finish()));
+    runToCompletion(sys);
+    EXPECT_GE(coreStat(sys, "storeNacks"), 1u);
+    EXPECT_GT(sys.core(1).stats().get("stallBounceRetry"), 0u);
+    expectInvariant(sys);
+}
+
+TEST(CpiStack, WbBackpressureGoesToWbFull)
+{
+    // No bouncing, just a tiny write buffer behind missing stores.
+    SystemConfig cfg = smallConfig(FenceDesign::SPlus, 1);
+    cfg.wbEntries = 2;
+    System sys(cfg);
+    Assembler a("wbfull");
+    a.li(1, 0x1000);
+    a.li(2, 1);
+    a.st(1, 0x0000, 2);
+    a.st(1, 0x1000, 2);
+    a.st(1, 0x2000, 2);
+    a.st(1, 0x3000, 2);
+    a.halt();
+    sys.loadProgram(0, share(a.finish()));
+    runToCompletion(sys);
+    EXPECT_GT(sys.core(0).stats().get("stallWbFull"), 0u);
+    EXPECT_EQ(sys.core(0).stats().get("stallBounceRetry"), 0u);
+    expectInvariant(sys);
+}
+
+TEST(CpiStack, WPlusRecoveryGoesToRecovering)
+{
+    // Figure 3a deadlock: W+ times out and rolls back (see
+    // test_fence_semantics.cc WPlusRecoversFromGenuineDeadlock).
+    System sys(smallConfig(FenceDesign::WPlus, 4));
+    sys.loadProgram(0, share(fencedPair(0x1200, 0x1400, 0x3000, 600)));
+    sys.loadProgram(3, share(fencedPair(0x1400, 0x1200, 0x3020, 600)));
+    runToCompletion(sys);
+    EXPECT_GE(coreStat(sys, "wPlusRecoveries"), 1u);
+    EXPECT_GT(coreStat(sys, "stallRecovering"), 0u);
+    expectInvariant(sys);
+}
+
+TEST(CpiStack, WeeGrtPhasesAttributed)
+{
+    // WeeFence pays for its Pending-Set round trip (GrtWait) and for
+    // post-fence accesses held on a Remote PS.
+    System sys(smallConfig(FenceDesign::Wee, 4));
+    sys.loadProgram(0, share(fencedPair(0x1200, 0x1400, 0x3000, 600)));
+    sys.loadProgram(3, share(fencedPair(0x1400, 0x1200, 0x3020, 600)));
+    runToCompletion(sys);
+    uint64_t deposits = 0;
+    for (unsigned i = 0; i < sys.numCores(); i++)
+        deposits += sys.grt(NodeId(i)).stats().get("deposits");
+    EXPECT_GE(deposits, 1u);
+    EXPECT_GT(coreStat(sys, "stallGrtWait") +
+                  coreStat(sys, "stallRemotePs"),
+              0u);
+    expectInvariant(sys);
+}
+
+TEST(CpiStack, ProfilingOnOffIsBitIdentical)
+{
+    // The profiler is observation-only: cycle counts and every other
+    // statistic must be byte-identical with it on or off. The W+
+    // deadlock recipe exercises the densest hook coverage (issue, BS
+    // inserts, bounces, nacks, recovery, squash, completion).
+    auto run = [](bool profile, Tick &cycles, std::string &json) {
+        SystemConfig cfg = smallConfig(FenceDesign::WPlus, 4);
+        cfg.fenceProfile = profile;
+        System sys(cfg);
+        sys.loadProgram(0,
+                        share(fencedPair(0x1200, 0x1400, 0x3000, 600)));
+        sys.loadProgram(3,
+                        share(fencedPair(0x1400, 0x1200, 0x3020, 600)));
+        ASSERT_EQ(sys.run(2'000'000), System::RunResult::AllDone);
+        cycles = sys.now();
+        std::ostringstream os;
+        sys.dumpStatsJson(os, /*include_profile=*/false);
+        json = os.str();
+        EXPECT_EQ(profile, sys.fenceProfiler() != nullptr);
+    };
+    Tick cycles_on = 0, cycles_off = 0;
+    std::string json_on, json_off;
+    run(true, cycles_on, json_on);
+    run(false, cycles_off, json_off);
+    EXPECT_EQ(cycles_on, cycles_off);
+    EXPECT_EQ(json_on, json_off);
+}

@@ -82,8 +82,11 @@ TEST(Experiment, StatsJsonAndTraceSinksCaptureARun)
     };
 
     std::string stats = slurp(stats_path);
-    EXPECT_NE(stats.find("\"schemaVersion\":1"), std::string::npos);
+    EXPECT_NE(stats.find("\"schemaVersion\":2"), std::string::npos);
     EXPECT_NE(stats.find("\"workload\":\"Hash\""), std::string::npos);
+    EXPECT_NE(stats.find("\"cpiStack\":"), std::string::npos);
+    EXPECT_NE(stats.find("\"fenceProfile\":"), std::string::npos);
+    EXPECT_NE(stats.find("\"watchdog\":"), std::string::npos);
     EXPECT_NE(stats.find("\"design\":\"W+\""), std::string::npos);
     EXPECT_NE(stats.find("\"groups\":["), std::string::npos);
     EXPECT_NE(stats.find("\"fenceStallCycles\""), std::string::npos);

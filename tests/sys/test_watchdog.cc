@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Livelock/hang watchdog tests: System::run must abort with a
+ * diagnostic snapshot when no core makes forward progress for a full
+ * window, stay silent when progress continues, and stay off by
+ * default.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers.hh"
+
+using namespace asf;
+using namespace asf::test;
+
+namespace
+{
+
+/** Capture std::cerr for the duration of a scope. */
+class CerrCapture
+{
+  public:
+    CerrCapture() : old_(std::cerr.rdbuf(buf_.rdbuf())) {}
+    ~CerrCapture() { std::cerr.rdbuf(old_); }
+    std::string str() const { return buf_.str(); }
+
+  private:
+    std::ostringstream buf_;
+    std::streambuf *old_;
+};
+
+} // namespace
+
+TEST(Watchdog, FiresDuringQuietMissWindow)
+{
+    // A cold-missing store leaves the core with nothing to retire for
+    // ~memLatency cycles; a window far below that must declare a hang.
+    // Fast-forward is off so the run ticks (and checks) every cycle.
+    SystemConfig cfg = smallConfig(FenceDesign::SPlus, 1);
+    cfg.watchdogCycles = 20;
+    cfg.fastForward = false;
+    System sys(cfg);
+    sys.loadProgram(0, share(storeProgram(0x1000, 1)));
+
+    CerrCapture cerr_capture;
+    auto res = sys.run(1'000'000);
+    EXPECT_EQ(res, System::RunResult::Watchdog);
+    EXPECT_TRUE(sys.watchdogFired());
+    // The system stopped well before the miss would have resolved.
+    EXPECT_LT(sys.now(), 100u);
+    const std::string diag = cerr_capture.str();
+    EXPECT_NE(diag.find("watchdog"), std::string::npos);
+    EXPECT_NE(diag.find("core0"), std::string::npos);
+}
+
+TEST(Watchdog, OffByDefault)
+{
+    System sys(smallConfig(FenceDesign::SPlus, 1));
+    EXPECT_EQ(sys.config().watchdogCycles, 0u);
+    sys.loadProgram(0, share(storeProgram(0x1000, 1)));
+    runToCompletion(sys);
+    EXPECT_FALSE(sys.watchdogFired());
+}
+
+TEST(Watchdog, LargeWindowDoesNotFire)
+{
+    SystemConfig cfg = smallConfig(FenceDesign::SPlus, 2);
+    cfg.watchdogCycles = 1'000'000;
+    System sys(cfg);
+    sys.loadProgram(0, share(storeProgram(0x1000, 1)));
+    sys.loadProgram(1, share(loadProgram(0x1000, 0x2000)));
+    runToCompletion(sys);
+    EXPECT_FALSE(sys.watchdogFired());
+}
+
+TEST(Watchdog, SnapshotShowsStallAndWbHead)
+{
+    // Mid-miss, the snapshot must name the stalled core's bucket and
+    // the write-buffer head entry it is stuck behind.
+    SystemConfig cfg = smallConfig(FenceDesign::SPlus, 1);
+    cfg.fastForward = false;
+    System sys(cfg);
+    sys.loadProgram(0, share(storeProgram(0x1000, 1)));
+    EXPECT_EQ(sys.run(50), System::RunResult::MaxCycles);
+
+    std::ostringstream os;
+    sys.dumpWatchdogSnapshot(os);
+    const std::string snap = os.str();
+    EXPECT_NE(snap.find("core0"), std::string::npos);
+    EXPECT_NE(snap.find("wb: 1/"), std::string::npos);
+    EXPECT_NE(snap.find("addr=0x1000"), std::string::npos);
+    // The store's directory transaction is still in flight.
+    EXPECT_NE(snap.find("dir"), std::string::npos);
+}
+
+TEST(Watchdog, StatsJsonRecordsFiring)
+{
+    SystemConfig cfg = smallConfig(FenceDesign::SPlus, 1);
+    cfg.watchdogCycles = 20;
+    cfg.fastForward = false;
+    System sys(cfg);
+    sys.loadProgram(0, share(storeProgram(0x1000, 1)));
+    CerrCapture quiet;
+    ASSERT_EQ(sys.run(1'000'000), System::RunResult::Watchdog);
+    std::ostringstream os;
+    sys.dumpStatsJson(os);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"watchdog\":{\"cycles\":20,\"fired\":true}"),
+              std::string::npos);
+}

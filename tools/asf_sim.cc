@@ -41,6 +41,8 @@ struct Options
     bool dumpStats = false;
     std::string statsJson; ///< --stats-json path ("" = off)
     std::string trace;     ///< --trace path ("" = off)
+    std::string fenceProfile; ///< --fence-profile JSONL path ("" = off)
+    Tick watchdogCycles = 1'000'000; ///< livelock watchdog (0 = off)
 };
 
 [[noreturn]] void
@@ -62,9 +64,13 @@ usage(int code)
         "results are identical)\n"
         "  --stats                 dump per-core statistic counters\n"
         "  --stats-json PATH       write the full stats report "
-        "(schemaVersion 1 JSON)\n"
+        "(schemaVersion 2 JSON)\n"
         "  --trace PATH            write a Chrome trace_event JSON "
         "(chrome://tracing, Perfetto)\n"
+        "  --fence-profile PATH    dump raw per-fence lifecycle records "
+        "(JSON lines)\n"
+        "  --watchdog-cycles N     livelock watchdog window (default "
+        "1000000; 0 = off)\n"
         "  --csv                   machine-readable output\n"
         "  --list                  list available workloads\n");
     std::exit(code);
@@ -128,6 +134,15 @@ parse(int argc, char **argv)
             opt.trace = need("--trace");
         else if (const char *v = eq_form("--trace"))
             opt.trace = v;
+        else if (!std::strcmp(argv[i], "--fence-profile"))
+            opt.fenceProfile = need("--fence-profile");
+        else if (const char *v = eq_form("--fence-profile"))
+            opt.fenceProfile = v;
+        else if (!std::strcmp(argv[i], "--watchdog-cycles"))
+            opt.watchdogCycles =
+                Tick(std::atoll(need("--watchdog-cycles")));
+        else if (const char *v = eq_form("--watchdog-cycles"))
+            opt.watchdogCycles = Tick(std::atoll(v));
         else if (!std::strcmp(argv[i], "--csv"))
             opt.csv = true;
         else if (!std::strcmp(argv[i], "--list")) {
@@ -224,6 +239,9 @@ main(int argc, char **argv)
         setStatsJsonPath(opt.statsJson);
     if (!opt.trace.empty())
         setTracePath(opt.trace);
+    if (!opt.fenceProfile.empty())
+        setFenceProfilePath(opt.fenceProfile);
+    setWatchdogCyclesDefault(opt.watchdogCycles);
 
     if (opt.csv)
         std::printf("workload,design,cores,cycles,busy,otherStall,"

@@ -2,10 +2,14 @@
 """Validate the simulator's machine-readable observability output.
 
 Runs asf_sim on a small workload with --stats-json and --trace, then
-checks that the emitted stats report conforms to schemaVersion 1 (see
-README.md "Observability") and that the trace file is well-formed Chrome
-trace_event JSON. Registered in CTest so the schema cannot drift
+checks that the emitted stats report conforms to the documented schema
+(see README.md "Observability") and that the trace file is well-formed
+Chrome trace_event JSON. Registered in CTest so the schema cannot drift
 silently.
+
+Documents at schemaVersion 1 (pre-CPI-stack) are still accepted; the
+version-2 additions (cpiStack, fenceProfile, watchdog, the decomposed
+stall scalars) are required only when a document declares version 2.
 
 Usage: check_stats_schema.py <path-to-asf_sim>
 """
@@ -47,6 +51,65 @@ def check_histogram(name, h, ctx):
            f"{ctx} histogram '{name}': percentiles not monotone")
 
 
+# CPI-stack bucket JSON keys, fence category then other category
+# (mirrors src/cpu/cpi_stack.cc).
+FENCE_BUCKETS = ("waitForward", "heldStrong", "heldBsFull", "grtWait",
+                 "remotePs", "recovering", "bounceRetry", "serialize")
+OTHER_BUCKETS = ("l1Miss", "squashRefetch", "rmwDrain", "nocQueue",
+                 "wbFull")
+# The matching per-core scalar stat names.
+STALL_SCALARS = ("stallWaitForward", "stallHeldStrong", "stallHeldBsFull",
+                 "stallGrtWait", "stallRemotePs", "stallRecovering",
+                 "stallBounceRetry", "stallFenceSerialize", "stallL1Miss",
+                 "stallSquashRefetch", "stallRmwDrain", "stallNocQueue",
+                 "stallWbFull")
+
+
+def check_cpi_stack(stack):
+    check_number(stack, "busy", "cpiStack")
+    check_number(stack, "idle", "cpiStack")
+    check_number(stack, "active", "cpiStack")
+    for cat, keys in (("fence", FENCE_BUCKETS), ("other", OTHER_BUCKETS)):
+        obj = stack.get(cat)
+        expect(isinstance(obj, dict), f"cpiStack: missing '{cat}'")
+        for key in keys:
+            check_number(obj, key, f"cpiStack.{cat}")
+        check_number(obj, "total", f"cpiStack.{cat}")
+        expect(sum(obj[k] for k in keys) == obj["total"],
+               f"cpiStack.{cat}: buckets do not sum to total")
+    expect(stack["busy"] + stack["fence"]["total"] +
+           stack["other"]["total"] == stack["active"],
+           "cpiStack: busy + stalls != active")
+
+
+def check_profile_histogram(name, h):
+    expect(isinstance(h, dict), f"fenceProfile: '{name}' not an object")
+    for key in ("count", "mean", "max", "p50", "p90", "p99"):
+        check_number(h, key, f"fenceProfile.{name}")
+
+
+def check_fence_profile(fp):
+    for key in ("issued", "completed", "instant", "active",
+                "squashedFences", "strong", "weak", "wee", "demotions",
+                "recoveries"):
+        check_number(fp, key, "fenceProfile")
+    expect(fp["issued"] == fp["completed"] + fp["instant"] +
+           fp["active"] + fp["squashedFences"],
+           "fenceProfile: issued != completed + instant + active + "
+           "squashed")
+    for name in ("latency", "grtWait", "bounceRounds", "bsInserts"):
+        check_profile_histogram(name, fp.get(name))
+    slowest = fp.get("slowest")
+    expect(isinstance(slowest, list), "fenceProfile: missing 'slowest'")
+    for r in slowest:
+        for key in ("id", "core", "issuedAt", "completedAt", "latency",
+                    "psLines", "bsInserts", "bounces", "storeNacks",
+                    "remotePsHolds", "recoveries", "squashedStores"):
+            check_number(r, key, "fenceProfile slowest record")
+        expect(isinstance(r.get("kind"), str),
+               "fenceProfile slowest record: missing 'kind'")
+
+
 def check_group(g):
     ctx = f"group '{g.get('name', '?')}'"
     expect(isinstance(g.get("name"), str), f"{ctx}: missing name")
@@ -77,8 +140,17 @@ def check_run(run):
 
     sys_doc = run.get("system")
     expect(isinstance(sys_doc, dict), "run: missing 'system' document")
-    expect(sys_doc.get("schemaVersion") == 1,
-           "system: schemaVersion != 1")
+    version = sys_doc.get("schemaVersion")
+    expect(version in (1, 2), f"system: unknown schemaVersion {version!r}")
+    if version >= 2:
+        for key in FENCE_BUCKETS + OTHER_BUCKETS:
+            check_number(run["breakdown"], key, "breakdown")
+        expect(sum(run["breakdown"][k] for k in FENCE_BUCKETS) ==
+               run["breakdown"]["fenceStall"],
+               "breakdown: fence buckets do not sum to fenceStall")
+        expect(sum(run["breakdown"][k] for k in OTHER_BUCKETS) ==
+               run["breakdown"]["otherStall"],
+               "breakdown: other buckets do not sum to otherStall")
     check_number(sys_doc, "cycles", "system")
     cfg = sys_doc.get("config")
     expect(isinstance(cfg, dict), "system: missing 'config'")
@@ -100,10 +172,13 @@ def check_run(run):
         name = f"core{i}"
         expect(name in by_name, f"missing stats group '{name}'")
         core = by_name[name]
-        for scalar in ("busyCycles", "idleCycles", "fenceStallCycles",
-                       "instrRetired", "fencesStrong", "fencesWeak",
-                       "bouncedWrites", "wPlusRecoveries", "loadSquashes",
-                       "wbPushes", "wbSquashedStores", "wbHighWater"):
+        scalars = ("busyCycles", "idleCycles", "fenceStallCycles",
+                   "instrRetired", "fencesStrong", "fencesWeak",
+                   "bouncedWrites", "wPlusRecoveries", "loadSquashes",
+                   "wbPushes", "wbSquashedStores", "wbHighWater")
+        if version >= 2:
+            scalars += STALL_SCALARS
+        for scalar in scalars:
             expect(scalar in core["scalars"],
                    f"{name}: missing pre-registered scalar '{scalar}'")
         expect("wbOccupancy" in core["histograms"],
@@ -117,6 +192,19 @@ def check_run(run):
             expect(scalar in by_name[name]["scalars"],
                    f"{name}: missing pre-registered scalar '{scalar}'")
     expect("noc" in by_name, "missing stats group 'noc'")
+
+    if version >= 2:
+        stack = sys_doc.get("cpiStack")
+        expect(isinstance(stack, dict), "system: missing 'cpiStack'")
+        check_cpi_stack(stack)
+        wd = sys_doc.get("watchdog")
+        expect(isinstance(wd, dict), "system: missing 'watchdog'")
+        check_number(wd, "cycles", "watchdog")
+        expect(isinstance(wd.get("fired"), bool),
+               "watchdog: missing 'fired'")
+        # fenceProfile is present unless profiling was turned off.
+        if "fenceProfile" in sys_doc:
+            check_fence_profile(sys_doc["fenceProfile"])
 
     noc = sys_doc.get("noc")
     expect(isinstance(noc, dict), "system: missing 'noc'")
@@ -177,7 +265,8 @@ def main():
 
         with open(stats_path) as f:
             doc = json.load(f)
-        expect(doc.get("schemaVersion") == 1, "log: schemaVersion != 1")
+        expect(doc.get("schemaVersion") in (1, 2),
+               f"log: unknown schemaVersion {doc.get('schemaVersion')!r}")
         runs = doc.get("runs")
         expect(isinstance(runs, list) and len(runs) == 1,
                f"log: expected 1 run, got {runs!r:.80}")

@@ -1,0 +1,213 @@
+#!/usr/bin/env python3
+"""Compare two simulator stats-JSON documents and flag regressions.
+
+The simulator is deterministic, so the default tolerance is exact
+equality; per-metric relative tolerances can be granted explicitly for
+metrics that are allowed to move (e.g. host-side ones).
+
+Subcommands:
+
+  compare A B [--rtol metric=frac ...]
+      Diff two stats-JSON logs (full logs or summaries). Runs are
+      matched by (workload, design, cores); every numeric metric and
+      breakdown bucket must match within its tolerance. Exits 1 on any
+      difference, listing each offending metric.
+
+  summarize IN OUT
+      Reduce a full stats-JSON log to the compact summary form used for
+      committed goldens: per-run metrics and cycle breakdown, without
+      the bulky per-component `system` documents.
+
+  check-bench BIN GOLDEN [--jobs N] [--rtol metric=frac ...]
+      Run `BIN --quick --jobs N --stats-json <tmp>`, summarize the
+      result, and compare against the committed GOLDEN summary. This is
+      the CTest regression gate for the bench binaries.
+
+Used by CTest as tools.stats_diff_fig10; regenerate the golden with:
+  build/bench/fig10_ustm_breakdown --quick --stats-json /tmp/f.json
+  tools/stats_diff.py summarize /tmp/f.json tests/golden/fig10_quick_summary.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+# Metric leaves that depend on the host rather than simulated state:
+# never compared.
+HOST_ONLY = frozenset()
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def run_key(run):
+    return (run.get("workload"), run.get("design"), run.get("cores"))
+
+
+def summarize_run(run):
+    return {
+        "workload": run.get("workload"),
+        "design": run.get("design"),
+        "cores": run.get("cores"),
+        "cycles": run.get("cycles"),
+        "valid": run.get("valid"),
+        "metrics": run.get("metrics", {}),
+        "breakdown": run.get("breakdown", {}),
+    }
+
+
+def summarize_doc(doc):
+    return {
+        "schemaVersion": doc.get("schemaVersion"),
+        "runs": [summarize_run(r) for r in doc.get("runs", [])],
+    }
+
+
+def flatten(obj, prefix=""):
+    """Flatten nested dicts to {"a.b.c": leaf}; lists are skipped."""
+    out = {}
+    for k, v in obj.items():
+        path = f"{prefix}{k}"
+        if isinstance(v, dict):
+            out.update(flatten(v, path + "."))
+        elif isinstance(v, (int, float, bool, str)) or v is None:
+            out[path] = v
+    return out
+
+
+def parse_rtols(pairs):
+    rtols = {}
+    for p in pairs or []:
+        if "=" not in p:
+            sys.exit(f"bad --rtol '{p}': expected metric=fraction")
+        name, frac = p.split("=", 1)
+        rtols[name] = float(frac)
+    return rtols
+
+
+def metric_rtol(path, rtols):
+    """Tolerance for a metric: match the full path or its last segment."""
+    if path in rtols:
+        return rtols[path]
+    return rtols.get(path.rsplit(".", 1)[-1], 0.0)
+
+
+def compare_docs(a_doc, b_doc, rtols, a_name="A", b_name="B"):
+    errors = []
+    a_runs = {run_key(r): summarize_run(r) for r in a_doc.get("runs", [])}
+    b_runs = {run_key(r): summarize_run(r) for r in b_doc.get("runs", [])}
+    for key in a_runs.keys() - b_runs.keys():
+        errors.append(f"run {key} only in {a_name}")
+    for key in b_runs.keys() - a_runs.keys():
+        errors.append(f"run {key} only in {b_name}")
+
+    for key in sorted(a_runs.keys() & b_runs.keys(), key=str):
+        fa = flatten(a_runs[key])
+        fb = flatten(b_runs[key])
+        ctx = "/".join(str(k) for k in key)
+        for path in sorted(fa.keys() | fb.keys()):
+            if path.rsplit(".", 1)[-1] in HOST_ONLY:
+                continue
+            if path not in fa or path not in fb:
+                where = b_name if path not in fb else a_name
+                errors.append(f"{ctx}: '{path}' missing in {where}")
+                continue
+            va, vb = fa[path], fb[path]
+            if isinstance(va, bool) or isinstance(va, str) or va is None:
+                if va != vb:
+                    errors.append(f"{ctx}: '{path}' {va!r} != {vb!r}")
+                continue
+            tol = metric_rtol(path, rtols)
+            bound = tol * max(abs(va), abs(vb))
+            if abs(va - vb) > bound:
+                detail = f" (rtol {tol})" if tol else ""
+                errors.append(
+                    f"{ctx}: '{path}' {va} != {vb}{detail}")
+    return errors
+
+
+def report(errors, what):
+    if errors:
+        print(f"FAIL: {what}: {len(errors)} difference(s):",
+              file=sys.stderr)
+        for e in errors[:50]:
+            print(f"  {e}", file=sys.stderr)
+        if len(errors) > 50:
+            print(f"  ... and {len(errors) - 50} more", file=sys.stderr)
+        sys.exit(1)
+    print(f"ok: {what}")
+
+
+def cmd_compare(args):
+    rtols = parse_rtols(args.rtol)
+    errors = compare_docs(load(args.a), load(args.b), rtols,
+                          args.a, args.b)
+    report(errors, f"{args.a} vs {args.b}")
+
+
+def cmd_summarize(args):
+    summary = summarize_doc(load(args.input))
+    with open(args.output, "w") as f:
+        json.dump(summary, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"ok: wrote {len(summary['runs'])} run summaries to "
+          f"{args.output}")
+
+
+def cmd_check_bench(args):
+    bench = Path(args.bench)
+    if not bench.exists():
+        sys.exit(f"no such binary: {bench}")
+    golden = load(args.golden)
+    rtols = parse_rtols(args.rtol)
+    jobs = args.jobs or min(os.cpu_count() or 2, 8)
+    with tempfile.TemporaryDirectory() as tmp:
+        stats = Path(tmp) / "stats.json"
+        cmd = [str(bench), "--quick", "--jobs", str(jobs),
+               f"--stats-json={stats}"]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=1800)
+        if proc.returncode != 0:
+            sys.exit(f"FAIL: {bench.name} exited "
+                     f"{proc.returncode}:\n{proc.stderr}")
+        fresh = summarize_doc(load(stats))
+    errors = compare_docs(golden, fresh, rtols, "golden", "fresh")
+    report(errors, f"{bench.name} --quick vs {args.golden}")
+
+
+def main():
+    top = argparse.ArgumentParser(description=__doc__)
+    sub = top.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compare", help="diff two stats-JSON documents")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--rtol", action="append", metavar="METRIC=FRAC")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("summarize",
+                       help="reduce a stats-JSON log to a golden summary")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.set_defaults(func=cmd_summarize)
+
+    p = sub.add_parser("check-bench",
+                       help="run a bench --quick and diff vs a golden")
+    p.add_argument("bench")
+    p.add_argument("golden")
+    p.add_argument("--jobs", type=int, default=0)
+    p.add_argument("--rtol", action="append", metavar="METRIC=FRAC")
+    p.set_defaults(func=cmd_check_bench)
+
+    args = top.parse_args()
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()
