@@ -1,0 +1,523 @@
+#include "check/axioms.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "harness/report.hh"
+#include "sim/logging.hh"
+
+namespace asf::check
+{
+
+namespace
+{
+
+enum EdgeKind : uint8_t
+{
+    EdgePo,    ///< preserved program order
+    EdgeFence, ///< program order through a fence
+    EdgeRf,    ///< reads-from (external in the global graph)
+    EdgeCo,    ///< coherence order (adjacent pairs)
+    EdgeFr,    ///< from-read
+};
+
+const char *
+edgeKindName(uint8_t k)
+{
+    switch (k) {
+      case EdgePo:
+        return "po";
+      case EdgeFence:
+        return "fence";
+      case EdgeRf:
+        return "rf";
+      case EdgeCo:
+        return "co";
+      case EdgeFr:
+        return "fr";
+    }
+    return "?";
+}
+
+/** Adjacency list: succ[u] = {(v, edge kind), ...}. */
+using Adj = std::vector<std::vector<std::pair<int, uint8_t>>>;
+using Cycle = std::vector<std::pair<int, uint8_t>>;
+
+/** Kahn peel; returns the nodes left over (empty iff acyclic). The
+ *  residue is every node on or downstream of a cycle. */
+std::vector<int>
+kahnResidue(const Adj &succ)
+{
+    std::vector<int> indeg(succ.size(), 0);
+    for (const auto &edges : succ)
+        for (auto [v, k] : edges)
+            indeg[v]++;
+    std::deque<int> ready;
+    for (size_t i = 0; i < succ.size(); i++)
+        if (indeg[i] == 0)
+            ready.push_back(int(i));
+    size_t removed = 0;
+    while (!ready.empty()) {
+        int u = ready.front();
+        ready.pop_front();
+        removed++;
+        for (auto [v, k] : succ[u])
+            if (--indeg[v] == 0)
+                ready.push_back(v);
+    }
+    std::vector<int> residue;
+    if (removed == succ.size())
+        return residue;
+    for (size_t i = 0; i < succ.size(); i++)
+        if (indeg[i] > 0)
+            residue.push_back(int(i));
+    return residue;
+}
+
+/** One concrete cycle within the residue subgraph (iterative DFS;
+ *  the residue is guaranteed to contain one). Element i carries the
+ *  kind of the edge leaving it toward element i+1 (wrapping). */
+Cycle
+findCycle(const Adj &succ, const std::vector<char> &in_res,
+          const std::vector<int> &residue)
+{
+    std::vector<char> color(succ.size(), 0); // 0 white 1 gray 2 black
+    std::vector<int> parent(succ.size(), -1);
+    std::vector<uint8_t> parentEdge(succ.size(), 0);
+    for (int root : residue) {
+        if (color[root])
+            continue;
+        std::vector<std::pair<int, size_t>> stack{{root, 0}};
+        color[root] = 1;
+        while (!stack.empty()) {
+            int u = stack.back().first;
+            size_t i = stack.back().second;
+            if (i >= succ[u].size()) {
+                color[u] = 2;
+                stack.pop_back();
+                continue;
+            }
+            stack.back().second++;
+            auto [v, k] = succ[u][i];
+            if (!in_res[v])
+                continue;
+            if (color[v] == 1) {
+                // Back edge u->v closes the cycle v ... u -> v.
+                Cycle cyc;
+                cyc.push_back({u, k});
+                for (int w = u; w != v;) {
+                    int p = parent[w];
+                    cyc.push_back({p, parentEdge[w]});
+                    w = p;
+                }
+                std::reverse(cyc.begin(), cyc.end());
+                return cyc;
+            }
+            if (color[v] == 0) {
+                color[v] = 1;
+                parent[v] = u;
+                parentEdge[v] = k;
+                stack.push_back({v, 0});
+            }
+        }
+    }
+    return {};
+}
+
+/** Shortest cycle through `c` within the residue (BFS), or empty. */
+Cycle
+shortestCycleThrough(const Adj &succ, const std::vector<char> &in_res,
+                     int c)
+{
+    std::vector<int> parent(succ.size(), -2); // -2 unvisited, -1 root
+    std::vector<uint8_t> parentEdge(succ.size(), 0);
+    std::deque<int> q;
+    parent[c] = -1;
+    q.push_back(c);
+    while (!q.empty()) {
+        int u = q.front();
+        q.pop_front();
+        for (auto [v, k] : succ[u]) {
+            if (!in_res[v])
+                continue;
+            if (v == c) {
+                Cycle cyc;
+                cyc.push_back({u, k});
+                for (int w = u; parent[w] != -1; w = parent[w])
+                    cyc.push_back({parent[w], parentEdge[w]});
+                std::reverse(cyc.begin(), cyc.end());
+                return cyc;
+            }
+            if (parent[v] == -2) {
+                parent[v] = u;
+                parentEdge[v] = k;
+                q.push_back(v);
+            }
+        }
+    }
+    return {};
+}
+
+/** How a read's source was resolved. */
+struct ReadSrc
+{
+    bool isRead = false;   ///< load, or the read half of an RMW
+    bool fromInit = false; ///< reads the 0 initial value
+    bool ambiguous = false;
+    int writer = -1; ///< source node, -1 when init/ambiguous
+};
+
+} // namespace
+
+const char *
+verdictName(Verdict v)
+{
+    switch (v) {
+      case Verdict::Pass:
+        return "pass";
+      case Verdict::Violation:
+        return "violation";
+      case Verdict::Inconclusive:
+        return "inconclusive";
+    }
+    return "?";
+}
+
+CheckResult
+checkExecution(const ExecutionRecorder &rec, const CheckOptions &opt)
+{
+    CheckResult res;
+    res.scChecked = opt.requireSc;
+    res.events = rec.eventsCaptured();
+    res.loads = rec.loadsCaptured();
+    res.stores = rec.storesCaptured();
+    res.rmws = rec.rmwsCaptured();
+    res.fences = rec.fencesCaptured();
+
+    const auto &threads = rec.threads();
+
+    // ---- flatten the per-thread logs into one node id space ----------
+    std::vector<int> offset(threads.size() + 1, 0);
+    for (size_t t = 0; t < threads.size(); t++)
+        offset[t + 1] = offset[t] + int(threads[t].size());
+    const int n = offset.back();
+    std::vector<NodeId> nodeTid(n);
+    std::vector<uint32_t> nodeIdx(n);
+    for (size_t t = 0; t < threads.size(); t++)
+        for (size_t i = 0; i < threads[t].size(); i++) {
+            nodeTid[offset[t] + int(i)] = NodeId(t);
+            nodeIdx[offset[t] + int(i)] = uint32_t(i);
+        }
+    auto eventAt = [&](int u) -> const Event & {
+        return threads[size_t(nodeTid[u])][nodeIdx[u]];
+    };
+    auto isWriteEvent = [&](const Event &e) {
+        return e.kind == EvKind::Store ||
+               (e.kind == EvKind::Rmw && e.wrote);
+    };
+
+    auto makeWitness = [&](const Cycle &cyc) {
+        for (auto [u, k] : cyc) {
+            WitnessStep s;
+            s.thread = nodeTid[u];
+            s.index = nodeIdx[u];
+            s.event = eventAt(u);
+            s.edgeToNext = edgeKindName(k);
+            res.witness.push_back(s);
+        }
+    };
+    auto singleWitness = [&](int u, const char *edge = "") {
+        WitnessStep s;
+        s.thread = nodeTid[u];
+        s.index = nodeIdx[u];
+        s.event = eventAt(u);
+        s.edgeToNext = edge;
+        res.witness.push_back(s);
+    };
+
+    // ---- co: captured per-word serialization stamps ------------------
+    std::map<Addr, std::vector<int>> co; // stamp-sorted write nodes
+    std::map<std::pair<NodeId, uint64_t>, int> storeNode;
+    std::map<std::pair<Addr, uint64_t>, std::vector<int>> writesByValue;
+    for (int u = 0; u < n; u++) {
+        const Event &e = eventAt(u);
+        if (e.kind == EvKind::Store)
+            storeNode[{nodeTid[u], e.storeSeq}] = u;
+        if (isWriteEvent(e) && e.coStamp != 0) {
+            co[e.addr].push_back(u);
+            writesByValue[{e.addr, e.value}].push_back(u);
+        }
+    }
+    for (auto &[addr, list] : co) {
+        std::sort(list.begin(), list.end(), [&](int a, int b) {
+            return eventAt(a).coStamp < eventAt(b).coStamp;
+        });
+        res.coEdges += list.size() ? list.size() - 1 : 0;
+    }
+    std::vector<int> coPos(n, -1); // position of a write in its line's co
+    for (const auto &[addr, list] : co)
+        for (size_t i = 0; i < list.size(); i++)
+            coPos[list[i]] = int(i);
+
+    // ---- rf: exact for forwarded loads and writing RMWs (their source
+    // must be their own co-predecessor), value-matched for the rest ----
+    std::vector<ReadSrc> src(n);
+    auto resolveByValue = [&](int u, Addr addr, uint64_t v) -> bool {
+        auto it = writesByValue.find({addr, v});
+        size_t nwriters = it == writesByValue.end() ? 0 : it->second.size();
+        size_t ncand = nwriters + (v == 0 ? 1 : 0); // 0 = initial value
+        if (ncand == 0) {
+            res.verdict = Verdict::Violation;
+            res.axiom = "value-integrity";
+            res.reason = format(
+                "thread %d read %llu from addr %#llx, a value no "
+                "write ever produced", nodeTid[u],
+                (unsigned long long)v, (unsigned long long)addr);
+            singleWitness(u);
+            return false;
+        }
+        if (ncand > 1) {
+            src[u].ambiguous = true;
+            res.ambiguousReads++;
+            return true;
+        }
+        if (nwriters == 1)
+            src[u].writer = it->second.front();
+        else
+            src[u].fromInit = true;
+        return true;
+    };
+
+    for (int u = 0; u < n; u++) {
+        const Event &e = eventAt(u);
+        if (e.kind == EvKind::Load) {
+            src[u].isRead = true;
+            if (e.fwdSeq != 0) {
+                auto it = storeNode.find({nodeTid[u], e.fwdSeq});
+                if (it == storeNode.end()) {
+                    res.verdict = Verdict::Violation;
+                    res.axiom = "value-integrity";
+                    res.reason = format(
+                        "thread %d forwarded from unrecorded store "
+                        "seq %llu", nodeTid[u],
+                        (unsigned long long)e.fwdSeq);
+                    singleWitness(u);
+                    return res;
+                }
+                src[u].writer = it->second;
+            } else if (!resolveByValue(u, e.addr, e.value)) {
+                return res;
+            }
+        } else if (e.kind == EvKind::Rmw) {
+            src[u].isRead = true;
+            if (e.wrote) {
+                // Atomicity: the read half must have seen exactly the
+                // immediate co-predecessor of the RMW's own write.
+                const auto &list = co[e.addr];
+                int pos = coPos[u];
+                int pred = pos > 0 ? list[size_t(pos - 1)] : -1;
+                uint64_t expect =
+                    pred >= 0 ? eventAt(pred).value : 0;
+                if (e.readValue != expect) {
+                    res.verdict = Verdict::Violation;
+                    res.axiom = "rmw-atomicity";
+                    res.reason = format(
+                        "thread %d atomic at addr %#llx read %llu but "
+                        "its coherence predecessor wrote %llu: a write "
+                        "intervened", nodeTid[u],
+                        (unsigned long long)e.addr,
+                        (unsigned long long)e.readValue,
+                        (unsigned long long)expect);
+                    if (pred >= 0)
+                        singleWitness(pred, "co");
+                    singleWitness(u);
+                    return res;
+                }
+                if (pred >= 0)
+                    src[u].writer = pred;
+                else
+                    src[u].fromInit = true;
+            } else if (!resolveByValue(u, e.addr, e.readValue)) {
+                return res;
+            }
+        }
+    }
+
+    // ---- edge construction -------------------------------------------
+    // Coherence graph: po-loc U rf U co U fr. Every edge connects two
+    // events on one address, so per-location SC reduces to one global
+    // acyclicity check.
+    Adj loc(n);
+    // Global happens-before: ppo (po minus store->load) U fences U rfe
+    // U co U fr; with requireSc, all of po.
+    Adj ghb(n);
+    auto addEdge = [](Adj &g, int u, int v, uint8_t k) {
+        if (u != v)
+            g[u].push_back({v, k});
+    };
+
+    for (size_t t = 0; t < threads.size(); t++) {
+        int lastRead = -1, lastWrite = -1, prev = -1;
+        std::map<Addr, int> lastAtAddr;
+        for (size_t i = 0; i < threads[t].size(); i++) {
+            int u = offset[t] + int(i);
+            const Event &e = threads[t][i];
+            auto label = [&](int from) -> uint8_t {
+                return e.kind == EvKind::Fence ||
+                               eventAt(from).kind == EvKind::Fence
+                           ? EdgeFence
+                           : EdgePo;
+            };
+            // TSO preserves R->R, R->W, W->W; only W->R may reorder.
+            // Fences and atomics order against both classes.
+            if (lastRead >= 0)
+                addEdge(ghb, lastRead, u, label(lastRead));
+            if (e.kind != EvKind::Load && lastWrite >= 0 &&
+                lastWrite != lastRead)
+                addEdge(ghb, lastWrite, u, label(lastWrite));
+            if (opt.requireSc && prev >= 0 && prev != lastRead &&
+                (e.kind == EvKind::Load || prev != lastWrite))
+                addEdge(ghb, prev, u, label(prev));
+            prev = u;
+            if (e.kind != EvKind::Store)
+                lastRead = u; // loads, RMWs, fences
+            if (e.kind != EvKind::Load)
+                lastWrite = u; // stores, RMWs, fences
+            if (e.kind != EvKind::Fence) {
+                auto [it, fresh] = lastAtAddr.try_emplace(e.addr, u);
+                if (!fresh) {
+                    addEdge(loc, it->second, u, EdgePo);
+                    it->second = u;
+                }
+            }
+        }
+    }
+
+    for (const auto &[addr, list] : co)
+        for (size_t i = 0; i + 1 < list.size(); i++) {
+            addEdge(loc, list[i], list[i + 1], EdgeCo);
+            addEdge(ghb, list[i], list[i + 1], EdgeCo);
+        }
+
+    for (int u = 0; u < n; u++) {
+        if (!src[u].isRead || src[u].ambiguous)
+            continue;
+        const Event &e = eventAt(u);
+        const auto coIt = co.find(e.addr);
+        const std::vector<int> *list =
+            coIt == co.end() ? nullptr : &coIt->second;
+        if (src[u].writer >= 0) {
+            int w = src[u].writer;
+            res.rfEdges++;
+            addEdge(loc, w, u, EdgeRf);
+            if (nodeTid[w] != nodeTid[u])
+                addEdge(ghb, w, u, EdgeRf); // rfe only: a core may read
+                                            // its own buffered store early
+            // fr: the read precedes the writer's co-successor.
+            int pos = coPos[w];
+            if (pos >= 0 && list && size_t(pos + 1) < list->size()) {
+                int next = (*list)[size_t(pos + 1)];
+                if (next != u) {
+                    addEdge(loc, u, next, EdgeFr);
+                    addEdge(ghb, u, next, EdgeFr);
+                    res.frEdges++;
+                }
+            }
+        } else if (src[u].fromInit) {
+            res.readsFromInit++;
+            if (list && !list->empty() && list->front() != u) {
+                addEdge(loc, u, list->front(), EdgeFr);
+                addEdge(ghb, u, list->front(), EdgeFr);
+                res.frEdges++;
+            }
+        }
+    }
+
+    // ---- acyclicity checks -------------------------------------------
+    auto checkAcyclic = [&](const Adj &g, const char *axiom) {
+        std::vector<int> residue = kahnResidue(g);
+        if (residue.empty())
+            return true;
+        std::vector<char> in_res(g.size(), 0);
+        for (int u : residue)
+            in_res[u] = 1;
+        Cycle best = findCycle(g, in_res, residue);
+        int roots = 0;
+        for (auto [c, k] : Cycle(best)) {
+            if (roots++ >= 16)
+                break;
+            Cycle alt = shortestCycleThrough(g, in_res, c);
+            if (!alt.empty() && alt.size() < best.size())
+                best = alt;
+        }
+        res.verdict = Verdict::Violation;
+        res.axiom = axiom;
+        res.reason = format("happens-before cycle through %zu events",
+                            best.size());
+        makeWitness(best);
+        return false;
+    };
+
+    if (!checkAcyclic(loc, "coherence"))
+        return res;
+    if (!checkAcyclic(ghb, opt.requireSc ? "sc-ghb" : "tso-ghb"))
+        return res;
+
+    if (res.ambiguousReads > 0) {
+        res.verdict = Verdict::Inconclusive;
+        res.reason = format(
+            "%llu read(s) matched several writers (non-unique data "
+            "values); their rf/fr edges were not checked",
+            (unsigned long long)res.ambiguousReads);
+    }
+    return res;
+}
+
+void
+writeWitnessJson(const CheckResult &res, std::ostream &os)
+{
+    harness::JsonWriter w(os);
+    w.beginObject();
+    w.field("verdict", verdictName(res.verdict));
+    if (!res.axiom.empty())
+        w.field("axiom", res.axiom);
+    if (!res.reason.empty())
+        w.field("reason", res.reason);
+    if (!res.witness.empty()) {
+        w.key("cycle").beginArray();
+        for (const auto &s : res.witness) {
+            w.beginObject();
+            w.field("thread", uint64_t(s.thread));
+            w.field("index", s.index);
+            w.field("kind", evKindName(s.event.kind));
+            w.field("pc", s.event.pc);
+            if (s.event.kind == EvKind::Fence) {
+                w.field("fenceKind", fenceKindName(s.event.fence));
+            } else {
+                w.field("addr", s.event.addr);
+                w.field("value", s.event.value);
+            }
+            if (s.event.kind == EvKind::Rmw)
+                w.field("readValue", s.event.readValue);
+            w.field("tick", uint64_t(s.event.tick));
+            if (!s.edgeToNext.empty())
+                w.field("edgeToNext", s.edgeToNext);
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+}
+
+std::string
+witnessJson(const CheckResult &res)
+{
+    std::ostringstream ss;
+    writeWitnessJson(res, ss);
+    return ss.str();
+}
+
+} // namespace asf::check

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Offline axiomatic verification of a recorded execution, herd-style:
+ * derive the relations po (per-thread event order), rf (reads-from,
+ * exact for forwarded loads, value-matched otherwise), co (the
+ * directory-observed per-line serialization, captured — not inferred)
+ * and fr (from-reads: co-successors of a read's source), then check:
+ *
+ *  - value integrity: every read value has a writer (or is the 0
+ *    initial value);
+ *  - SC per location: po-loc ∪ rf ∪ co ∪ fr acyclic per address
+ *    (coherence: CoRR/CoWR/CoRW/CoWW);
+ *  - RMW atomicity: an atomic's read source is the immediate
+ *    co-predecessor of its own write — nothing intervenes;
+ *  - TSO global happens-before: ppo (program order minus store→load)
+ *    ∪ fence order ∪ rfe ∪ co ∪ fr is acyclic. Multi-copy atomicity
+ *    is implied (rfe edges order external reads against co).
+ *
+ * Fences of every kind — strong, weak, WeeFence — contribute full
+ * barrier edges: the paper's claim is precisely that the relaxed
+ * implementations (BS bounces, Order writes, W+ rollback) make the
+ * execution LOOK fully ordered across the fence. A fence-group bug
+ * therefore shows up as a cycle through a fence edge.
+ *
+ * With `requireSc`, all adjacent po edges join the graph: valid only
+ * for fully fenced (Shasha–Snir delay-set covered) programs such as
+ * the fuzz harness, where TSO + fences must be SC-equivalent.
+ *
+ * On violation the shortest offending cycle is reported as a witness
+ * (JSON via writeWitnessJson, pretty via tools/witness_pp.py).
+ */
+
+#ifndef ASF_CHECK_AXIOMS_HH
+#define ASF_CHECK_AXIOMS_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "check/recorder.hh"
+
+namespace asf::check
+{
+
+enum class Verdict
+{
+    Pass,         ///< all axioms hold; every read conclusively matched
+    Violation,    ///< an axiom is violated; see `axiom` and `witness`
+    Inconclusive, ///< axioms hold on the unambiguous subset, but some
+                  ///< read values matched several writers (non-unique
+                  ///< data values) and their rf/fr edges were skipped
+};
+
+const char *verdictName(Verdict v);
+
+struct CheckOptions
+{
+    /** Also require store→load program order (SC). Only sound for
+     *  fully fenced programs. */
+    bool requireSc = false;
+};
+
+/** One node of a witness cycle, plus the edge leaving it. */
+struct WitnessStep
+{
+    NodeId thread = 0;
+    uint64_t index = 0; ///< position in the thread's event log
+    Event event;
+    /** Relation of the edge to the next step: "po", "fence", "rf",
+     *  "co", "fr" (empty on the last step of non-cycle witnesses). */
+    std::string edgeToNext;
+};
+
+struct CheckResult
+{
+    Verdict verdict = Verdict::Pass;
+    /** Violated axiom: "value-integrity", "coherence",
+     *  "rmw-atomicity", "tso-ghb" or "sc-ghb". Empty when passing. */
+    std::string axiom;
+    std::string reason;
+    std::vector<WitnessStep> witness;
+
+    // Derived-relation sizes (reported in the stats `check` block).
+    uint64_t events = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t rmws = 0;
+    uint64_t fences = 0;
+    uint64_t rfEdges = 0;
+    uint64_t coEdges = 0;
+    uint64_t frEdges = 0;
+    uint64_t readsFromInit = 0;
+    uint64_t ambiguousReads = 0;
+    bool scChecked = false;
+
+    bool passed() const { return verdict == Verdict::Pass; }
+};
+
+/** Verify a recorded execution against the axioms. */
+CheckResult checkExecution(const ExecutionRecorder &rec,
+                           const CheckOptions &opt = {});
+
+/** Serialize the verdict + witness as a standalone JSON object (the
+ *  same shape embedded in the stats `check` block). */
+void writeWitnessJson(const CheckResult &res, std::ostream &os);
+std::string witnessJson(const CheckResult &res);
+
+} // namespace asf::check
+
+#endif // ASF_CHECK_AXIOMS_HH

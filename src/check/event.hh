@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The shared-memory event vocabulary of the execution checker. One
+ * Event is one architecturally-committed shared-memory action of one
+ * thread: a delivered load (with the value it read), a retired store
+ * (with its write-buffer sequence number and, once merged, its global
+ * coherence stamp), a performed RMW, or an issued fence. Per-thread
+ * event vectors in commit order ARE program order `po`; the coherence
+ * stamps define `co` with no inference.
+ */
+
+#ifndef ASF_CHECK_EVENT_HH
+#define ASF_CHECK_EVENT_HH
+
+#include <cstdint>
+
+#include "fence/fence_kind.hh"
+#include "sim/types.hh"
+
+namespace asf::check
+{
+
+enum class EvKind : uint8_t
+{
+    Load,
+    Store,
+    Rmw,
+    Fence,
+};
+
+const char *evKindName(EvKind k);
+
+struct Event
+{
+    EvKind kind = EvKind::Load;
+    /** Guest PC of the instruction (before it retired). */
+    uint64_t pc = 0;
+    /** Word-aligned byte address (loads/stores/RMWs). */
+    Addr addr = 0;
+    /**
+     * Load: the delivered value. Store: the written value. RMW: the
+     * value written (CAS that failed writes nothing; `wrote` is false
+     * and this holds the attempted value). Fence: unused.
+     */
+    uint64_t value = 0;
+    /** RMW only: the value the atomic read (its load half). */
+    uint64_t readValue = 0;
+    /** Store only: this core's write-buffer sequence number. */
+    uint64_t storeSeq = 0;
+    /**
+     * Store/RMW: position in the global per-line serialization order,
+     * stamped when the write merges with the memory system (local
+     * exclusive drain, DataX/AckX grant, or directory Order merge).
+     * 0 = never merged (still buffered when the run ended).
+     */
+    uint64_t coStamp = 0;
+    /**
+     * Load only: when the value was forwarded from this core's own
+     * write buffer, the storeSeq of the forwarding store; 0 when the
+     * value came from the memory system. Makes internal `rf` exact.
+     */
+    uint64_t fwdSeq = 0;
+    /** Simulated cycle at which the event committed. */
+    Tick tick = 0;
+    /** Fence only: resolved kind and per-core instance id. */
+    FenceKind fence = FenceKind::Strong;
+    uint64_t fenceId = 0;
+    /** Fence only: completed instantly (empty write buffer). */
+    bool instant = false;
+    /** RMW only: the write half happened (XCHG, or CAS that hit). */
+    bool wrote = false;
+};
+
+} // namespace asf::check
+
+#endif // ASF_CHECK_EVENT_HH

@@ -1,0 +1,162 @@
+#include "check/recorder.hh"
+
+#include "sim/logging.hh"
+
+namespace asf::check
+{
+
+const char *
+evKindName(EvKind k)
+{
+    switch (k) {
+      case EvKind::Load:
+        return "load";
+      case EvKind::Store:
+        return "store";
+      case EvKind::Rmw:
+        return "rmw";
+      case EvKind::Fence:
+        return "fence";
+    }
+    return "?";
+}
+
+ExecutionRecorder::ExecutionRecorder(unsigned num_threads)
+    : threads_(num_threads)
+{
+}
+
+void
+ExecutionRecorder::onLoad(NodeId tid, uint64_t pc, Addr addr,
+                          uint64_t value, uint64_t fwd_seq, Tick now)
+{
+    Event e;
+    e.kind = EvKind::Load;
+    e.pc = pc;
+    e.addr = addr;
+    e.value = value;
+    e.fwdSeq = fwd_seq;
+    e.tick = now;
+    threads_.at(size_t(tid)).push_back(e);
+    loads_++;
+}
+
+void
+ExecutionRecorder::onStore(NodeId tid, uint64_t pc, Addr addr,
+                           uint64_t value, uint64_t seq, Tick now)
+{
+    Event e;
+    e.kind = EvKind::Store;
+    e.pc = pc;
+    e.addr = addr;
+    e.value = value;
+    e.storeSeq = seq;
+    e.tick = now;
+    auto &log = threads_.at(size_t(tid));
+    pendingMerge_[{tid, seq}] = log.size();
+    log.push_back(e);
+    stores_++;
+}
+
+void
+ExecutionRecorder::onRmw(NodeId tid, uint64_t pc, Addr addr,
+                         uint64_t read_value, uint64_t written,
+                         bool wrote, Tick now)
+{
+    Event e;
+    e.kind = EvKind::Rmw;
+    e.pc = pc;
+    e.addr = addr;
+    e.value = written;
+    e.readValue = read_value;
+    e.wrote = wrote;
+    // Atomics hold the line exclusively and update it in place: the
+    // perform instant is the write's global serialization point.
+    if (wrote)
+        e.coStamp = nextCoStamp_++;
+    e.tick = now;
+    threads_.at(size_t(tid)).push_back(e);
+    rmws_++;
+}
+
+void
+ExecutionRecorder::onFence(NodeId tid, uint64_t pc, FenceKind kind,
+                           bool instant, uint64_t fence_id, Tick now)
+{
+    Event e;
+    e.kind = EvKind::Fence;
+    e.pc = pc;
+    e.fence = kind;
+    e.fenceId = fence_id;
+    e.instant = instant;
+    e.tick = now;
+    auto &log = threads_.at(size_t(tid));
+    if (!instant)
+        fenceMark_[{tid, fence_id}] = log.size();
+    log.push_back(e);
+    fences_++;
+}
+
+void
+ExecutionRecorder::onStoreMerged(NodeId tid, uint64_t seq)
+{
+    auto it = pendingMerge_.find({tid, seq});
+    if (it == pendingMerge_.end())
+        panic("recorder: merge of unrecorded store (tid %d seq %llu)",
+              tid, (unsigned long long)seq);
+    threads_.at(size_t(tid)).at(it->second).coStamp = nextCoStamp_++;
+    pendingMerge_.erase(it);
+}
+
+void
+ExecutionRecorder::onRecovery(NodeId tid, uint64_t fence_id,
+                              uint64_t last_pre_store_seq)
+{
+    auto mark = fenceMark_.find({tid, fence_id});
+    if (mark == fenceMark_.end())
+        panic("recorder: recovery at unrecorded fence (tid %d id %llu)",
+              tid, (unsigned long long)fence_id);
+    auto &log = threads_.at(size_t(tid));
+    size_t keep = mark->second + 1; // the fence itself survives
+    for (size_t i = keep; i < log.size(); i++) {
+        const Event &e = log[i];
+        switch (e.kind) {
+          case EvKind::Load:
+            loads_--;
+            break;
+          case EvKind::Store:
+            // Post-fence stores cannot issue before the fence's
+            // pre-stores drain, so a squashed store never merged and
+            // its coherence stamp never has to be rolled back.
+            if (e.coStamp != 0)
+                panic("recorder: squashing a merged store (tid %d "
+                      "seq %llu)", tid,
+                      (unsigned long long)e.storeSeq);
+            stores_--;
+            break;
+          case EvKind::Rmw:
+            rmws_--;
+            break;
+          case EvKind::Fence:
+            fences_--;
+            break;
+        }
+        squashed_++;
+    }
+    log.resize(keep);
+    std::erase_if(pendingMerge_, [&](const auto &kv) {
+        return kv.first.first == tid &&
+               kv.first.second > last_pre_store_seq;
+    });
+    std::erase_if(fenceMark_, [&](const auto &kv) {
+        return kv.first.first == tid && kv.second >= keep;
+    });
+}
+
+uint64_t
+ExecutionRecorder::eventsCaptured() const
+{
+    return loads_ + stores_ + rmws_ + fences_;
+}
+
+} // namespace asf::check

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Online execution capture for the axiomatic checker. The recorder is
+ * attached to every core's retire path and every directory's Order
+ * merge path when SystemConfig::checkExecution is set, and logs one
+ * Event per architecturally-committed shared-memory action.
+ *
+ * Observation-only discipline (same as FenceProfiler): the recorder
+ * only appends to host-side vectors — simulated cycles and every
+ * statistic are bit-identical with it on or off, enforced by
+ * tests/check/test_check_identity.cc.
+ *
+ * W+ rollback: a recovery squashes every event committed after the
+ * recovering fence (the re-executed code logs fresh events), so the
+ * log always describes the architectural execution, never squashed
+ * speculation. Pre-fence stores are older than the fence event and
+ * survive; squashed post-fence stores were never issued, so no
+ * coherence stamp ever has to be rolled back.
+ */
+
+#ifndef ASF_CHECK_RECORDER_HH
+#define ASF_CHECK_RECORDER_HH
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "check/event.hh"
+
+namespace asf::check
+{
+
+class ExecutionRecorder
+{
+  public:
+    explicit ExecutionRecorder(unsigned num_threads);
+
+    /** A load delivered its value to the register file. `fwd_seq` is
+     *  the forwarding store's seq when the value came from this core's
+     *  own write buffer, 0 otherwise. */
+    void onLoad(NodeId tid, uint64_t pc, Addr addr, uint64_t value,
+                uint64_t fwd_seq, Tick now);
+
+    /** A store retired into the write buffer with sequence `seq`. */
+    void onStore(NodeId tid, uint64_t pc, Addr addr, uint64_t value,
+                 uint64_t seq, Tick now);
+
+    /** An atomic performed: read `read_value`, wrote `written` (only
+     *  if `wrote`; a failed CAS writes nothing). Atomics merge with
+     *  the memory system at perform time, so a writing RMW is
+     *  coherence-stamped here. */
+    void onRmw(NodeId tid, uint64_t pc, Addr addr, uint64_t read_value,
+               uint64_t written, bool wrote, Tick now);
+
+    /** A fence issued (instant = completed immediately on an empty
+     *  write buffer; such fences cannot be recovered past). */
+    void onFence(NodeId tid, uint64_t pc, FenceKind kind, bool instant,
+                 uint64_t fence_id, Tick now);
+
+    /** Store (tid, seq) merged with the memory system: local exclusive
+     *  drain, DataX/AckX grant, or directory Order merge. Assigns the
+     *  next global coherence stamp. */
+    void onStoreMerged(NodeId tid, uint64_t seq);
+
+    /** W+ rollback at fence `fence_id`: discard every event this
+     *  thread committed after that fence. Stores still buffered with
+     *  seq > `last_pre_store_seq` were squashed and will never merge. */
+    void onRecovery(NodeId tid, uint64_t fence_id,
+                    uint64_t last_pre_store_seq);
+
+    // --- log access -----------------------------------------------------
+    /** Per-thread event logs in program (commit) order. */
+    const std::vector<std::vector<Event>> &threads() const
+    {
+        return threads_;
+    }
+    unsigned numThreads() const { return unsigned(threads_.size()); }
+
+    uint64_t eventsCaptured() const;
+    uint64_t loadsCaptured() const { return loads_; }
+    uint64_t storesCaptured() const { return stores_; }
+    uint64_t rmwsCaptured() const { return rmws_; }
+    uint64_t fencesCaptured() const { return fences_; }
+    /** Coherence stamps handed out (merged writes). */
+    uint64_t mergesCaptured() const { return nextCoStamp_ - 1; }
+    /** Events discarded by W+ rollbacks. */
+    uint64_t eventsSquashed() const { return squashed_; }
+
+  private:
+    std::vector<std::vector<Event>> threads_;
+    /** (tid, storeSeq) -> event index, for coherence stamping. */
+    std::map<std::pair<NodeId, uint64_t>, size_t> pendingMerge_;
+    /** (tid, fenceId) -> event index, for rollback truncation. */
+    std::map<std::pair<NodeId, uint64_t>, size_t> fenceMark_;
+    uint64_t nextCoStamp_ = 1;
+    uint64_t loads_ = 0;
+    uint64_t stores_ = 0;
+    uint64_t rmws_ = 0;
+    uint64_t fences_ = 0;
+    uint64_t squashed_ = 0;
+};
+
+} // namespace asf::check
+
+#endif // ASF_CHECK_RECORDER_HH

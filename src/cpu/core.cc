@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/recorder.hh"
 #include "fence/profile.hh"
 #include "mem/address.hh"
 #include "sim/logging.hh"
@@ -564,6 +565,8 @@ Core::recoverWPlus(FenceInstance &f)
     unsigned squashed = wb_.dropYoungerThan(f.lastPreStoreSeq);
     if (profiler_)
         profiler_->onRecovery(f.profileId, squashed);
+    if (recorder_)
+        recorder_->onRecovery(id_, f.id, f.lastPreStoreSeq);
     ASF_TRACE(instant(eq_.now(), uint32_t(id_), "fence", "W+ recovery",
                       format("{\"fence\":%llu,\"squashedStores\":%u}",
                              (unsigned long long)f.id, squashed)));
@@ -676,6 +679,10 @@ Core::issueStores()
             if (!l1_.writeWordExclusive(e->addr, e->value))
                 panic("core %d: exclusive hit raced away", id_);
             storeDrainFreeAt_ = eq_.now() + cfg_.storeDrainLatency;
+            // The local write to an E/M line is globally visible at
+            // once: this is the store's serialization point.
+            if (recorder_)
+                recorder_->onStoreMerged(id_, e->seq);
             finishStore(*e);
             continue;
         }
@@ -721,7 +728,8 @@ Core::issueStores()
         e->issued = true;
         l1_.sendWriteReq(type, e->addr, e->value,
                          type == MsgType::GetX && has_shared, tc,
-                         type != MsgType::GetX ? order_fence_id : 0);
+                         type != MsgType::GetX ? order_fence_id : 0,
+                         recorder_ ? e->seq : 0);
         if (type != MsgType::GetX)
             stats_.scalar("orderRequests").inc();
     }
@@ -883,7 +891,13 @@ Core::evaluateLoadGate()
     }
 
     if (hr == HoldReason::None && needs_bs && !load_.inBs) {
-        if (bs_.insert(load_.addr, epoch)) {
+        // Seeded fence-group bug (checker mutation self-test): claim
+        // BS protection without inserting the address, so conflicting
+        // invalidations are never bounced and post-fence loads can be
+        // architecturally stale.
+        if (cfg_.mutateDropBsInsert) {
+            load_.inBs = true;
+        } else if (bs_.insert(load_.addr, epoch)) {
             load_.inBs = true;
             if (profiler_ && epoch_profile)
                 profiler_->onBsInsert(epoch_profile);
@@ -925,6 +939,9 @@ Core::evaluateLoadGate()
 void
 Core::deliverLoad()
 {
+    if (recorder_)
+        recorder_->onLoad(id_, thread_.pc(), load_.addr, load_.value,
+                          load_.forwarded ? load_.fwdSeq : 0, eq_.now());
     thread_.setReg(load_.rd, load_.value);
     thread_.setPc(thread_.pc() + 1);
     load_ = LoadOp{};
@@ -987,6 +1004,11 @@ Core::performRmwLocal()
     } else {
         l->data[w] = rmw_.desired;
     }
+    if (recorder_)
+        recorder_->onRmw(id_, thread_.pc(), rmw_.addr, old,
+                         rmw_.desired,
+                         rmw_.op != Op::Cas || old == rmw_.expect,
+                         eq_.now());
     if (rmw_.pinned) {
         l1_.unpin(rmw_.line);
         rmw_.pinned = false;
@@ -1044,7 +1066,10 @@ Core::executeOne(unsigned &budget)
             fatal("core %d: unaligned store to %#llx (pc %llu)", id_,
                   (unsigned long long)addr,
                   (unsigned long long)thread_.pc());
-        wb_.push(addr, thread_.reg(ins.rb));
+        uint64_t seq = wb_.push(addr, thread_.reg(ins.rb));
+        if (recorder_)
+            recorder_->onStore(id_, thread_.pc(), addr,
+                               thread_.reg(ins.rb), seq, eq_.now());
         thread_.setPc(thread_.pc() + 1);
         retiredThisCycle_++;
         budget--;
@@ -1128,6 +1153,7 @@ Core::startLoad(const Instr &ins)
         }
         load_.value = e->value;
         load_.forwarded = true; // own-store value: immune to squash
+        load_.fwdSeq = e->seq;
         load_.phase = LoadPhase::Performed;
         stats_.scalar("loadsForwarded").inc();
         evaluateLoadGate();
@@ -1168,6 +1194,9 @@ Core::startFence(const Instr &ins)
         stats_.scalar("fencesInstant").inc();
         if (profiler_)
             profiler_->onInstant(id_, kind, eq_.now());
+        if (recorder_)
+            recorder_->onFence(id_, thread_.pc(), kind, true, 0,
+                               eq_.now());
         thread_.setPc(thread_.pc() + 1);
         retiredThisCycle_++;
         hot_.instrRetired.inc();
@@ -1189,6 +1218,9 @@ Core::startFence(const Instr &ins)
     f.executedAt = eq_.now();
     if (profiler_)
         f.profileId = profiler_->onIssue(id_, kind, eq_.now());
+    if (recorder_)
+        recorder_->onFence(id_, thread_.pc(), kind, false, f.id,
+                           eq_.now());
 
     thread_.setPc(thread_.pc() + 1);
 
@@ -1349,6 +1381,10 @@ Core::onL1Reply(const Message &msg)
                 if (!l1_.writeWordExclusive(txn->addr, txn->value))
                     panic("core %d: store grant without writable line",
                           id_);
+                // Ownership grant: the store serializes here. (Order
+                // stores were already stamped at the directory merge.)
+                if (recorder_)
+                    recorder_->onStoreMerged(id_, e->seq);
             }
             // AckOrder installed a Shared line with the update already
             // merged by the directory.

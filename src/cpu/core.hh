@@ -52,6 +52,11 @@ namespace asf
 class FenceProfiler;
 struct CycleBreakdown;
 
+namespace check
+{
+class ExecutionRecorder;
+}
+
 class Core
 {
   public:
@@ -122,6 +127,11 @@ class Core
     /** Attach the per-System fence-lifecycle profiler (nullptr = off;
      *  observation-only either way). */
     void setProfiler(FenceProfiler *p) { profiler_ = p; }
+
+    /** Attach the execution recorder (nullptr = off; observation-only
+     *  either way: capture happens at commit points that never branch
+     *  on it). */
+    void setRecorder(check::ExecutionRecorder *rec) { recorder_ = rec; }
 
     /** One-line-per-item diagnostic state dump (watchdog snapshot). */
     void debugDump(std::ostream &os) const;
@@ -238,6 +248,9 @@ class Core
         /** Value forwarded from this core's own buffered store; such a
          *  value cannot be invalidated by remote writes. */
         bool forwarded = false;
+        /** Forwarding store's write-buffer seq (checker metadata: makes
+         *  the internal reads-from edge exact). 0 when not forwarded. */
+        uint64_t fwdSeq = 0;
         /** A conflicting invalidation squashed a performed value at
          *  least once: refetch cycles classify as squash-refetch, not
          *  plain L1-miss. */
@@ -365,6 +378,7 @@ class Core
      *  state. Transition-adjacent, so never reached by skipCycles. */
     bool weeSerializeStall_ = false;
     FenceProfiler *profiler_ = nullptr;
+    check::ExecutionRecorder *recorder_ = nullptr;
 
     std::map<int64_t, uint64_t> markCounters_;
     /** Marks executed while a checkpointed (W+) weak fence was active:

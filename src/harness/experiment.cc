@@ -5,6 +5,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "check/axioms.hh"
 #include "harness/report.hh"
 #include "runtime/marks.hh"
 #include "sim/logging.hh"
@@ -35,6 +36,7 @@ thread_local std::vector<std::string> *runCaptureSink = nullptr;
 
 std::atomic<bool> fastForwardDefault{true};
 std::atomic<Tick> watchdogDefault{0};
+std::atomic<bool> checkExecutionDefault{false};
 
 std::string &
 fenceProfilePathRef()
@@ -98,6 +100,8 @@ recordRun(System &sys, const ExperimentResult &r)
         w.field("valid", r.valid);
         if (!r.valid)
             w.field("validationError", r.validationError);
+        if (!r.checkVerdict.empty())
+            w.field("checkVerdict", r.checkVerdict);
 
         w.key("metrics").beginObject();
         w.field("tasks", r.tasks);
@@ -195,6 +199,18 @@ fastForwardEnabled()
 }
 
 void
+setCheckExecutionEnabled(bool on)
+{
+    checkExecutionDefault.store(on, std::memory_order_relaxed);
+}
+
+bool
+checkExecutionEnabled()
+{
+    return checkExecutionDefault.load(std::memory_order_relaxed);
+}
+
+void
 setWatchdogCyclesDefault(Tick cycles)
 {
     watchdogDefault.store(cycles, std::memory_order_relaxed);
@@ -247,7 +263,7 @@ flushStatsJson()
         warn("cannot write stats JSON to '%s'", path.c_str());
         return;
     }
-    f << "{\"schemaVersion\":2,\"runs\":[";
+    f << "{\"schemaVersion\":3,\"runs\":[";
     const auto &runs = statsJsonRuns();
     for (size_t i = 0; i < runs.size(); i++)
         f << (i ? ",\n" : "\n") << runs[i];
@@ -316,6 +332,10 @@ harvestStats(System &sys, ExperimentResult &r)
     r.bytesBase = ns.get("bytesBase");
     r.bytesRetry = ns.get("bytesRetry");
     r.bytesGrt = ns.get("bytesGrt");
+
+    if (const check::ExecutionRecorder *rec = sys.executionRecorder())
+        r.checkVerdict =
+            check::verdictName(check::checkExecution(*rec).verdict);
 }
 
 ExperimentResult
@@ -330,6 +350,7 @@ runCilkExperiment(const workloads::CilkApp &app, FenceDesign design,
     cfg.fastForward = fastForwardEnabled();
     cfg.watchdogCycles = watchdogCyclesDefault();
     cfg.fenceProfileRaw = !fenceProfilePath().empty();
+    cfg.checkExecution = checkExecutionEnabled();
     System sys(cfg);
     auto setup = workloads::setupCilkApp(sys, app);
 
@@ -403,6 +424,7 @@ runUstmExperiment(const workloads::TlrwBench &bench, FenceDesign design,
     cfg.fastForward = fastForwardEnabled();
     cfg.watchdogCycles = watchdogCyclesDefault();
     cfg.fenceProfileRaw = !fenceProfilePath().empty();
+    cfg.checkExecution = checkExecutionEnabled();
     System sys(cfg);
     auto setup = workloads::setupTlrwWorkload(sys, bench, 0);
 
@@ -439,6 +461,7 @@ runStampExperiment(const workloads::StampApp &app, FenceDesign design,
     cfg.fastForward = fastForwardEnabled();
     cfg.watchdogCycles = watchdogCyclesDefault();
     cfg.fenceProfileRaw = !fenceProfilePath().empty();
+    cfg.checkExecution = checkExecutionEnabled();
     System sys(cfg);
     auto setup = workloads::setupTlrwWorkload(sys, app.bench,
                                               app.txnsPerThread);

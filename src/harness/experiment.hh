@@ -54,6 +54,10 @@ struct ExperimentResult
     bool valid = false;
     std::string validationError;
 
+    /** Execution-checker verdict ("pass" / "violation" /
+     *  "inconclusive"); empty when checking was off. */
+    std::string checkVerdict;
+
     double throughputTxnPerKcycle() const;
     double trafficOverheadPct() const;
     double fencesPer1000Instr(uint64_t count) const;
@@ -157,6 +161,17 @@ Tick watchdogCyclesDefault();
  */
 void setFenceProfilePath(const std::string &path);
 const std::string &fenceProfilePath();
+
+/**
+ * Process-wide default for SystemConfig::checkExecution, consulted by
+ * the experiment runners (`--check`). When on, every run records its
+ * shared-memory events and the stats documents carry a `check` block
+ * with the axiomatic verdict; ExperimentResult::checkVerdict summarizes
+ * it. Observation-only: cycles and all other statistics are
+ * bit-identical either way.
+ */
+void setCheckExecutionEnabled(bool on);
+bool checkExecutionEnabled();
 
 } // namespace asf::harness
 

@@ -1,5 +1,6 @@
 #include "mem/directory.hh"
 
+#include "check/recorder.hh"
 #include "mem/address.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -357,6 +358,10 @@ Directory::finalizeOrder(Txn &txn, Entry &entry)
     // Complete as an Order transaction: merge the word update into
     // memory and leave the requester with a Shared copy.
     memory_.mergeWord(txn.req.addr, txn.req.updateWord, txn.req.updateValue);
+    // The merge is the store's global serialization point (the
+    // directory orders all writes to this line): coherence-stamp it.
+    if (recorder_ && txn.req.storeSeq)
+        recorder_->onStoreMerged(req, txn.req.storeSeq);
     entry.sharers.insert(req);
     stats_.scalar("orderCompleted").inc();
     reply(txn, MsgType::AckOrder, true);

@@ -39,6 +39,11 @@
 namespace asf
 {
 
+namespace check
+{
+class ExecutionRecorder;
+}
+
 class Directory
 {
   public:
@@ -49,6 +54,10 @@ class Directory
     void handle(const Message &msg);
 
     StatGroup &stats() { return stats_; }
+
+    /** Attach the execution recorder (observation only: Order-merge
+     *  coherence stamping; never affects protocol decisions). */
+    void setRecorder(check::ExecutionRecorder *rec) { recorder_ = rec; }
 
     // --- introspection for tests --------------------------------------
     bool isSharer(Addr line, NodeId node) const;
@@ -106,6 +115,7 @@ class Directory
     MemoryImage &memory_;
     L2Bank &l2_;
     Tick lookupLatency_;
+    check::ExecutionRecorder *recorder_ = nullptr;
     std::map<Addr, Entry> entries_;
     std::map<Addr, Txn> active_;
     std::map<Addr, std::deque<Message>> waiting_;

@@ -75,7 +75,7 @@ L1Cache::sendGetS(Addr line_addr)
 void
 L1Cache::sendWriteReq(MsgType type, Addr addr, uint64_t value,
                       bool req_has_line, TrafficClass tc,
-                      uint64_t fence_id)
+                      uint64_t fence_id, uint64_t store_seq)
 {
     Addr line = lineAlign(addr);
     Message m;
@@ -87,6 +87,7 @@ L1Cache::sendWriteReq(MsgType type, Addr addr, uint64_t value,
     m.reqHasLine = req_has_line;
     m.trafficClass = tc;
     m.fenceId = fence_id;
+    m.storeSeq = store_seq;
     if (type == MsgType::OrderWrite || type == MsgType::CondOrderWrite) {
         m.updateWord = wordInLine(addr);
         m.updateValue = value;

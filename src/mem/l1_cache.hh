@@ -64,12 +64,13 @@ class L1Cache
     /**
      * Issue a write request: GetX, OrderWrite or CondOrderWrite.
      * For Order/CO the word update travels in the message; `fence_id`
-     * tags it with the ordering fence's profiler id (observability
+     * tags it with the ordering fence's profiler id and `store_seq`
+     * with the carried store's execution-checker id (observability
      * only, never affects timing).
      */
     void sendWriteReq(MsgType type, Addr addr, uint64_t value,
                       bool req_has_line, TrafficClass tc,
-                      uint64_t fence_id = 0);
+                      uint64_t fence_id = 0, uint64_t store_seq = 0);
 
     /** Pin a line against eviction while its upgrade is outstanding.
      *  Several lines may be pinned at once (RC store units, RMW). */

@@ -137,6 +137,15 @@ struct Message
      */
     uint64_t fenceId = 0;
 
+    /**
+     * Execution-checker id of the write-buffer store this message
+     * carries (GetX / OrderWrite / CondOrderWrite); 0 when unrelated
+     * or when checking is off. Observability metadata only: like
+     * fenceId, excluded from sizeBytes() so checking cannot perturb
+     * simulated traffic or timing.
+     */
+    uint64_t storeSeq = 0;
+
     /** On-wire size for traffic accounting. */
     unsigned sizeBytes() const;
 

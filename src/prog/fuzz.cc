@@ -117,6 +117,38 @@ buildFuzz(const FuzzConfig &cfg)
                 a.add(checksum, checksum, tmp);
                 a.addi(count, count, 1);
             }
+
+            // Atomic rounds (off by default: the guard keeps the rng
+            // stream — and thus every program — identical at the same
+            // seed when disabled). XCHG drains fences + write buffer
+            // first, so the fence discipline is preserved.
+            if (cfg.maxRmwsPerRound > 0) {
+                unsigned rmws =
+                    unsigned(rng.between(0, cfg.maxRmwsPerRound));
+                for (unsigned r = 0; r < rmws; r++) {
+                    unsigned loc;
+                    if (cfg.singleWriterPerLoc) {
+                        unsigned mine = (cfg.numLocations +
+                                         cfg.numThreads - 1 - tid) /
+                                        cfg.numThreads;
+                        loc = tid + cfg.numThreads *
+                                        unsigned(rng.range(mine ? mine
+                                                                : 1));
+                    } else {
+                        loc = unsigned(rng.range(cfg.numLocations));
+                    }
+                    // Distinct idx space from this round's stores.
+                    uint64_t tok = FuzzSetup::token(
+                        tid, round, cfg.maxStoresPerRound + r);
+                    a.li(tmp, int64_t(tok));
+                    a.xchg(tmp2, base,
+                           int64_t(Addr(loc) * locStride(cfg)), tmp);
+                    a.add(checksum, checksum, tmp2);
+                    a.addi(count, count, 1);
+                    if (cfg.singleWriterPerLoc)
+                        setup.expectedFinal[loc] = tok;
+                }
+            }
         }
 
         a.li(tmp2, int64_t(setup.checksumAddr(tid)));

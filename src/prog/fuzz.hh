@@ -38,6 +38,15 @@ struct FuzzConfig
     unsigned rounds = 12;        ///< fence groups per thread
     unsigned maxStoresPerRound = 3;
     unsigned maxLoadsPerRound = 3;
+    /**
+     * Up to this many atomic XCHG rounds per fence group (after the
+     * loads), each swapping a fresh token into a location and folding
+     * the swapped-out value into the checksum. 0 (the default, which
+     * also draws no extra randomness) keeps programs identical to
+     * pre-RMW builds at the same seed. Atomics drain the write buffer
+     * first, so the fence discipline is preserved.
+     */
+    unsigned maxRmwsPerRound = 0;
     unsigned maxCompute = 20;    ///< random think time per round
     bool packLocations = false;  ///< share cache lines (false sharing)
     bool singleWriterPerLoc = false; ///< enables monotonicity checking

@@ -115,4 +115,104 @@ buildIriwReader(const LitmusLayout &lay, bool x_first)
     return a.finish();
 }
 
+Program
+buildLbThread(const LitmusLayout &lay, unsigned tid)
+{
+    Addr mine = tid == 0 ? lay.x : lay.y;
+    Addr other = tid == 0 ? lay.y : lay.x;
+    Addr res = tid == 0 ? lay.res0 : lay.res1;
+
+    Assembler a(format("lb_t%u", tid));
+    a.li(a0, int64_t(mine));
+    a.li(a1, int64_t(other));
+    a.li(a2, int64_t(res));
+    a.ld(t0, a0, 0); // r = ld mine
+    a.li(t1, 1);
+    a.st(a1, 0, t1); // st other = 1
+    a.st(a2, 0, t0); // res = r
+    a.halt();
+    return a.finish();
+}
+
+Program
+buildRWriter(const LitmusLayout &lay)
+{
+    Assembler a("r_writer");
+    a.li(a0, int64_t(lay.x));
+    a.li(a1, int64_t(lay.y));
+    a.li(t0, 1);
+    a.st(a0, 0, t0); // st x = 1
+    a.st(a1, 0, t0); // st y = 1 (TSO keeps them ordered)
+    a.halt();
+    return a.finish();
+}
+
+Program
+buildRJudge(const LitmusLayout &lay, bool fenced, FenceRole role,
+            unsigned warm_cycles)
+{
+    Assembler a("r_judge");
+    a.li(a0, int64_t(lay.y));
+    a.li(a1, int64_t(lay.x));
+    a.li(a2, int64_t(lay.res0));
+    if (warm_cycles > 0) {
+        a.ld(t0, a1, 0); // cache the load target
+        a.compute(int64_t(warm_cycles));
+    }
+    a.li(t0, 2);
+    a.st(a0, 0, t0); // st y = 2
+    if (fenced)
+        a.fence(role);
+    a.ld(t1, a1, 0); // r = ld x
+    a.st(a2, 0, t1); // res0 = r
+    a.halt();
+    return a.finish();
+}
+
+Program
+buildTwoPlusTwoWThread(const LitmusLayout &lay, unsigned tid)
+{
+    Addr first = tid == 0 ? lay.x : lay.y;
+    Addr second = tid == 0 ? lay.y : lay.x;
+
+    Assembler a(format("2p2w_t%u", tid));
+    a.li(a0, int64_t(first));
+    a.li(a1, int64_t(second));
+    a.li(t0, 1);
+    a.li(t1, 2);
+    a.st(a0, 0, t0); // st first = 1
+    a.st(a1, 0, t1); // st second = 2
+    a.halt();
+    return a.finish();
+}
+
+Program
+buildSWriter(const LitmusLayout &lay)
+{
+    Assembler a("s_writer");
+    a.li(a0, int64_t(lay.x));
+    a.li(a1, int64_t(lay.y));
+    a.li(t0, 2);
+    a.st(a0, 0, t0); // st x = 2
+    a.li(t0, 1);
+    a.st(a1, 0, t0); // st y = 1
+    a.halt();
+    return a.finish();
+}
+
+Program
+buildSReader(const LitmusLayout &lay)
+{
+    Assembler a("s_reader");
+    a.li(a0, int64_t(lay.y));
+    a.li(a1, int64_t(lay.x));
+    a.li(a2, int64_t(lay.res0));
+    a.ld(t0, a0, 0); // r = ld y
+    a.li(t1, 1);
+    a.st(a1, 0, t1); // st x = 1
+    a.st(a2, 0, t0); // res0 = r
+    a.halt();
+    return a.finish();
+}
+
 } // namespace asf::runtime

@@ -56,6 +56,38 @@ Program buildMpReader(const LitmusLayout &lay);
 Program buildIriwWriter(const LitmusLayout &lay, bool write_x);
 Program buildIriwReader(const LitmusLayout &lay, bool x_first);
 
+/**
+ * Load buffering: each thread loads one variable and stores 1 to the
+ * other (t0: r=ld x; st y=1 — t1: r=ld y; st x=1; results in
+ * res0/res1). Both threads observing 1 requires load->store reordering,
+ * which TSO forbids without any fence.
+ */
+Program buildLbThread(const LitmusLayout &lay, unsigned tid);
+
+/**
+ * R: t0 does st x=1; st y=1. t1 does st y=2; [fence]; r=ld x; res0=r.
+ * The outcome "y ends 2 and r == 0" requires t1's load to bypass its
+ * buffered store — TSO permits it unfenced, the fence forbids it.
+ */
+Program buildRWriter(const LitmusLayout &lay);
+Program buildRJudge(const LitmusLayout &lay, bool fenced, FenceRole role,
+                    unsigned warm_cycles = 0);
+
+/**
+ * 2+2W: t0 does st x=1; st y=2 — t1 does st y=1; st x=2. Both
+ * variables ending at 1 would need each thread's second store to lose
+ * to the other's first: forbidden by TSO's W->W order, no fences.
+ */
+Program buildTwoPlusTwoWThread(const LitmusLayout &lay, unsigned tid);
+
+/**
+ * S: t0 does st x=2; st y=1 — t1 does r=ld y; st x=1; res0=r.
+ * "r == 1 and x ends 2" needs t1's store to age behind the load that
+ * already saw t0 finish: forbidden by TSO (R->W order), no fences.
+ */
+Program buildSWriter(const LitmusLayout &lay);
+Program buildSReader(const LitmusLayout &lay);
+
 } // namespace asf::runtime
 
 #endif // ASF_RUNTIME_LITMUS_HH

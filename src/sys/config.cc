@@ -27,6 +27,9 @@ SystemConfig::validate() const
         fatal("zero-sized core resource");
     if (wPlusTimeout == 0)
         fatal("wPlusTimeout must be nonzero");
+    if (checkExecution && memoryModel != MemoryModel::TSO)
+        fatal("checkExecution verifies TSO executions; RC is not "
+              "supported");
 }
 
 std::string

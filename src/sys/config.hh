@@ -129,6 +129,29 @@ struct SystemConfig
     /** Keep raw per-fence records for a --fence-profile JSONL dump. */
     bool fenceProfileRaw = false;
 
+    /**
+     * Record every shared-memory event and verify the execution against
+     * the TSO + fence-group axioms (the stats `check` block; see
+     * src/check/). Observation-only like fenceProfile: simulated timing
+     * and every other statistic are bit-identical with it on or off
+     * (enforced by tests/check/test_check_identity.cc). Off by default:
+     * the event log grows with the execution. TSO only.
+     */
+    bool checkExecution = false;
+
+    /**
+     * Checker mutation self-test: weaken every weak fence by dropping
+     * its Bypass-Set insert (post-fence loads lose their invalidation
+     * protection), so the checker must report a happens-before cycle.
+     * Runtime-settable for the self-test; the ASF_MUTATE_WEAK_FENCE
+     * build flag flips the default so a whole build runs mutated.
+     */
+#ifdef ASF_MUTATE_WEAK_FENCE
+    bool mutateDropBsInsert = true;
+#else
+    bool mutateDropBsInsert = false;
+#endif
+
     /** Seed for all simulator-level randomness. */
     uint64_t seed = 1;
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <iostream>
 
+#include "check/axioms.hh"
 #include "harness/report.hh"
 #include "mem/address.hh"
 #include "sim/logging.hh"
@@ -59,6 +60,9 @@ System::System(SystemConfig cfg) : cfg_(cfg)
     if (cfg_.fenceProfile)
         profiler_ =
             std::make_unique<FenceProfiler>(cfg_.fenceProfileRaw);
+    if (cfg_.checkExecution)
+        recorder_ =
+            std::make_unique<check::ExecutionRecorder>(cfg_.numCores);
     mesh_ = std::make_unique<Mesh>(eq_, cfg_.numCores, cfg_.hopLatency,
                                    cfg_.linkBytes);
     for (unsigned i = 0; i < cfg_.numCores; i++) {
@@ -75,6 +79,8 @@ System::System(SystemConfig cfg) : cfg_(cfg)
         cores_.push_back(
             std::make_unique<Core>(id, cfg_, *l1s_[i], *mesh_, eq_));
         cores_.back()->setProfiler(profiler_.get());
+        cores_.back()->setRecorder(recorder_.get());
+        dirs_.back()->setRecorder(recorder_.get());
         mesh_->setSink(id, [this, id](const Message &msg) {
             dispatch(id, msg);
         });
@@ -409,7 +415,8 @@ System::dumpStats(std::ostream &os) const
 }
 
 void
-System::dumpStatsJson(std::ostream &os, bool include_profile)
+System::dumpStatsJson(std::ostream &os, bool include_profile,
+                      bool include_check)
 {
     using harness::JsonWriter;
     for (auto &c : cores_)
@@ -417,7 +424,7 @@ System::dumpStatsJson(std::ostream &os, bool include_profile)
 
     JsonWriter w(os);
     w.beginObject();
-    w.field("schemaVersion", uint64_t(2));
+    w.field("schemaVersion", uint64_t(3));
     w.field("cycles", uint64_t(eq_.now()));
 
     w.key("config").beginObject();
@@ -458,6 +465,34 @@ System::dumpStatsJson(std::ostream &os, bool include_profile)
     if (include_profile && profiler_) {
         w.key("fenceProfile");
         profiler_->dumpJson(w);
+    }
+
+    if (include_check && recorder_) {
+        // Run the checker on the execution captured so far under the
+        // plain TSO axioms. (The stricter SC mode is only sound for
+        // fully fenced programs; callers that know that invoke
+        // check::checkExecution directly with requireSc.)
+        check::CheckResult cr = check::checkExecution(*recorder_);
+        w.key("check").beginObject();
+        w.field("enabled", true);
+        w.field("events", cr.events);
+        w.field("loads", cr.loads);
+        w.field("stores", cr.stores);
+        w.field("rmws", cr.rmws);
+        w.field("fences", cr.fences);
+        w.field("merges", recorder_->mergesCaptured());
+        w.field("squashed", recorder_->eventsSquashed());
+        w.field("rfEdges", cr.rfEdges);
+        w.field("coEdges", cr.coEdges);
+        w.field("frEdges", cr.frEdges);
+        w.field("readsFromInit", cr.readsFromInit);
+        w.field("ambiguousReads", cr.ambiguousReads);
+        w.field("verdict", check::verdictName(cr.verdict));
+        if (!cr.passed()) {
+            w.key("witness");
+            w.raw(check::witnessJson(cr));
+        }
+        w.endObject();
     }
 
     auto emit_group = [&w](const StatGroup &g) {

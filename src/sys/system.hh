@@ -13,6 +13,7 @@
 #include <ostream>
 #include <vector>
 
+#include "check/recorder.hh"
 #include "cpu/core.hh"
 #include "cpu/cpi_stack.hh"
 #include "fence/grt.hh"
@@ -90,6 +91,15 @@ class System
      *  off). */
     const FenceProfiler *fenceProfiler() const { return profiler_.get(); }
 
+    /** The execution recorder (nullptr when cfg.checkExecution is off).
+     *  Unlike the profiler it survives resetStats(): it holds execution
+     *  history, not statistics, and the checker needs the warmup-phase
+     *  writes to resolve post-warmup reads. */
+    const check::ExecutionRecorder *executionRecorder() const
+    {
+        return recorder_.get();
+    }
+
     Tick now() const { return eq_.now(); }
 
     /**
@@ -137,13 +147,16 @@ class System
     /**
      * Serialize every component's statistics (scalars, averages,
      * histograms with percentiles), the cpiStack object, the
-     * fenceProfile aggregates, the watchdog metadata, and the per-link
-     * NoC heatmap to the machine-readable JSON report (schemaVersion 2;
-     * see README.md "Observability"). `include_profile = false` omits
-     * the fenceProfile object — used by the profiling-on/off
-     * bit-identity test to compare the remainder byte-for-byte.
+     * fenceProfile aggregates, the watchdog metadata, the execution
+     * checker's `check` block (verdict + witness, when enabled), and
+     * the per-link NoC heatmap to the machine-readable JSON report
+     * (schemaVersion 3; see README.md "Observability").
+     * `include_profile = false` omits the fenceProfile object and
+     * `include_check = false` the check block — used by the on/off
+     * bit-identity tests to compare the remainder byte-for-byte.
      */
-    void dumpStatsJson(std::ostream &os, bool include_profile = true);
+    void dumpStatsJson(std::ostream &os, bool include_profile = true,
+                       bool include_check = true);
 
   private:
     void dispatch(NodeId node, const Message &msg);
@@ -169,6 +182,7 @@ class System
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<std::shared_ptr<const Program>> programs_;
     std::unique_ptr<FenceProfiler> profiler_;
+    std::unique_ptr<check::ExecutionRecorder> recorder_;
     bool watchdogFired_ = false;
     /** Next tick at/after which to emit CPI counter-track samples. */
     Tick traceNextCpiAt_ = 0;

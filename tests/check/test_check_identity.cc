@@ -1,0 +1,94 @@
+/**
+ * Observation-only guarantee: enabling execution checking must not
+ * perturb the simulation. A quick Figure-10-style ustm run (the
+ * densest workload: TLRW transactions, every fence kind, RMWs, W+
+ * recoveries) is executed with checking on and off; simulated cycles
+ * and the full stats JSON — minus the `check` block itself — must be
+ * byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers.hh"
+#include "workloads/ustm.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::workloads;
+
+namespace
+{
+
+void
+runQuickUstm(FenceDesign design, bool check, Tick &cycles,
+             std::string &json)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.design = design;
+    cfg.checkExecution = check;
+    System sys(cfg);
+    TlrwSetup setup =
+        setupTlrwWorkload(sys, ustmBenchByName("Hash"), /*txn_limit=*/0);
+    (void)setup;
+    // Throughput mode runs forever; a fixed budget keeps it quick.
+    ASSERT_EQ(sys.run(30'000), System::RunResult::MaxCycles);
+    cycles = sys.now();
+    std::ostringstream os;
+    sys.dumpStatsJson(os, /*include_profile=*/true,
+                      /*include_check=*/false);
+    json = os.str();
+    EXPECT_EQ(check, sys.executionRecorder() != nullptr);
+}
+
+} // namespace
+
+class CheckIdentity : public ::testing::TestWithParam<FenceDesign>
+{
+};
+
+TEST_P(CheckIdentity, OnOffIsBitIdentical)
+{
+    Tick cycles_on = 0, cycles_off = 0;
+    std::string json_on, json_off;
+    runQuickUstm(GetParam(), true, cycles_on, json_on);
+    runQuickUstm(GetParam(), false, cycles_off, json_off);
+    EXPECT_EQ(cycles_on, cycles_off);
+    EXPECT_EQ(json_on, json_off);
+}
+
+// S+ (strong fences, serialization), W+ (recoveries, squashes) and Wee
+// (GRT traffic) cover every recorder hook's surrounding code path.
+INSTANTIATE_TEST_SUITE_P(QuickFig10, CheckIdentity,
+                         ::testing::Values(FenceDesign::SPlus,
+                                           FenceDesign::WPlus,
+                                           FenceDesign::Wee),
+                         [](const auto &info) {
+                             std::string n = fenceDesignName(info.param);
+                             for (auto &c : n)
+                                 if (c == '+')
+                                     c = 'p';
+                             return n;
+                         });
+
+TEST(CheckIdentity, CheckBlockPresentOnlyWhenEnabled)
+{
+    SystemConfig cfg = smallConfig(FenceDesign::SPlus, 2);
+    cfg.checkExecution = true;
+    System sys(cfg);
+    sys.loadProgram(0, share(storeProgram(0x1000, 5)));
+    sys.loadProgram(1, share(loadProgram(0x1000, 0x2000)));
+    runToCompletion(sys);
+
+    std::ostringstream with, without;
+    sys.dumpStatsJson(with);
+    sys.dumpStatsJson(without, /*include_profile=*/true,
+                      /*include_check=*/false);
+    EXPECT_NE(with.str().find("\"check\":{"), std::string::npos);
+    EXPECT_NE(with.str().find("\"verdict\":\"pass\""),
+              std::string::npos);
+    EXPECT_EQ(without.str().find("\"check\":"), std::string::npos);
+    EXPECT_NE(with.str().find("\"schemaVersion\":3"), std::string::npos);
+}

@@ -1,0 +1,107 @@
+/**
+ * Checker mutation self-test: seed the classic fence-group bug —
+ * post-fence loads claim Bypass-Set protection without inserting their
+ * address (SystemConfig::mutateDropBsInsert, default-on in
+ * ASF_MUTATE_WEAK_FENCE builds) — and require the checker to convict
+ * the resulting execution with a happens-before cycle through a fence
+ * edge. The unmutated control run must pass. This is the end-to-end
+ * proof that the checker can actually catch the class of bug it was
+ * built for.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "../helpers.hh"
+#include "check/axioms.hh"
+#include "runtime/layout.hh"
+#include "runtime/litmus.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::runtime;
+
+namespace
+{
+
+struct MutationOutcome
+{
+    uint64_t r0 = 0;
+    uint64_t r1 = 0;
+    check::CheckResult check;
+};
+
+/** The warmed SB pair under W+ (every fence weak): without BS bounces
+ *  both post-fence loads hit their warm (stale) lines and read 0,
+ *  deterministically — the stores still need a full miss round trip to
+ *  merge. Under WS+/SW+ one side's fence stays strong and the mutated
+ *  outcome (0, 1) is SC-legal, so W+ is the design that convicts. */
+MutationOutcome
+runMutatedSb(FenceDesign design, bool mutate)
+{
+    SystemConfig cfg = smallConfig(design, 2);
+    cfg.checkExecution = true;
+    cfg.mutateDropBsInsert = mutate;
+    System sys(cfg);
+    GuestLayout layout;
+    LitmusLayout lay = allocLitmus(layout);
+    sys.loadProgram(0, share(buildSbThread(lay, 0, true,
+                                           FenceRole::Critical, 600)));
+    sys.loadProgram(1, share(buildSbThread(lay, 1, true,
+                                           FenceRole::Noncritical, 600)));
+    EXPECT_EQ(sys.run(2'000'000), System::RunResult::AllDone);
+
+    MutationOutcome out;
+    out.r0 = sys.debugReadWord(lay.res0);
+    out.r1 = sys.debugReadWord(lay.res1);
+    out.check = check::checkExecution(*sys.executionRecorder());
+    return out;
+}
+
+} // namespace
+
+TEST(CheckMutation, DroppedBsInsertConvictedWithFenceCycle)
+{
+    MutationOutcome out = runMutatedSb(FenceDesign::WPlus, true);
+    // The seeded bug manifests: both post-fence loads read stale 0.
+    EXPECT_EQ(out.r0, 0u);
+    EXPECT_EQ(out.r1, 0u);
+    EXPECT_EQ(out.check.verdict, check::Verdict::Violation)
+        << "mutated W+ escaped the checker";
+    EXPECT_EQ(out.check.axiom, "tso-ghb");
+    ASSERT_FALSE(out.check.witness.empty());
+    bool through_fence = false;
+    for (const auto &s : out.check.witness)
+        if (s.edgeToNext == "fence")
+            through_fence = true;
+    EXPECT_TRUE(through_fence)
+        << "cycle does not pass through a fence edge";
+}
+
+TEST(CheckMutation, WitnessJsonIsWellFormedAndLocatesTheBug)
+{
+    MutationOutcome out = runMutatedSb(FenceDesign::WPlus, true);
+    ASSERT_EQ(out.check.verdict, check::Verdict::Violation);
+    std::string doc = check::witnessJson(out.check);
+    EXPECT_NE(doc.find("\"verdict\":\"violation\""), std::string::npos);
+    EXPECT_NE(doc.find("\"axiom\":\"tso-ghb\""), std::string::npos);
+    EXPECT_NE(doc.find("\"cycle\":["), std::string::npos);
+    EXPECT_NE(doc.find("\"edgeToNext\":\"fence\""), std::string::npos);
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+              std::count(doc.begin(), doc.end(), '}'));
+    // The full stats dump embeds the same witness in the check block.
+    std::ostringstream os;
+    // (Re-run is unnecessary: writeWitnessJson is pure; just check the
+    // standalone document round-trips through the verdict fields.)
+    check::writeWitnessJson(out.check, os);
+    EXPECT_EQ(os.str(), doc);
+}
+
+TEST(CheckMutation, UnmutatedControlPasses)
+{
+    MutationOutcome out = runMutatedSb(FenceDesign::WPlus, false);
+    EXPECT_FALSE(out.r0 == 0 && out.r1 == 0) << "SC violation";
+    EXPECT_TRUE(out.check.passed()) << out.check.reason;
+}

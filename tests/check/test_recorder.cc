@@ -1,0 +1,126 @@
+/**
+ * Unit tests for the execution recorder: per-thread logging, global
+ * coherence stamping, forwarded-load tagging, and W+ rollback
+ * truncation — all via direct hook calls, no simulator involved.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/recorder.hh"
+
+using namespace asf;
+using namespace asf::check;
+
+TEST(Recorder, LogsEventsPerThreadInCommitOrder)
+{
+    ExecutionRecorder rec(2);
+    rec.onStore(0, 0x100, 0x1000, 7, /*seq=*/1, 10);
+    rec.onFence(0, 0x104, FenceKind::Strong, /*instant=*/false,
+                /*fence_id=*/1, 12);
+    rec.onLoad(0, 0x108, 0x2000, 0, /*fwd_seq=*/0, 20);
+    rec.onLoad(1, 0x200, 0x1000, 7, /*fwd_seq=*/0, 25);
+
+    ASSERT_EQ(rec.numThreads(), 2u);
+    ASSERT_EQ(rec.threads()[0].size(), 3u);
+    ASSERT_EQ(rec.threads()[1].size(), 1u);
+    EXPECT_EQ(rec.threads()[0][0].kind, EvKind::Store);
+    EXPECT_EQ(rec.threads()[0][1].kind, EvKind::Fence);
+    EXPECT_EQ(rec.threads()[0][2].kind, EvKind::Load);
+    EXPECT_EQ(rec.eventsCaptured(), 4u);
+    EXPECT_EQ(rec.loadsCaptured(), 2u);
+    EXPECT_EQ(rec.storesCaptured(), 1u);
+    EXPECT_EQ(rec.fencesCaptured(), 1u);
+    EXPECT_EQ(rec.rmwsCaptured(), 0u);
+}
+
+TEST(Recorder, MergeAssignsGlobalStampsInCallOrder)
+{
+    ExecutionRecorder rec(2);
+    rec.onStore(0, 0, 0x1000, 1, 1, 0);
+    rec.onStore(1, 0, 0x1000, 2, 1, 0);
+    rec.onStore(0, 0, 0x2000, 3, 2, 0);
+    // Merge order differs from retire order: t1 first.
+    rec.onStoreMerged(1, 1);
+    rec.onStoreMerged(0, 2);
+    rec.onStoreMerged(0, 1);
+    EXPECT_EQ(rec.threads()[1][0].coStamp, 1u);
+    EXPECT_EQ(rec.threads()[0][1].coStamp, 2u);
+    EXPECT_EQ(rec.threads()[0][0].coStamp, 3u);
+    EXPECT_EQ(rec.mergesCaptured(), 3u);
+}
+
+TEST(Recorder, WritingRmwIsStampedAtPerform)
+{
+    ExecutionRecorder rec(1);
+    rec.onStore(0, 0, 0x1000, 1, 1, 0);
+    rec.onStoreMerged(0, 1);
+    rec.onRmw(0, 0x10, 0x1000, /*read=*/1, /*written=*/2, /*wrote=*/true,
+              5);
+    rec.onRmw(0, 0x14, 0x1000, /*read=*/2, /*written=*/9,
+              /*wrote=*/false, 6); // failed CAS: no stamp
+    EXPECT_EQ(rec.threads()[0][1].coStamp, 2u);
+    EXPECT_EQ(rec.threads()[0][2].coStamp, 0u);
+    EXPECT_EQ(rec.mergesCaptured(), 2u);
+    EXPECT_EQ(rec.rmwsCaptured(), 2u);
+}
+
+TEST(Recorder, ForwardedLoadKeepsSourceSeq)
+{
+    ExecutionRecorder rec(1);
+    rec.onStore(0, 0, 0x1000, 42, 7, 0);
+    rec.onLoad(0, 4, 0x1000, 42, /*fwd_seq=*/7, 1);
+    EXPECT_EQ(rec.threads()[0][1].fwdSeq, 7u);
+}
+
+TEST(Recorder, MergeOfUnrecordedStoreIsFatal)
+{
+    ExecutionRecorder rec(1);
+    EXPECT_DEATH(rec.onStoreMerged(0, 99), "unrecorded store");
+}
+
+TEST(Recorder, RecoveryTruncatesBackToTheFence)
+{
+    ExecutionRecorder rec(1);
+    rec.onStore(0, 0x0, 0x1000, 1, /*seq=*/1, 0); // pre-fence, survives
+    rec.onFence(0, 0x4, FenceKind::Weak, /*instant=*/false,
+                /*fence_id=*/3, 1);
+    rec.onLoad(0, 0x8, 0x2000, 0, 0, 2);          // squashed
+    rec.onStore(0, 0xc, 0x3000, 5, /*seq=*/2, 3); // squashed, unmerged
+
+    rec.onRecovery(0, /*fence_id=*/3, /*last_pre_store_seq=*/1);
+
+    ASSERT_EQ(rec.threads()[0].size(), 2u);
+    EXPECT_EQ(rec.threads()[0][1].kind, EvKind::Fence);
+    EXPECT_EQ(rec.eventsSquashed(), 2u);
+    EXPECT_EQ(rec.loadsCaptured(), 0u);
+    EXPECT_EQ(rec.storesCaptured(), 1u);
+    // The surviving pre-fence store still merges normally.
+    rec.onStoreMerged(0, 1);
+    EXPECT_NE(rec.threads()[0][0].coStamp, 0u);
+    // The squashed store's pending merge is gone.
+    EXPECT_DEATH(rec.onStoreMerged(0, 2), "unrecorded store");
+}
+
+TEST(Recorder, ReexecutionAfterRecoveryLogsFreshEvents)
+{
+    ExecutionRecorder rec(1);
+    rec.onStore(0, 0x0, 0x1000, 1, 1, 0);
+    rec.onFence(0, 0x4, FenceKind::Weak, false, 1, 1);
+    rec.onLoad(0, 0x8, 0x2000, 0, 0, 2);
+    rec.onRecovery(0, 1, 1);
+    // The core re-executes the post-fence region.
+    rec.onLoad(0, 0x8, 0x2000, 9, 0, 50);
+    ASSERT_EQ(rec.threads()[0].size(), 3u);
+    EXPECT_EQ(rec.threads()[0][2].value, 9u);
+    EXPECT_EQ(rec.loadsCaptured(), 1u);
+    EXPECT_EQ(rec.eventsSquashed(), 1u);
+}
+
+TEST(Recorder, RecoveryAtUnknownFenceIsFatal)
+{
+    ExecutionRecorder rec(1);
+    // Instant fences leave no recovery mark: they complete on an empty
+    // write buffer, so nothing can roll back past them.
+    rec.onFence(0, 0x4, FenceKind::Weak, /*instant=*/true, 5, 1);
+    EXPECT_DEATH(rec.onRecovery(0, 5, 0), "unrecorded fence");
+}

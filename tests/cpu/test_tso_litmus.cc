@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "../helpers.hh"
+#include "check/axioms.hh"
 #include "runtime/layout.hh"
 #include "runtime/litmus.hh"
 
@@ -30,6 +31,27 @@ runSb(FenceDesign design, bool fenced, unsigned warm = 600)
     EXPECT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
     return SbOutcome{sys.debugReadWord(lay.res0),
                      sys.debugReadWord(lay.res1)};
+}
+
+/** A two-to-four-core system with the execution recorder attached. */
+System
+checkedSystem(FenceDesign design, unsigned cores)
+{
+    SystemConfig cfg = smallConfig(design, cores);
+    cfg.checkExecution = true;
+    return System(cfg);
+}
+
+/** The axiomatic oracle: the recorded execution satisfies TSO. */
+void
+expectCheckerPass(System &sys, FenceDesign design)
+{
+    const check::ExecutionRecorder *rec = sys.executionRecorder();
+    ASSERT_NE(rec, nullptr);
+    check::CheckResult r = check::checkExecution(*rec);
+    EXPECT_TRUE(r.passed())
+        << "checker " << check::verdictName(r.verdict) << " under "
+        << fenceDesignName(design) << ": " << r.reason;
 }
 
 } // namespace
@@ -103,6 +125,115 @@ TEST(TsoLitmus, IriwNeverViolatesMultiCopyAtomicity)
         // Forbidden: reader A saw x before y AND reader B saw y before x.
         EXPECT_FALSE(r1 == 0 && r3 == 0) << "IRIW violation";
     }
+}
+
+TEST(TsoLitmus, LoadBufferingNeverObserved)
+{
+    // LB: r0 = ld x; st y=1 || r1 = ld y; st x=1. Both threads reading
+    // 1 needs load->store reordering — forbidden by TSO, no fences.
+    // The axiomatic checker cross-checks every recorded execution.
+    for (FenceDesign d : allFenceDesigns) {
+        System sys = checkedSystem(d, 2);
+        GuestLayout layout;
+        LitmusLayout lay = allocLitmus(layout);
+        sys.loadProgram(0, share(buildLbThread(lay, 0)));
+        sys.loadProgram(1, share(buildLbThread(lay, 1)));
+        ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        uint64_t r0 = sys.debugReadWord(lay.res0);
+        uint64_t r1 = sys.debugReadWord(lay.res1);
+        EXPECT_FALSE(r0 == 1 && r1 == 1)
+            << "LB violation under " << fenceDesignName(d);
+        expectCheckerPass(sys, d);
+    }
+}
+
+TEST(TsoLitmus, RLitmusFenceForbidsBypass)
+{
+    // R: writer does st x=1; st y=1 — judge does st y=2; fence;
+    // r = ld x. "y ends 2 and r == 0" would put the judge's load
+    // before its fenced store in the global order.
+    for (FenceDesign d : allFenceDesigns) {
+        System sys = checkedSystem(d, 2);
+        GuestLayout layout;
+        LitmusLayout lay = allocLitmus(layout);
+        sys.loadProgram(0, share(buildRWriter(lay)));
+        sys.loadProgram(1, share(buildRJudge(lay, true,
+                                             FenceRole::Critical, 600)));
+        ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        uint64_t y = sys.debugReadWord(lay.y);
+        uint64_t r = sys.debugReadWord(lay.res0);
+        EXPECT_FALSE(y == 2 && r == 0)
+            << "R violation under " << fenceDesignName(d);
+        expectCheckerPass(sys, d);
+    }
+}
+
+TEST(TsoLitmus, TwoPlusTwoWWriteOrderPreserved)
+{
+    // 2+2W: st x=1; st y=2 || st y=1; st x=2. Both variables ending 1
+    // needs each thread's second store to lose to the other's first —
+    // forbidden by TSO's W->W order, no fences.
+    for (FenceDesign d : allFenceDesigns) {
+        System sys = checkedSystem(d, 2);
+        GuestLayout layout;
+        LitmusLayout lay = allocLitmus(layout);
+        sys.loadProgram(0, share(buildTwoPlusTwoWThread(lay, 0)));
+        sys.loadProgram(1, share(buildTwoPlusTwoWThread(lay, 1)));
+        ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        uint64_t x = sys.debugReadWord(lay.x);
+        uint64_t y = sys.debugReadWord(lay.y);
+        EXPECT_FALSE(x == 1 && y == 1)
+            << "2+2W violation under " << fenceDesignName(d);
+        expectCheckerPass(sys, d);
+    }
+}
+
+TEST(TsoLitmus, SLitmusReadToWriteOrderPreserved)
+{
+    // S: st x=2; st y=1 || r = ld y; st x=1. "r == 1 and x ends 2"
+    // needs the reader's store to age behind a load that already saw
+    // the writer finish — forbidden by TSO's R->W order, no fences.
+    for (FenceDesign d : allFenceDesigns) {
+        System sys = checkedSystem(d, 2);
+        GuestLayout layout;
+        LitmusLayout lay = allocLitmus(layout);
+        sys.loadProgram(0, share(buildSWriter(lay)));
+        sys.loadProgram(1, share(buildSReader(lay)));
+        ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        uint64_t x = sys.debugReadWord(lay.x);
+        uint64_t r = sys.debugReadWord(lay.res0);
+        EXPECT_FALSE(r == 1 && x == 2)
+            << "S violation under " << fenceDesignName(d);
+        expectCheckerPass(sys, d);
+    }
+}
+
+TEST(TsoLitmus, CheckerPassesFencedSbAndIriw)
+{
+    // The recorded-and-verified versions of the original shapes: the
+    // fenced SB pair under every design, and IRIW on four cores.
+    for (FenceDesign d : allFenceDesigns) {
+        System sys = checkedSystem(d, 2);
+        GuestLayout layout;
+        LitmusLayout lay = allocLitmus(layout);
+        sys.loadProgram(0, share(buildSbThread(lay, 0, true,
+                                               FenceRole::Critical,
+                                               600)));
+        sys.loadProgram(1, share(buildSbThread(lay, 1, true,
+                                               FenceRole::Noncritical,
+                                               600)));
+        ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+        expectCheckerPass(sys, d);
+    }
+    System sys = checkedSystem(FenceDesign::SPlus, 4);
+    GuestLayout layout;
+    LitmusLayout lay = allocLitmus(layout);
+    sys.loadProgram(0, share(buildIriwWriter(lay, true)));
+    sys.loadProgram(1, share(buildIriwWriter(lay, false)));
+    sys.loadProgram(2, share(buildIriwReader(lay, true)));
+    sys.loadProgram(3, share(buildIriwReader(lay, false)));
+    ASSERT_EQ(sys.run(1'000'000), System::RunResult::AllDone);
+    expectCheckerPass(sys, FenceDesign::SPlus);
 }
 
 TEST(TsoLitmus, SbWithFenceStallsUnderSPlus)

@@ -95,3 +95,66 @@ TEST(Fuzz, DegenerateConfigIsFatal)
     EXPECT_EXIT(buildFuzz(cfg), ::testing::ExitedWithCode(1),
                 "degenerate");
 }
+
+TEST(Fuzz, RmwRoundsOffByDefault)
+{
+    FuzzConfig cfg;
+    FuzzSetup setup = buildFuzz(cfg);
+    for (const auto &p : setup.programs)
+        for (const auto &ins : p.instrs)
+            EXPECT_FALSE(ins.isAtomic())
+                << "atomic emitted with maxRmwsPerRound = 0";
+}
+
+TEST(Fuzz, RmwRoundsEmitAtomicsWithDistinctTokens)
+{
+    FuzzConfig cfg;
+    cfg.maxRmwsPerRound = 2;
+    cfg.seed = 9;
+    FuzzSetup setup = buildFuzz(cfg);
+    unsigned rmws = 0;
+    for (const auto &p : setup.programs)
+        for (const auto &ins : p.instrs)
+            if (ins.isAtomic())
+                rmws++;
+    EXPECT_GT(rmws, 0u) << "no atomics across 4 threads x 12 rounds";
+    // RMW tokens live in a distinct idx space from the round's stores,
+    // so every token in the system stays unique.
+    uint64_t st = FuzzSetup::token(0, 3, 0);
+    uint64_t at = FuzzSetup::token(0, 3, cfg.maxStoresPerRound + 0);
+    EXPECT_NE(st, at);
+    EXPECT_TRUE(FuzzSetup::tokenValid(at, cfg.numThreads));
+}
+
+TEST(Fuzz, RmwRoundsDeterministicForSameSeed)
+{
+    FuzzConfig cfg;
+    cfg.maxRmwsPerRound = 3;
+    cfg.seed = 17;
+    FuzzSetup a = buildFuzz(cfg);
+    FuzzSetup b = buildFuzz(cfg);
+    ASSERT_EQ(a.programs.size(), b.programs.size());
+    for (size_t t = 0; t < a.programs.size(); t++) {
+        ASSERT_EQ(a.programs[t].size(), b.programs[t].size());
+        for (size_t i = 0; i < a.programs[t].size(); i++)
+            EXPECT_EQ(a.programs[t].instrs[i].toString(),
+                      b.programs[t].instrs[i].toString());
+    }
+}
+
+TEST(Fuzz, RmwRoundsKeepSingleWriterPartition)
+{
+    FuzzConfig cfg;
+    cfg.singleWriterPerLoc = true;
+    cfg.maxRmwsPerRound = 2;
+    cfg.numThreads = 4;
+    cfg.numLocations = 8;
+    FuzzSetup setup = buildFuzz(cfg);
+    for (unsigned loc = 0; loc < 8; loc++) {
+        uint64_t v = setup.expectedFinal[loc];
+        if (v != 0) {
+            EXPECT_EQ((v >> 24) - 1, loc % 4u)
+                << "location " << loc << " written off-partition";
+        }
+    }
+}

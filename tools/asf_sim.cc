@@ -69,6 +69,10 @@ usage(int code)
         "(chrome://tracing, Perfetto)\n"
         "  --fence-profile PATH    dump raw per-fence lifecycle records "
         "(JSON lines)\n"
+        "  --check                 record the execution and verify it "
+        "against the TSO +\n"
+        "                          fence-group axioms (verdict in the "
+        "stats JSON)\n"
         "  --watchdog-cycles N     livelock watchdog window (default "
         "1000000; 0 = off)\n"
         "  --csv                   machine-readable output\n"
@@ -124,6 +128,8 @@ parse(int argc, char **argv)
             opt.jobs = unsigned(std::atoi(v));
         else if (!std::strcmp(argv[i], "--no-fast-forward"))
             setFastForwardEnabled(false);
+        else if (!std::strcmp(argv[i], "--check"))
+            setCheckExecutionEnabled(true);
         else if (!std::strcmp(argv[i], "--stats"))
             opt.dumpStats = true;
         else if (!std::strcmp(argv[i], "--stats-json"))
@@ -226,6 +232,8 @@ printResult(const Options &opt, const ExperimentResult &r)
     std::printf("  network: %llu base bytes, +%.3f%% retry/GRT "
                 "overhead\n",
                 (unsigned long long)r.bytesBase, r.trafficOverheadPct());
+    if (!r.checkVerdict.empty())
+        std::printf("  execution check: %s\n", r.checkVerdict.c_str());
 }
 
 } // namespace

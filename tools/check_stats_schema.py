@@ -9,7 +9,13 @@ silently.
 
 Documents at schemaVersion 1 (pre-CPI-stack) are still accepted; the
 version-2 additions (cpiStack, fenceProfile, watchdog, the decomposed
-stall scalars) are required only when a document declares version 2.
+stall scalars) are required only when a document declares version 2 or
+later, and the version-3 addition (the `check` execution-verification
+block) only when version 3 declares it — a version-3 document omits it
+entirely when checking was off, so v1/v2 consumers keep working.
+
+The run is executed twice: once plain, once with --check, so both the
+without-check and with-check shapes are validated.
 
 Usage: check_stats_schema.py <path-to-asf_sim>
 """
@@ -126,7 +132,48 @@ def check_group(g):
         check_histogram(name, h, ctx)
 
 
-def check_run(run):
+def check_witness(w):
+    expect(isinstance(w, dict), "witness: not an object")
+    expect(w.get("verdict") in ("violation", "inconclusive"),
+           f"witness: bad verdict {w.get('verdict')!r}")
+    cycle = w.get("cycle", [])
+    expect(isinstance(cycle, list), "witness: 'cycle' is not an array")
+    for step in cycle:
+        check_number(step, "thread", "witness step")
+        check_number(step, "index", "witness step")
+        check_number(step, "tick", "witness step")
+        expect(step.get("kind") in ("load", "store", "rmw", "fence"),
+               f"witness step: bad kind {step.get('kind')!r}")
+        if step["kind"] == "fence":
+            expect(isinstance(step.get("fenceKind"), str),
+                   "witness fence step: missing 'fenceKind'")
+        else:
+            check_number(step, "addr", "witness step")
+            check_number(step, "value", "witness step")
+        if "edgeToNext" in step:
+            expect(step["edgeToNext"] in ("po", "fence", "rf", "co",
+                                          "fr"),
+                   f"witness step: bad edge {step['edgeToNext']!r}")
+
+
+def check_check_block(blk):
+    expect(blk.get("enabled") is True, "check: 'enabled' is not true")
+    for key in ("events", "loads", "stores", "rmws", "fences", "merges",
+                "squashed", "rfEdges", "coEdges", "frEdges",
+                "readsFromInit", "ambiguousReads"):
+        check_number(blk, key, "check")
+    expect(blk["events"] == blk["loads"] + blk["stores"] + blk["rmws"] +
+           blk["fences"], "check: event classes do not sum to events")
+    verdict = blk.get("verdict")
+    expect(verdict in ("pass", "violation", "inconclusive"),
+           f"check: unknown verdict {verdict!r}")
+    if verdict == "pass":
+        expect("witness" not in blk, "check: witness on a passing run")
+    else:
+        check_witness(blk.get("witness"))
+
+
+def check_run(run, expect_check=False):
     for key in ("workload", "design"):
         expect(isinstance(run.get(key), str), f"run: missing '{key}'")
     check_number(run, "cores", "run")
@@ -141,7 +188,8 @@ def check_run(run):
     sys_doc = run.get("system")
     expect(isinstance(sys_doc, dict), "run: missing 'system' document")
     version = sys_doc.get("schemaVersion")
-    expect(version in (1, 2), f"system: unknown schemaVersion {version!r}")
+    expect(version in (1, 2, 3),
+           f"system: unknown schemaVersion {version!r}")
     if version >= 2:
         for key in FENCE_BUCKETS + OTHER_BUCKETS:
             check_number(run["breakdown"], key, "breakdown")
@@ -206,6 +254,17 @@ def check_run(run):
         if "fenceProfile" in sys_doc:
             check_fence_profile(sys_doc["fenceProfile"])
 
+    if version >= 3 and expect_check:
+        expect("check" in sys_doc,
+               "system: --check run without a 'check' block")
+        expect(run.get("checkVerdict") == sys_doc["check"]["verdict"],
+               "run: checkVerdict disagrees with the check block")
+    if "check" in sys_doc:
+        check_check_block(sys_doc["check"])
+    elif not expect_check:
+        expect("checkVerdict" not in run,
+               "run: checkVerdict without a check block")
+
     noc = sys_doc.get("noc")
     expect(isinstance(noc, dict), "system: missing 'noc'")
     check_number(noc, "meanLatency", "noc")
@@ -253,27 +312,41 @@ def main():
     with tempfile.TemporaryDirectory() as tmp:
         stats_path = Path(tmp) / "stats.json"
         trace_path = Path(tmp) / "trace.json"
-        cmd = [str(asf_sim), "--workload", "ustm:Hash", "--design", "W+",
-               "--cores", "4", "--cycles", "30000",
-               f"--stats-json={stats_path}", f"--trace={trace_path}"]
-        proc = subprocess.run(cmd, capture_output=True, text=True,
-                              timeout=300)
-        expect(proc.returncode == 0,
-               f"asf_sim failed ({proc.returncode}):\n{proc.stderr}")
-        expect(stats_path.exists(), "no stats JSON written")
-        expect(trace_path.exists(), "no trace written")
+        base = [str(asf_sim), "--workload", "ustm:Hash", "--design",
+                "W+", "--cores", "4", "--cycles", "30000"]
+        for extra in ([f"--stats-json={stats_path}",
+                       f"--trace={trace_path}"],
+                      [f"--stats-json={stats_path}", "--check"]):
+            stats_path.unlink(missing_ok=True)
+            checked = "--check" in extra
+            proc = subprocess.run(base + extra, capture_output=True,
+                                  text=True, timeout=300)
+            expect(proc.returncode == 0,
+                   f"asf_sim failed ({proc.returncode}):\n{proc.stderr}")
+            expect(stats_path.exists(), "no stats JSON written")
 
-        with open(stats_path) as f:
-            doc = json.load(f)
-        expect(doc.get("schemaVersion") in (1, 2),
-               f"log: unknown schemaVersion {doc.get('schemaVersion')!r}")
-        runs = doc.get("runs")
-        expect(isinstance(runs, list) and len(runs) == 1,
-               f"log: expected 1 run, got {runs!r:.80}")
-        check_run(runs[0])
+            with open(stats_path) as f:
+                doc = json.load(f)
+            expect(doc.get("schemaVersion") in (1, 2, 3),
+                   f"log: unknown schemaVersion "
+                   f"{doc.get('schemaVersion')!r}")
+            runs = doc.get("runs")
+            expect(isinstance(runs, list) and len(runs) == 1,
+                   f"log: expected 1 run, got {runs!r:.80}")
+            check_run(runs[0], expect_check=checked)
+            if checked:
+                # Real workloads reuse data values (lock words toggle),
+                # so 'inconclusive' is legitimate; only a 'violation'
+                # means the simulator (or checker) is broken.
+                expect(runs[0].get("checkVerdict") in ("pass",
+                                                       "inconclusive"),
+                       f"checked run verdict "
+                       f"{runs[0].get('checkVerdict')!r}")
+        expect(trace_path.exists(), "no trace written")
         check_trace(trace_path)
 
-    print("ok: stats schema and trace format validated")
+    print("ok: stats schema (with and without --check) and trace "
+          "format validated")
 
 
 if __name__ == "__main__":

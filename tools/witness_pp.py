@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Pretty-print an execution-checker witness.
+
+Accepts any of the JSON shapes the simulator emits and finds the
+witness inside it:
+
+  - a standalone witness document (check::writeWitnessJson),
+  - a System stats document (its `check` block),
+  - a stats-JSON log ({"schemaVersion":N,"runs":[...]}) — every run
+    with a non-passing check block is printed.
+
+Usage: witness_pp.py [file.json]        (default: stdin)
+
+The cycle is rendered one event per line with the relation that leads
+to the next event; the last edge wraps back to the first line. Exit
+status: 0 when every check passed (nothing to print), 1 when a witness
+was printed, 2 on malformed input.
+"""
+
+import json
+import sys
+
+
+def die(msg):
+    print(f"witness_pp: {msg}", file=sys.stderr)
+    sys.exit(2)
+
+
+def fmt_event(step):
+    kind = step.get("kind", "?")
+    where = f"t{step.get('thread', '?')} #{step.get('index', '?')}"
+    if kind == "fence":
+        what = f"fence {step.get('fenceKind', '?')}"
+    else:
+        what = f"{kind:5s} [{step.get('addr', 0):#x}]"
+        if kind == "rmw" and "readValue" in step:
+            what += (f" read {step['readValue']}"
+                     f" wrote {step.get('value', '?')}")
+        else:
+            what += f" = {step.get('value', '?')}"
+    return f"  [{where:>8s}] {what:40s} @ tick {step.get('tick', '?')}"
+
+
+EDGE_LABEL = {
+    "po": "program order",
+    "fence": "program order through a fence",
+    "rf": "reads-from",
+    "co": "coherence order",
+    "fr": "from-read (read before overwrite)",
+}
+
+
+def print_witness(w, run_label=""):
+    verdict = w.get("verdict", "?")
+    if run_label:
+        print(f"== {run_label} ==")
+    line = f"verdict: {verdict}"
+    if w.get("axiom"):
+        line += f"  (violated axiom: {w['axiom']})"
+    print(line)
+    if w.get("reason"):
+        print(f"reason:  {w['reason']}")
+    cycle = w.get("cycle", [])
+    if not cycle:
+        return
+    print(f"cycle ({len(cycle)} events; the last edge wraps around):")
+    for step in cycle:
+        print(fmt_event(step))
+        edge = step.get("edgeToNext")
+        if edge:
+            print(f"      --{edge}--> "
+                  f"({EDGE_LABEL.get(edge, 'unknown relation')})")
+
+
+def find_witnesses(doc):
+    """Yield (label, witness) pairs from any accepted document shape."""
+    if not isinstance(doc, dict):
+        die("top-level JSON is not an object")
+    if "verdict" in doc and "runs" not in doc and "check" not in doc:
+        if doc["verdict"] != "pass":
+            yield "", doc  # standalone witness
+        return
+    if "check" in doc:  # a System stats document
+        blk = doc["check"]
+        if blk.get("verdict") != "pass":
+            yield "", blk.get("witness", {"verdict": blk.get("verdict")})
+        return
+    if "runs" in doc:  # a stats-JSON log
+        for i, run in enumerate(doc["runs"]):
+            blk = (run.get("system") or {}).get("check")
+            if not blk or blk.get("verdict") == "pass":
+                continue
+            label = (f"run {i}: {run.get('workload', '?')} under "
+                     f"{run.get('design', '?')}")
+            yield label, blk.get("witness",
+                                 {"verdict": blk.get("verdict")})
+        return
+    die("no witness, check block, or runs array found")
+
+
+def main():
+    if len(sys.argv) > 2:
+        die("usage: witness_pp.py [file.json]")
+    try:
+        if len(sys.argv) == 2:
+            with open(sys.argv[1]) as f:
+                doc = json.load(f)
+        else:
+            doc = json.load(sys.stdin)
+    except (OSError, json.JSONDecodeError) as e:
+        die(str(e))
+
+    printed = 0
+    for label, witness in find_witnesses(doc):
+        if printed:
+            print()
+        print_witness(witness, label)
+        printed += 1
+    if not printed:
+        print("all checks passed — no witness to print")
+    sys.exit(1 if printed else 0)
+
+
+if __name__ == "__main__":
+    main()
