@@ -1,0 +1,294 @@
+#include "analysis/cfg.hh"
+
+#include <deque>
+
+#include "sim/logging.hh"
+
+namespace asf::analysis
+{
+
+namespace
+{
+
+/** Abstract register value for constant propagation. */
+struct AbsVal
+{
+    enum Kind : uint8_t { Undef, Const, Unknown };
+    Kind kind = Undef;
+    uint64_t value = 0;
+
+    static AbsVal cst(uint64_t v) { return {Const, v}; }
+    static AbsVal unknown() { return {Unknown, 0}; }
+
+    bool operator==(const AbsVal &) const = default;
+};
+
+AbsVal
+join(const AbsVal &a, const AbsVal &b)
+{
+    if (a.kind == AbsVal::Undef)
+        return b;
+    if (b.kind == AbsVal::Undef)
+        return a;
+    if (a.kind == AbsVal::Const && b.kind == AbsVal::Const &&
+        a.value == b.value)
+        return a;
+    return AbsVal::unknown();
+}
+
+using RegState = std::vector<AbsVal>;
+
+bool
+joinInto(RegState &into, const RegState &from)
+{
+    bool changed = false;
+    for (size_t r = 0; r < into.size(); r++) {
+        AbsVal j = join(into[r], from[r]);
+        if (!(j == into[r])) {
+            into[r] = j;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+/** Transfer function: abstract effect of one instruction. */
+void
+transfer(const Instr &i, RegState &s)
+{
+    auto bin = [&](auto f) {
+        if (s[i.ra].kind == AbsVal::Const &&
+            s[i.rb].kind == AbsVal::Const)
+            s[i.rd] = AbsVal::cst(f(s[i.ra].value, s[i.rb].value));
+        else
+            s[i.rd] = AbsVal::unknown();
+    };
+    auto immOp = [&](auto f) {
+        if (s[i.ra].kind == AbsVal::Const)
+            s[i.rd] = AbsVal::cst(f(s[i.ra].value, uint64_t(i.imm)));
+        else
+            s[i.rd] = AbsVal::unknown();
+    };
+    switch (i.op) {
+      case Op::Li:
+        s[i.rd] = AbsVal::cst(uint64_t(i.imm));
+        break;
+      case Op::Mov:
+        s[i.rd] = s[i.ra];
+        break;
+      case Op::Add:
+        bin([](uint64_t a, uint64_t b) { return a + b; });
+        break;
+      case Op::Sub:
+        bin([](uint64_t a, uint64_t b) { return a - b; });
+        break;
+      case Op::Mul:
+        bin([](uint64_t a, uint64_t b) { return a * b; });
+        break;
+      case Op::And:
+        bin([](uint64_t a, uint64_t b) { return a & b; });
+        break;
+      case Op::Or:
+        bin([](uint64_t a, uint64_t b) { return a | b; });
+        break;
+      case Op::Xor:
+        bin([](uint64_t a, uint64_t b) { return a ^ b; });
+        break;
+      case Op::Addi:
+        immOp([](uint64_t a, uint64_t b) { return a + b; });
+        break;
+      case Op::Andi:
+        immOp([](uint64_t a, uint64_t b) { return a & b; });
+        break;
+      case Op::Muli:
+        immOp([](uint64_t a, uint64_t b) { return a * b; });
+        break;
+      case Op::Shli:
+        immOp([](uint64_t a, uint64_t b) { return a << (b & 63); });
+        break;
+      case Op::Shri:
+        immOp([](uint64_t a, uint64_t b) { return a >> (b & 63); });
+        break;
+      case Op::Ld:
+      case Op::Cas:
+      case Op::Xchg:
+      case Op::Rand:
+        s[i.rd] = AbsVal::unknown();
+        break;
+      default:
+        break; // no register results
+    }
+}
+
+} // namespace
+
+bool
+mayAlias(const MemAccess &a, const MemAccess &b)
+{
+    if (!a.addrKnown || !b.addrKnown)
+        return true;
+    return a.addr == b.addr;
+}
+
+Cfg::Cfg(std::shared_ptr<const Program> prog) : prog_(std::move(prog))
+{
+    if (!prog_ || prog_->size() == 0)
+        fatal("analysis::Cfg: empty program");
+    buildSuccs();
+    buildReach();
+    buildLoopDepth();
+    resolveAccesses();
+}
+
+void
+Cfg::buildSuccs()
+{
+    const size_t n = prog_->size();
+    succs_.assign(n, {});
+    for (uint64_t pc = 0; pc < n; pc++) {
+        const Instr &i = prog_->instrs[pc];
+        auto addTarget = [&](uint64_t t) {
+            if (t >= n)
+                fatal("analysis::Cfg('%s'): pc %llu targets %llu, "
+                      "past the end",
+                      prog_->name.c_str(), (unsigned long long)pc,
+                      (unsigned long long)t);
+            succs_[pc].push_back(t);
+        };
+        if (i.op == Op::Halt)
+            continue;
+        if (i.op == Op::Jmp) {
+            addTarget(uint64_t(i.imm));
+            continue;
+        }
+        if (pc + 1 < n)
+            succs_[pc].push_back(pc + 1);
+        if (i.isCondBranch() && uint64_t(i.imm) != pc + 1)
+            addTarget(uint64_t(i.imm));
+    }
+}
+
+void
+Cfg::buildReach()
+{
+    // Nonempty-path reachability: BFS from each node's successors.
+    // Programs are tiny (tens to a few hundred instrs); O(n^2) is fine.
+    const size_t n = prog_->size();
+    reach_.assign(n, std::vector<bool>(n, false));
+    for (uint64_t from = 0; from < n; from++) {
+        std::deque<uint64_t> work(succs_[from].begin(),
+                                  succs_[from].end());
+        for (uint64_t s : succs_[from])
+            reach_[from][s] = true;
+        while (!work.empty()) {
+            uint64_t cur = work.front();
+            work.pop_front();
+            for (uint64_t s : succs_[cur]) {
+                if (!reach_[from][s]) {
+                    reach_[from][s] = true;
+                    work.push_back(s);
+                }
+            }
+        }
+    }
+}
+
+void
+Cfg::buildLoopDepth()
+{
+    // Backward-branch nesting as the loop-depth estimate: for every
+    // CFG edge u -> v with v <= u that is part of a real cycle, the
+    // span [v, u] gains a level. The assembler emits loops exclusively
+    // as backward branches, so this matches the source nesting.
+    const size_t n = prog_->size();
+    loopDepth_.assign(n, 0);
+    for (uint64_t u = 0; u < n; u++) {
+        for (uint64_t v : succs_[u]) {
+            if (v <= u && reach_[v][v]) {
+                for (uint64_t pc = v; pc <= u; pc++)
+                    loopDepth_[pc]++;
+            }
+        }
+    }
+}
+
+void
+Cfg::resolveAccesses()
+{
+    // Forward constant propagation to a fixpoint. Entry state: all
+    // registers Unknown (tid/env registers are host-set and vary per
+    // thread; builders that bake addresses use li constants, which
+    // still resolve).
+    const size_t n = prog_->size();
+    std::vector<RegState> in(n, RegState(numRegs));
+    in[0].assign(numRegs, AbsVal::unknown());
+    std::deque<uint64_t> work{0};
+    std::vector<bool> queued(n, false);
+    queued[0] = true;
+    while (!work.empty()) {
+        uint64_t pc = work.front();
+        work.pop_front();
+        queued[pc] = false;
+        RegState out = in[pc];
+        transfer(prog_->instrs[pc], out);
+        for (uint64_t s : succs_[pc]) {
+            if (joinInto(in[s], out) && !queued[s]) {
+                queued[s] = true;
+                work.push_back(s);
+            }
+        }
+    }
+
+    for (uint64_t pc = 0; pc < n; pc++) {
+        const Instr &i = prog_->instrs[pc];
+        if (i.op == Op::Fence || i.isAtomic())
+            orderPoints_.push_back(pc);
+        if (!i.isMem())
+            continue;
+        MemAccess a;
+        a.pc = pc;
+        a.read = i.readsMem();
+        a.write = i.writesMem();
+        a.atomic = i.isAtomic();
+        a.loopDepth = loopDepth_[pc];
+        const AbsVal &base = in[pc][i.ra];
+        if (base.kind == AbsVal::Const) {
+            a.addrKnown = true;
+            a.addr = base.value + uint64_t(i.imm);
+        }
+        accesses_.push_back(a);
+    }
+}
+
+bool
+Cfg::existsPathAvoiding(uint64_t from, uint64_t to,
+                        const std::set<uint64_t> &blocked) const
+{
+    // BFS over nodes not in `blocked`; `from` may be left freely but
+    // is blocked on re-entry like any other node.
+    std::vector<bool> seen(prog_->size(), false);
+    std::deque<uint64_t> work;
+    for (uint64_t s : succs_[from]) {
+        if (blocked.count(s) || seen[s])
+            continue;
+        if (s == to)
+            return true;
+        seen[s] = true;
+        work.push_back(s);
+    }
+    while (!work.empty()) {
+        uint64_t cur = work.front();
+        work.pop_front();
+        for (uint64_t s : succs_[cur]) {
+            if (blocked.count(s) || seen[s])
+                continue;
+            if (s == to)
+                return true;
+            seen[s] = true;
+            work.push_back(s);
+        }
+    }
+    return false;
+}
+
+} // namespace asf::analysis

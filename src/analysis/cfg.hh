@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Static control-flow and access analysis over guest programs: the
+ * substrate of the fence synthesizer. For one program this computes
+ *
+ *  - the CFG (successor sets over the flat instruction vector),
+ *  - resolved memory-access addresses via constant propagation (guest
+ *    builders bake layout addresses with `li`, so most addresses are
+ *    compile-time constants; anything data-dependent degrades to
+ *    Unknown, which conflicts with everything),
+ *  - program-order-plus reachability (nonempty CFG paths, loops
+ *    included),
+ *  - a loop-depth estimate per pc (backward-branch nesting) used as
+ *    the static dynamic-frequency proxy for fence placement,
+ *  - ordering points (existing fences and atomics, which have
+ *    full-fence semantics), and
+ *  - the path-avoidance query the placement stage is built on: can
+ *    execution get from S to L without passing a blocked pc?
+ */
+
+#ifndef ASF_ANALYSIS_CFG_HH
+#define ASF_ANALYSIS_CFG_HH
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "prog/instr.hh"
+
+namespace asf::analysis
+{
+
+/** A statically resolved memory access. */
+struct MemAccess
+{
+    uint64_t pc = 0;
+    bool read = false;
+    bool write = false;
+    bool atomic = false;
+    /** Address resolution: when false the access may touch any word
+     *  and conservatively conflicts with every other-thread access. */
+    bool addrKnown = false;
+    uint64_t addr = 0;
+    unsigned loopDepth = 0;
+};
+
+/** Do two accesses possibly touch the same word? */
+bool mayAlias(const MemAccess &a, const MemAccess &b);
+
+/**
+ * Per-program static summary. Built once per synthesis input thread;
+ * all queries are over original (pre-rewrite) pc values.
+ */
+class Cfg
+{
+  public:
+    explicit Cfg(std::shared_ptr<const Program> prog);
+
+    const Program &program() const { return *prog_; }
+    std::shared_ptr<const Program> programPtr() const { return prog_; }
+    size_t size() const { return prog_->size(); }
+
+    /** CFG successors of pc (0, 1 or 2 entries). */
+    const std::vector<uint64_t> &succs(uint64_t pc) const
+    {
+        return succs_[pc];
+    }
+
+    /** Is `to` reachable from `from` via a nonempty CFG path? This is
+     *  po+ when both endpoints are instructions that execute. */
+    bool reaches(uint64_t from, uint64_t to) const
+    {
+        return reach_[from][to];
+    }
+
+    /** Backward-branch nesting depth of pc (0 = straight-line). */
+    unsigned loopDepth(uint64_t pc) const { return loopDepth_[pc]; }
+
+    /** Memory accesses with resolved addresses, in pc order. */
+    const std::vector<MemAccess> &accesses() const { return accesses_; }
+
+    /** Pcs of existing fences and atomics: instructions that already
+     *  enforce full store→load order at their program point. */
+    const std::vector<uint64_t> &orderPoints() const
+    {
+        return orderPoints_;
+    }
+
+    /**
+     * Is there a nonempty CFG path from `from` to `to` that enters no
+     * blocked pc? Blocking applies to intermediate nodes and to `to`
+     * itself, but not to `from`: a fence placed before pc q intercepts
+     * any path that goes on to execute q, so covering a delay pair
+     * (S, L) means every S→L path enters some blocked pc.
+     */
+    bool existsPathAvoiding(uint64_t from, uint64_t to,
+                            const std::set<uint64_t> &blocked) const;
+
+  private:
+    void buildSuccs();
+    void buildReach();
+    void buildLoopDepth();
+    void resolveAccesses();
+
+    std::shared_ptr<const Program> prog_;
+    std::vector<std::vector<uint64_t>> succs_;
+    std::vector<std::vector<bool>> reach_;
+    std::vector<unsigned> loopDepth_;
+    std::vector<MemAccess> accesses_;
+    std::vector<uint64_t> orderPoints_;
+};
+
+} // namespace asf::analysis
+
+#endif // ASF_ANALYSIS_CFG_HH

@@ -1,0 +1,382 @@
+#include "analysis/corpus.hh"
+
+#include "runtime/bakery.hh"
+#include "runtime/dekker.hh"
+#include "runtime/layout.hh"
+#include "runtime/litmus.hh"
+#include "runtime/marks.hh"
+#include "runtime/regs.hh"
+#include "runtime/the_deque.hh"
+#include "runtime/tlrw.hh"
+#include "sim/logging.hh"
+
+namespace asf::analysis
+{
+
+using namespace runtime;
+using namespace regs;
+
+namespace
+{
+
+std::shared_ptr<const Program>
+share(Program p)
+{
+    return std::make_shared<const Program>(std::move(p));
+}
+
+/** Owner: push tasks 1..n through the protocol (guest stores, so the
+ *  execution checker can account for every value — host-side
+ *  seedDeque() would make each task load a value-integrity
+ *  "violation"), then take until empty, summing into [res]. Built
+ *  unfenced; the THE fence site inside emitTake lands in
+ *  omittedFences. */
+Program
+dequeOwner(const TheDeque &q, Addr res, unsigned ntasks, bool fenced)
+{
+    Assembler a("synth_owner");
+    a.suppressFences(!fenced);
+    a.li(env0, int64_t(q.base));
+    a.li(s0, 0); // sum
+    a.li(s9, int64_t(dequeEmpty));
+    a.li(s2, 1);
+    a.li(s3, int64_t(ntasks));
+    a.bind("push");
+    emitPush(a, q, env0, s2, t0, t1);
+    a.addi(s2, s2, 1);
+    a.bge(s3, s2, "push");
+    a.bind("loop");
+    emitTake(a, q, env0, a0, t0, t1, t2, t3);
+    a.beq(a0, s9, "done");
+    a.add(s0, s0, a0);
+    a.jmp("loop");
+    a.bind("done");
+    a.li(t0, int64_t(res));
+    a.st(t0, 0, s0);
+    a.halt();
+    return a.finish();
+}
+
+/** Thief: bounded steal attempts, summing stolen tasks into [res]. */
+Program
+dequeThief(const TheDeque &q, Addr res, unsigned attempts, bool fenced)
+{
+    Assembler a("synth_thief");
+    a.suppressFences(!fenced);
+    a.li(env0, int64_t(q.base));
+    a.li(s0, 0);
+    a.li(s1, int64_t(attempts));
+    a.li(s9, int64_t(dequeEmpty));
+    a.bind("loop");
+    emitSteal(a, q, env0, a0, t0, t1, t2, t3);
+    a.beq(a0, s9, "next");
+    a.add(s0, s0, a0);
+    a.bind("next");
+    a.addi(s1, s1, -1);
+    a.li(t0, 0);
+    a.blt(t0, s1, "loop");
+    a.li(t0, int64_t(res));
+    a.st(t0, 0, s0);
+    a.halt();
+    return a.finish();
+}
+
+/** n write-locked increments of data[0] (cf. tests/runtime). */
+Program
+tlrwWriter(const TlrwTable &table, int n, bool fenced)
+{
+    Assembler a("synth_tlrw_writer");
+    a.suppressFences(!fenced);
+    a.li(s0, n);
+    a.bind("loop");
+    a.li(a4, int64_t(table.orecAddr(0)));
+    emitTlrwWriteAcquire(a, a4, "wabort", t0, t1, t2, t3);
+    a.li(a5, int64_t(table.dataAddr(0)));
+    a.ld(t0, a5, 0);
+    a.addi(t0, t0, 1);
+    a.st(a5, 0, t0);
+    emitTlrwWriteRelease(a, a4, t0);
+    a.addi(s0, s0, -1);
+    a.li(t0, 0);
+    a.blt(t0, s0, "loop");
+    a.halt();
+    a.bind("wabort");
+    a.compute(30);
+    a.jmp("loop");
+    return a.finish();
+}
+
+/** n read attempts of data[0]; aborted iterations just skip. */
+Program
+tlrwReader(const TlrwTable &table, int n, Addr res, bool fenced)
+{
+    Assembler a("synth_tlrw_reader");
+    a.suppressFences(!fenced);
+    a.li(s0, n);
+    a.li(s1, 0);
+    a.bind("loop");
+    a.li(a4, int64_t(table.orecAddr(0)));
+    emitTlrwReadAcquire(a, a4, "aborted", t0, t1);
+    a.li(a5, int64_t(table.dataAddr(0)));
+    a.ld(t0, a5, 0);
+    a.add(s1, s1, t0);
+    emitTlrwReadRelease(a, a4, t0, t1);
+    a.bind("next");
+    a.addi(s0, s0, -1);
+    a.li(t0, 0);
+    a.blt(t0, s0, "loop");
+    a.li(t0, int64_t(res));
+    a.st(t0, 0, s1);
+    a.halt();
+    a.bind("aborted");
+    a.jmp("next");
+    return a.finish();
+}
+
+/**
+ * The directed minimization input: thread 0's racy load of y sits
+ * behind a branch on a flag word nobody ever writes, so the load is
+ * statically reachable but dynamically dead. Static analysis must
+ * fence both threads' store->load pairs; no run can convict either
+ * fence, so minimization must strip the placement back to empty.
+ */
+Program
+deadpathT0(Addr x, Addr y, Addr flag)
+{
+    Assembler a("deadpath_t0");
+    a.li(a0, int64_t(x));
+    a.li(a1, int64_t(y));
+    a.li(a2, int64_t(flag));
+    a.li(t0, 1);
+    a.st(a0, 0, t0); // st x = 1
+    a.ld(t2, a2, 0); // flag: always 0, statically Unknown
+    a.li(t3, 0);
+    a.beq(t2, t3, "skip");
+    a.ld(t4, a1, 0); // racy ld y - never executes
+    a.bind("skip");
+    a.halt();
+    return a.finish();
+}
+
+Program
+deadpathT1(Addr x, Addr y, Addr res)
+{
+    Assembler a("deadpath_t1");
+    a.li(a0, int64_t(y));
+    a.li(a1, int64_t(x));
+    a.li(a2, int64_t(res));
+    a.li(t0, 1);
+    a.st(a0, 0, t0); // st y = 1
+    a.ld(t1, a1, 0); // ld x: racy only against the dead load's cycle
+    a.st(a2, 0, t1);
+    a.halt();
+    return a.finish();
+}
+
+constexpr unsigned litmusWarm = 600;
+
+CorpusEntry
+makeLitmus(const std::string &name)
+{
+    GuestLayout layout;
+    LitmusLayout lay = allocLitmus(layout);
+    CorpusEntry e;
+    e.name = name;
+    e.property = MinimizeProperty::ScEquivalence;
+    if (name == "sb") {
+        e.description = "store buffering (needs one fence per thread)";
+        e.threads = {share(buildSbThread(lay, 0, false,
+                                         FenceRole::Critical,
+                                         litmusWarm)),
+                     share(buildSbThread(lay, 1, false,
+                                         FenceRole::Noncritical,
+                                         litmusWarm))};
+        e.invariant = [lay](System &sys) {
+            return !(sys.debugReadWord(lay.res0) == 0 &&
+                     sys.debugReadWord(lay.res1) == 0);
+        };
+    } else if (name == "mp") {
+        e.description = "message passing (fence-free under TSO)";
+        e.threads = {share(buildMpWriter(lay)),
+                     share(buildMpReader(lay))};
+        e.invariant = [lay](System &sys) {
+            return sys.debugReadWord(lay.res0) == 1;
+        };
+    } else if (name == "iriw") {
+        e.description = "IRIW (fence-free under TSO; multi-copy "
+                        "atomicity)";
+        e.threads = {share(buildIriwWriter(lay, true)),
+                     share(buildIriwWriter(lay, false)),
+                     share(buildIriwReader(lay, true)),
+                     share(buildIriwReader(lay, false))};
+        e.invariant = [lay](System &sys) {
+            return !(sys.debugReadWord(lay.res0) == 1 &&
+                     sys.debugReadWord(lay.res1) == 0 &&
+                     sys.debugReadWord(lay.res2) == 1 &&
+                     sys.debugReadWord(lay.res3) == 0);
+        };
+    } else if (name == "lb") {
+        e.description = "load buffering (fence-free under TSO)";
+        e.threads = {share(buildLbThread(lay, 0)),
+                     share(buildLbThread(lay, 1))};
+        e.invariant = [lay](System &sys) {
+            return !(sys.debugReadWord(lay.res0) == 1 &&
+                     sys.debugReadWord(lay.res1) == 1);
+        };
+    } else if (name == "r") {
+        e.description = "R (one fence, in the judge thread)";
+        // The writer warms too so the two racy windows overlap. Even
+        // so, R's relaxed outcome is unobservable here: the judge's
+        // y-ownership request always reaches the directory before the
+        // writer's (its load bypasses at issue+1, long before the
+        // writer's second store can be requested), so the forbidden
+        // coherence order never forms and minimization correctly
+        // drops the hand fence as dynamically unnecessary — the
+        // canonical static-vs-dynamic gap, pinned by the tests.
+        e.threads = {share(buildRWriter(lay, litmusWarm)),
+                     share(buildRJudge(lay, false,
+                                       FenceRole::Noncritical,
+                                       litmusWarm))};
+        e.invariant = [lay](System &sys) {
+            return !(sys.debugReadWord(lay.y) == 2 &&
+                     sys.debugReadWord(lay.res0) == 0);
+        };
+    } else if (name == "2p2w") {
+        e.description = "2+2W (fence-free under TSO)";
+        e.threads = {share(buildTwoPlusTwoWThread(lay, 0)),
+                     share(buildTwoPlusTwoWThread(lay, 1))};
+        e.invariant = [lay](System &sys) {
+            return !(sys.debugReadWord(lay.x) == 1 &&
+                     sys.debugReadWord(lay.y) == 1);
+        };
+    } else if (name == "s") {
+        e.description = "S (fence-free under TSO)";
+        e.threads = {share(buildSWriter(lay)),
+                     share(buildSReader(lay))};
+        e.invariant = [lay](System &sys) {
+            return !(sys.debugReadWord(lay.res0) == 1 &&
+                     sys.debugReadWord(lay.x) == 2);
+        };
+    } else {
+        fatal("makeLitmus: unknown litmus '%s'", name.c_str());
+    }
+    return e;
+}
+
+} // namespace
+
+unsigned
+CorpusEntry::handFenceCount() const
+{
+    unsigned n = 0;
+    for (const auto &p : threads)
+        n += unsigned(p->omittedFences.size());
+    return n;
+}
+
+MinimizeOptions
+CorpusEntry::minimizeOptions() const
+{
+    MinimizeOptions opt;
+    opt.property = property;
+    opt.setup = setup;
+    opt.invariant = invariant;
+    opt.maxCycles = maxCycles;
+    return opt;
+}
+
+std::vector<std::string>
+corpusNames()
+{
+    return {"sb",     "mp",   "iriw", "lb",    "r",     "2p2w", "s",
+            "dekker", "bakery", "tlrw", "deque", "deadpath"};
+}
+
+CorpusEntry
+buildCorpusEntry(const std::string &name)
+{
+    if (name == "sb" || name == "mp" || name == "iriw" ||
+        name == "lb" || name == "r" || name == "2p2w" || name == "s")
+        return makeLitmus(name);
+
+    CorpusEntry e;
+    e.name = name;
+    e.property = MinimizeProperty::ScEquivalence;
+
+    if (name == "dekker") {
+        GuestLayout layout;
+        DekkerLayout lay = allocDekker(layout);
+        constexpr unsigned iters = 6;
+        e.description = "Dekker mutual exclusion, two threads";
+        e.threads = {
+            share(buildDekkerProgram(lay, 0, iters, 0, false)),
+            share(buildDekkerProgram(lay, 1, iters, 0, false))};
+        e.invariant = [lay](System &sys) {
+            return sys.debugReadWord(lay.counterAddr) == 2 * iters;
+        };
+        return e;
+    }
+    if (name == "bakery") {
+        GuestLayout layout;
+        BakeryLayout lay = allocBakery(layout, 2);
+        constexpr unsigned iters = 5;
+        e.description = "Lamport bakery lock, two threads";
+        e.threads = {
+            share(buildBakeryProgram(lay, 0, iters, 0, 0, false)),
+            share(buildBakeryProgram(lay, 1, iters, 0, 0, false))};
+        e.invariant = [lay](System &sys) {
+            return sys.debugReadWord(lay.counterAddr) == 2 * iters;
+        };
+        return e;
+    }
+    if (name == "tlrw") {
+        GuestLayout layout;
+        TlrwTable table = allocTlrwTable(layout, 2, 2);
+        Addr res = layout.line();
+        e.description = "TLRW STM barriers, one writer + one reader";
+        e.threads = {share(tlrwWriter(table, 10, false)),
+                     share(tlrwReader(table, 20, res, false))};
+        e.setup = [](System &sys) {
+            for (unsigned i = 0; i < 2; i++) {
+                sys.core(i).setReg(regs::tid, i);
+                sys.core(i).setReg(regs::nthreads, 2);
+            }
+        };
+        e.invariant = [table](System &sys) {
+            return sys.debugReadWord(table.dataAddr(0)) == 10 &&
+                   sys.debugReadWord(table.writerAddr(0)) == 0;
+        };
+        return e;
+    }
+    if (name == "deque") {
+        GuestLayout layout;
+        TheDeque q = allocTheDeque(layout, 64);
+        Addr res0 = layout.line();
+        Addr res1 = layout.line();
+        e.description = "THE work-stealing deque, owner + thief";
+        e.threads = {share(dequeOwner(q, res0, 24, false)),
+                     share(dequeThief(q, res1, 120, false))};
+        e.invariant = [res0, res1](System &sys) {
+            // Every task taken exactly once: 1 + ... + 24.
+            return sys.debugReadWord(res0) +
+                       sys.debugReadWord(res1) ==
+                   300;
+        };
+        return e;
+    }
+    if (name == "deadpath") {
+        GuestLayout layout;
+        Addr x = layout.granule();
+        Addr y = layout.granule();
+        Addr flag = layout.granule();
+        Addr res = layout.granule();
+        e.description = "statically racy, dynamically dead: "
+                        "minimization must drop every fence";
+        e.threads = {share(deadpathT0(x, y, flag)),
+                     share(deadpathT1(x, y, res))};
+        return e;
+    }
+    fatal("buildCorpusEntry: unknown corpus entry '%s'", name.c_str());
+}
+
+} // namespace asf::analysis

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The synthesis corpus: named multi-threaded guest programs serving
+ * as inputs to the fence synthesizer, each carrying
+ *
+ *  - *unfenced* per-thread programs whose hand-placed fence sites
+ *    were recorded via Assembler::suppressFences (ground truth in
+ *    Program::omittedFences),
+ *  - the execution scaffolding the checker-guided minimizer needs:
+ *    a setup hook (memory seeding, per-core registers), a functional
+ *    invariant, the property mode, and a cycle budget.
+ *
+ * Entries: the seven litmus kits (sb, mp, iriw, lb, r, 2p2w, s), the
+ * four runtime kernels (dekker, bakery, tlrw, deque), and `deadpath`,
+ * a directed input whose racy region is statically reachable but
+ * dynamically dead — static synthesis must fence it, minimization
+ * must then remove every fence again.
+ */
+
+#ifndef ASF_ANALYSIS_CORPUS_HH
+#define ASF_ANALYSIS_CORPUS_HH
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/minimize.hh"
+
+namespace asf::analysis
+{
+
+struct CorpusEntry
+{
+    std::string name;
+    std::string description;
+    /** Unfenced programs, one per thread; omittedFences carries the
+     *  hand placement. */
+    std::vector<std::shared_ptr<const Program>> threads;
+    MinimizeProperty property = MinimizeProperty::ScEquivalence;
+    std::function<void(System &)> setup;
+    std::function<bool(System &)> invariant;
+    Tick maxCycles = 2'000'000;
+
+    /** Total hand-placed fences over all threads. */
+    unsigned handFenceCount() const;
+
+    /** MinimizeOptions pre-filled from this entry. */
+    MinimizeOptions minimizeOptions() const;
+};
+
+/** All registry names, in presentation order. */
+std::vector<std::string> corpusNames();
+
+/** Build one entry by name; fatal() on unknown names. */
+CorpusEntry buildCorpusEntry(const std::string &name);
+
+} // namespace asf::analysis
+
+#endif // ASF_ANALYSIS_CORPUS_HH

@@ -1,0 +1,144 @@
+#include "analysis/cycles.hh"
+
+#include <deque>
+
+namespace asf::analysis
+{
+
+namespace
+{
+
+/** Flattened access node: (thread, index into that thread's accesses). */
+struct Node
+{
+    unsigned thread;
+    size_t idx;
+};
+
+bool
+conflicts(const MemAccess &a, const MemAccess &b)
+{
+    return (a.write || b.write) && mayAlias(a, b);
+}
+
+} // namespace
+
+std::vector<DelayPair>
+findDelayPairs(const std::vector<const Cfg *> &threads)
+{
+    std::vector<DelayPair> out;
+
+    for (unsigned t = 0; t < threads.size(); t++) {
+        const Cfg &cfg = *threads[t];
+        const auto &accs = cfg.accesses();
+
+        // Interior universe: every access of every other thread.
+        std::vector<Node> nodes;
+        for (unsigned u = 0; u < threads.size(); u++) {
+            if (u == t)
+                continue;
+            for (size_t i = 0; i < threads[u]->accesses().size(); i++)
+                nodes.push_back({u, i});
+        }
+        auto accOf = [&](const Node &n) -> const MemAccess & {
+            return threads[n.thread]->accesses()[n.idx];
+        };
+
+        for (const MemAccess &S : accs) {
+            if (!S.write || S.atomic)
+                continue;
+            for (const MemAccess &L : accs) {
+                if (!L.read || L.atomic)
+                    continue;
+                if (!cfg.reaches(S.pc, L.pc))
+                    continue;
+                // Shasha–Snir minimality: the two same-thread accesses
+                // of a cycle touch different words. Unknown addresses
+                // stay in conservatively.
+                if (S.addrKnown && L.addrKnown && S.addr == L.addr)
+                    continue;
+
+                // Return path L -> ... -> S through other threads.
+                // parent[i] = (predecessor node index, edge label);
+                // -1 predecessor marks a BFS root.
+                std::vector<int> parent(nodes.size(), -2);
+                std::vector<const char *> parentEdge(nodes.size(),
+                                                     "cf");
+                std::deque<size_t> work;
+                for (size_t i = 0; i < nodes.size(); i++) {
+                    if (conflicts(L, accOf(nodes[i]))) {
+                        parent[i] = -1;
+                        work.push_back(i);
+                    }
+                }
+                int goal = -1;
+                while (!work.empty() && goal < 0) {
+                    size_t cur = work.front();
+                    work.pop_front();
+                    if (conflicts(accOf(nodes[cur]), S)) {
+                        goal = int(cur);
+                        break;
+                    }
+                    const Node &cn = nodes[cur];
+                    const Cfg &ccfg = *threads[cn.thread];
+                    for (size_t nx = 0; nx < nodes.size(); nx++) {
+                        if (parent[nx] != -2)
+                            continue;
+                        const Node &nn = nodes[nx];
+                        bool edge_ok;
+                        const char *label;
+                        if (nn.thread == cn.thread) {
+                            edge_ok = ccfg.reaches(accOf(cn).pc,
+                                                   accOf(nn).pc);
+                            label = "po";
+                        } else {
+                            edge_ok = conflicts(accOf(cn), accOf(nn));
+                            label = "cf";
+                        }
+                        if (!edge_ok)
+                            continue;
+                        parent[nx] = int(cur);
+                        parentEdge[nx] = label;
+                        work.push_back(nx);
+                    }
+                }
+                if (goal < 0)
+                    continue;
+
+                DelayPair dp;
+                dp.thread = t;
+                dp.storePc = S.pc;
+                dp.loadPc = L.pc;
+                // Witness: store -po-> load -cf-> interior -cf-> store.
+                std::vector<CycleStep> interior;
+                for (int i = goal; i >= 0; i = parent[i]) {
+                    CycleStep step;
+                    step.thread = nodes[i].thread;
+                    step.pc = accOf(nodes[i]).pc;
+                    step.edgeToNext =
+                        parent[i] >= 0 ? parentEdge[i] : "cf";
+                    interior.push_back(std::move(step));
+                    if (parent[i] < 0)
+                        break;
+                }
+                // `interior` is goal..root with each step labeled by
+                // its *incoming* edge; reverse and shift labels to
+                // "edge to next".
+                dp.witness.push_back({t, S.pc, "po"});
+                dp.witness.push_back({t, L.pc, "cf"});
+                for (size_t i = interior.size(); i-- > 0;) {
+                    std::string edge_to_next =
+                        i > 0 ? interior[i - 1].edgeToNext
+                              : std::string("cf");
+                    dp.witness.push_back({interior[i].thread,
+                                          interior[i].pc,
+                                          std::move(edge_to_next)});
+                }
+                out.push_back(std::move(dp));
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace asf::analysis

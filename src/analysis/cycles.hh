@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shasha–Snir-style critical-cycle analysis, specialized for TSO.
+ *
+ * A critical cycle alternates program-order segments (inside one
+ * thread) with conflict edges (between accesses of different threads
+ * to the same word, at least one a write). Under sequential
+ * consistency every such cycle is already impossible; under TSO the
+ * only order the hardware gives up is store→load, so a cycle can
+ * manifest iff it contains a W→R program-order edge between plain
+ * (non-atomic) accesses — and forbidding it requires a fence on every
+ * execution path of that edge. Those W→R edges are the *delay pairs*
+ * this module computes:
+ *
+ *   (S, L) is a delay pair of thread t iff S is a plain store, L a
+ *   plain load, S po+→ L to a (possibly) different word, and the
+ *   conflict graph contains a return path L → ... → S whose interior
+ *   runs entirely through other threads.
+ *
+ * The return-path search is a BFS over accesses of threads != t with
+ * po+ edges inside each thread and conflict edges between threads; a
+ * single access with conflict edges in and out (entry == exit) is a
+ * valid one-node interior, which is how two-thread cycles like SB
+ * arise. The search over-approximates Shasha–Snir minimality (an
+ * interior may revisit a thread), which can only add fences, never
+ * lose one: the analysis stays sound.
+ *
+ * Each delay pair carries one witness cycle for the placement report.
+ */
+
+#ifndef ASF_ANALYSIS_CYCLES_HH
+#define ASF_ANALYSIS_CYCLES_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hh"
+
+namespace asf::analysis
+{
+
+/** One node of a witness cycle, plus the edge leaving it. */
+struct CycleStep
+{
+    unsigned thread = 0;
+    uint64_t pc = 0;
+    /** Edge to the next step (cyclically): "po" within a thread,
+     *  "cf" (conflict) across threads. */
+    std::string edgeToNext;
+};
+
+/** A store→load program-order edge that must be fenced under TSO. */
+struct DelayPair
+{
+    unsigned thread = 0;
+    uint64_t storePc = 0;
+    uint64_t loadPc = 0;
+    /** One critical cycle through this edge, starting at the store. */
+    std::vector<CycleStep> witness;
+};
+
+/**
+ * Compute the TSO delay set of a multi-threaded program: one Cfg per
+ * thread (threads may share a Program object; two cores running the
+ * same code still race with each other). Pairs are unique per
+ * (thread, storePc, loadPc) and sorted by those keys.
+ */
+std::vector<DelayPair>
+findDelayPairs(const std::vector<const Cfg *> &threads);
+
+} // namespace asf::analysis
+
+#endif // ASF_ANALYSIS_CYCLES_HH

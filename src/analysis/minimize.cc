@@ -1,0 +1,203 @@
+#include "analysis/minimize.hh"
+
+#include <algorithm>
+
+#include "harness/report.hh"
+#include "sim/logging.hh"
+
+namespace asf::analysis
+{
+
+namespace
+{
+
+/** A removable/weakenable fence: position within the working
+ *  placement, identified by (thread, beforePc). */
+struct Site
+{
+    unsigned thread;
+    uint64_t beforePc;
+    double weight;
+};
+
+std::vector<std::shared_ptr<const Program>>
+materialize(const std::vector<std::shared_ptr<const Program>> &input,
+            const std::vector<std::vector<FenceInsertion>> &placement)
+{
+    std::vector<std::shared_ptr<const Program>> out(input.size());
+    for (size_t t = 0; t < input.size(); t++) {
+        out[t] = placement[t].empty()
+                     ? input[t]
+                     : std::make_shared<const Program>(
+                           insertFences(*input[t], placement[t]));
+    }
+    return out;
+}
+
+} // namespace
+
+MinimizeResult
+minimize(const SynthResult &synth, const MinimizeOptions &opt)
+{
+    if (opt.property == MinimizeProperty::TsoPlusInvariant &&
+        !opt.invariant)
+        fatal("minimize: TsoPlusInvariant needs an invariant");
+
+    std::vector<FenceDesign> designs = opt.designs;
+    if (designs.empty())
+        designs.assign(allFenceDesigns, allFenceDesigns + 5);
+
+    MinimizeResult res;
+    res.insertions = synth.insertions;
+
+    // One checked run of the current working placement; fills
+    // evidence fields on conviction.
+    auto convicts = [&](const std::vector<std::vector<FenceInsertion>>
+                            &placement,
+                        FenceDesign &ev_design, uint64_t &ev_seed,
+                        std::string &ev_what) {
+        auto progs = materialize(synth.input, placement);
+        for (FenceDesign d : designs) {
+            for (uint64_t seed : opt.seeds) {
+                check::BatchRunSpec spec;
+                spec.programs = progs;
+                spec.design = d;
+                spec.cores = opt.cores;
+                spec.systemSeed = seed;
+                spec.maxCycles = opt.maxCycles;
+                spec.watchdogCycles = opt.watchdogCycles;
+                spec.requireSc =
+                    opt.property == MinimizeProperty::ScEquivalence;
+                spec.setup = opt.setup;
+                spec.invariant = opt.invariant;
+                check::BatchVerdict v =
+                    check::runCheckedExecution(spec);
+                res.runs++;
+                if (v.convicted()) {
+                    ev_design = d;
+                    ev_seed = seed;
+                    ev_what = v.evidence();
+                    return true;
+                }
+            }
+        }
+        return false;
+    };
+
+    // Drop pass, most expensive fence first: the savings are largest
+    // and a hot fence's absence is also the easiest to convict.
+    std::vector<Site> sites;
+    for (const PlacedFence &f : synth.fences)
+        sites.push_back({f.thread, f.beforePc, f.weight});
+    std::sort(sites.begin(), sites.end(),
+              [](const Site &a, const Site &b) {
+                  if (a.weight != b.weight)
+                      return a.weight > b.weight;
+                  if (a.thread != b.thread)
+                      return a.thread < b.thread;
+                  return a.beforePc < b.beforePc;
+              });
+
+    for (const Site &s : sites) {
+        auto &th = res.insertions[s.thread];
+        auto it = std::find_if(th.begin(), th.end(),
+                               [&](const FenceInsertion &f) {
+                                   return f.beforePc == s.beforePc;
+                               });
+        if (it == th.end())
+            continue; // collapsed with another site already
+        auto candidate = res.insertions;
+        auto &cth = candidate[s.thread];
+        cth.erase(cth.begin() + (it - th.begin()));
+
+        MinimizeDecision d;
+        d.thread = s.thread;
+        d.beforePc = s.beforePc;
+        if (convicts(candidate, d.evidenceDesign, d.evidenceSeed,
+                     d.evidence)) {
+            d.action = MinimizeDecision::Action::Kept;
+            res.kept++;
+        } else {
+            d.action = MinimizeDecision::Action::Dropped;
+            res.insertions = std::move(candidate);
+            res.dropped++;
+        }
+        res.decisions.push_back(std::move(d));
+    }
+
+    // Weakening pass: try the cheap flavor for surviving Noncritical
+    // fences, one at a time, reverting on conviction.
+    if (opt.tryWeaken) {
+        for (MinimizeDecision &d : res.decisions) {
+            if (d.action != MinimizeDecision::Action::Kept)
+                continue;
+            auto &th = res.insertions[d.thread];
+            auto it = std::find_if(th.begin(), th.end(),
+                                   [&](const FenceInsertion &f) {
+                                       return f.beforePc == d.beforePc;
+                                   });
+            if (it == th.end() || it->role == FenceRole::Critical)
+                continue;
+            d.weakenTried = true;
+            it->role = FenceRole::Critical;
+            FenceDesign wd;
+            uint64_t ws;
+            if (convicts(res.insertions, wd, ws, d.weakenEvidence)) {
+                it->role = FenceRole::Noncritical;
+                d.weakenReverted = true;
+            } else {
+                d.action = MinimizeDecision::Action::Weakened;
+                res.weakened++;
+            }
+        }
+    }
+
+    res.fenced = materialize(synth.input, res.insertions);
+    {
+        FenceDesign fd;
+        uint64_t fs;
+        std::string fe;
+        res.finalPlacementPassed = !convicts(res.insertions, fd, fs, fe);
+    }
+    return res;
+}
+
+void
+writeMinimizeJson(const MinimizeResult &res, std::ostream &os)
+{
+    harness::JsonWriter w(os);
+    w.beginObject();
+    w.field("kept", res.kept);
+    w.field("dropped", res.dropped);
+    w.field("weakened", res.weakened);
+    w.field("runs", res.runs);
+    w.field("finalPlacementPassed", res.finalPlacementPassed);
+    w.key("decisions").beginArray();
+    for (const MinimizeDecision &d : res.decisions) {
+        w.beginObject();
+        w.field("thread", d.thread);
+        w.field("beforePc", d.beforePc);
+        const char *act =
+            d.action == MinimizeDecision::Action::Dropped ? "dropped"
+            : d.action == MinimizeDecision::Action::Kept ? "kept"
+                                                         : "weakened";
+        w.field("action", act);
+        if (d.action == MinimizeDecision::Action::Kept) {
+            w.field("evidence", d.evidence);
+            w.field("evidenceDesign",
+                    fenceDesignName(d.evidenceDesign));
+            w.field("evidenceSeed", d.evidenceSeed);
+        }
+        if (d.weakenTried) {
+            w.field("weakenReverted", d.weakenReverted);
+            if (d.weakenReverted)
+                w.field("weakenEvidence", d.weakenEvidence);
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace asf::analysis

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Asymmetric-fence synthesis: from an unfenced multi-threaded guest
+ * program to a fenced one.
+ *
+ *  1. Static analysis (cfg.hh) resolves each thread's memory accesses
+ *     and ordering points; cycle analysis (cycles.hh) derives the TSO
+ *     delay set — the store→load program-order edges that appear in
+ *     critical cycles.
+ *  2. Placement covers every delay pair with fences by weighted
+ *     greedy set cover over insertion positions: a fence "before pc
+ *     q" covers pair (S, L) when no CFG path from S to L avoids the
+ *     blocked set (existing fences, atomics, fences chosen so far).
+ *     Positions are scored by pairs-completed per unit of estimated
+ *     dynamic cost (threadWeight * loopBase^loopDepth), so a cheap
+ *     fence outside a spin loop beats a single deeper fence that
+ *     covers more pairs — matching where humans put them.
+ *  3. Role assignment follows the paper's taxonomy: the thread with
+ *     the highest weight (the performance-critical side — from a
+ *     fence-profile if given, thread 0 on ties) gets Critical fences,
+ *     which the asymmetric designs (WS+/SW+/W+) map to the cheap
+ *     Weak/W+ flavor; everyone else gets Noncritical (Strong). One
+ *     Critical thread by construction keeps WS+'s one-weak-fence-per-
+ *     group restriction satisfiable.
+ *
+ * The result is sound by construction (every critical cycle gets a
+ * fence on each of its reorderable edges) but static analysis
+ * over-approximates feasible paths; the checker-guided minimizer
+ * (minimize.hh) prunes what dynamic evidence cannot justify.
+ */
+
+#ifndef ASF_ANALYSIS_SYNTH_HH
+#define ASF_ANALYSIS_SYNTH_HH
+
+#include <memory>
+#include <ostream>
+#include <vector>
+
+#include "analysis/cycles.hh"
+#include "prog/rewrite.hh"
+
+namespace asf::analysis
+{
+
+struct SynthOptions
+{
+    /** Relative dynamic-frequency weight per thread (empty = all 1).
+     *  Fill from a fence-profile JSONL via profileThreadWeights(). */
+    std::vector<double> threadWeight;
+    /** Per-loop-level frequency multiplier for placement cost. */
+    double loopBase = 4.0;
+};
+
+/** One synthesized fence, in original-program coordinates. */
+struct PlacedFence
+{
+    unsigned thread = 0;
+    uint64_t beforePc = 0;
+    FenceRole role = FenceRole::Critical;
+    /** Estimated dynamic cost (threadWeight * loopBase^depth). */
+    double weight = 1.0;
+    /** Indices into SynthResult::pairs this fence helped cover. */
+    std::vector<size_t> covers;
+};
+
+struct SynthResult
+{
+    /** The full TSO delay set. */
+    std::vector<DelayPair> pairs;
+    /** Indices of pairs already ordered by existing fences/atomics on
+     *  every path (nothing synthesized for these). */
+    std::vector<size_t> precovered;
+    std::vector<PlacedFence> fences;
+    /** Which thread's fences are Critical (paper: the frequent side). */
+    unsigned criticalThread = 0;
+
+    std::vector<std::shared_ptr<const Program>> input;
+    /** input with the synthesized fences spliced in (aliases the
+     *  input program when a thread needed none). */
+    std::vector<std::shared_ptr<const Program>> fenced;
+    /** Per-thread insertions, sorted by position. */
+    std::vector<std::vector<FenceInsertion>> insertions;
+};
+
+/** Run the full pipeline over one program per thread. */
+SynthResult
+synthesize(const std::vector<std::shared_ptr<const Program>> &threads,
+           const SynthOptions &opt = {});
+
+/**
+ * Derive per-thread weights from a fence-profile JSONL dump (PR 3's
+ * `--fence-profile`): each record's `core` counts one dynamic fence
+ * execution for that thread. Returns all-1 weights when the file is
+ * missing, empty, or names no core below `nthreads`.
+ */
+std::vector<double> profileThreadWeights(const std::string &jsonl_path,
+                                         unsigned nthreads);
+
+/** The machine-readable placement report (asf_fence_synth --json). */
+void writePlacementJson(const SynthResult &res, std::ostream &os);
+
+} // namespace asf::analysis
+
+#endif // ASF_ANALYSIS_SYNTH_HH

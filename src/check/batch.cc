@@ -1,0 +1,58 @@
+#include "check/batch.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace asf::check
+{
+
+std::string
+BatchVerdict::evidence() const
+{
+    if (check.verdict == Verdict::Violation)
+        return check.axiom;
+    if (!invariantHeld)
+        return "invariant";
+    if (runResult == System::RunResult::Watchdog)
+        return "watchdog";
+    if (runResult == System::RunResult::MaxCycles)
+        return "timeout";
+    return "pass";
+}
+
+BatchVerdict
+runCheckedExecution(const BatchRunSpec &spec)
+{
+    if (spec.programs.empty())
+        fatal("runCheckedExecution: no programs");
+
+    SystemConfig cfg;
+    cfg.numCores = spec.cores
+                       ? spec.cores
+                       : std::max<unsigned>(4, spec.programs.size());
+    if (cfg.numCores < spec.programs.size())
+        fatal("runCheckedExecution: %zu programs but only %u cores",
+              spec.programs.size(), cfg.numCores);
+    cfg.design = spec.design;
+    cfg.seed = spec.systemSeed;
+    cfg.checkExecution = true;
+    cfg.fenceProfile = false;
+    cfg.watchdogCycles = spec.watchdogCycles;
+
+    System sys(cfg);
+    for (size_t i = 0; i < spec.programs.size(); i++)
+        sys.loadProgram(NodeId(i), spec.programs[i]);
+    if (spec.setup)
+        spec.setup(sys);
+
+    BatchVerdict v;
+    v.runResult = sys.run(spec.maxCycles);
+    v.check = checkExecution(*sys.executionRecorder(),
+                             {.requireSc = spec.requireSc});
+    if (spec.invariant)
+        v.invariantHeld = spec.invariant(sys);
+    return v;
+}
+
+} // namespace asf::check

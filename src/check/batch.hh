@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Batch execution-and-verdict API: build a System, run a set of guest
+ * programs to completion, and return the axiomatic checker's verdict
+ * together with run health and an optional functional invariant. This
+ * is the oracle the checker-guided fence minimizer (src/analysis)
+ * queries — one call is one piece of dynamic evidence — and is equally
+ * usable from tests and tools that want a one-shot checked run.
+ */
+
+#ifndef ASF_CHECK_BATCH_HH
+#define ASF_CHECK_BATCH_HH
+
+#include <functional>
+#include <memory>
+
+#include "check/axioms.hh"
+#include "sys/system.hh"
+
+namespace asf::check
+{
+
+struct BatchRunSpec
+{
+    /** One program per core, core i runs programs[i]. */
+    std::vector<std::shared_ptr<const Program>> programs;
+    FenceDesign design = FenceDesign::SPlus;
+    /** 0 = max(programs, 4). Extra cores idle. */
+    unsigned cores = 0;
+    uint64_t systemSeed = 1;
+    Tick maxCycles = 2'000'000;
+    /** Livelock watchdog (0 = off). A fired watchdog is a conviction:
+     *  removing a fence that breaks liveness must keep the fence. */
+    Tick watchdogCycles = 250'000;
+    /** Check SC (all program order), not just TSO. Only meaningful
+     *  when the fully fenced variant of the program is delay-set
+     *  covered — which synthesized placements are by construction. */
+    bool requireSc = false;
+    /** Pre-run hook: seed guest memory, set registers. */
+    std::function<void(System &)> setup;
+    /** Post-run functional check (true = held). */
+    std::function<bool(System &)> invariant;
+};
+
+struct BatchVerdict
+{
+    System::RunResult runResult = System::RunResult::AllDone;
+    CheckResult check;
+    bool invariantHeld = true;
+
+    /** Evidence against the configuration under test: an axiom
+     *  violation, a broken invariant, or a run that never finished. */
+    bool convicted() const
+    {
+        return check.verdict == Verdict::Violation || !invariantHeld ||
+               runResult != System::RunResult::AllDone;
+    }
+    /** Short label for reports: "pass", axiom name, "invariant",
+     *  "watchdog" or "timeout". */
+    std::string evidence() const;
+};
+
+/** Run one checked execution of `spec`. */
+BatchVerdict runCheckedExecution(const BatchRunSpec &spec);
+
+} // namespace asf::check
+
+#endif // ASF_CHECK_BATCH_HH

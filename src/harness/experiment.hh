@@ -82,6 +82,21 @@ ExperimentResult runStampExperiment(const workloads::StampApp &app,
                                     Tick max_cycles = 30'000'000,
                                     std::ostream *stats_out = nullptr);
 
+/**
+ * Synthesize fences for one synthesis-corpus kit (see
+ * analysis::corpusNames()), optionally minimize the placement with the
+ * checker in the loop, then run the final fenced programs under
+ * `design` with execution checking forced on. `valid` requires the run
+ * to finish, the axiomatic checker to pass (full SC for
+ * ScEquivalence-mode kits), and the kit's functional invariant to
+ * hold. `max_cycles = 0` uses the kit's own budget.
+ */
+ExperimentResult runSynthExperiment(const std::string &kit,
+                                    FenceDesign design,
+                                    bool minimize_placement = true,
+                                    Tick max_cycles = 0,
+                                    std::ostream *stats_out = nullptr);
+
 /** Shared post-run stat harvesting (exposed for tests). */
 void harvestStats(System &sys, ExperimentResult &r);
 

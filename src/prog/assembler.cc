@@ -141,6 +141,10 @@ Assembler::xchg(Reg rd, Reg ra, int64_t offset, Reg rs)
 void
 Assembler::fence(FenceRole role)
 {
+    if (suppressFences_) {
+        omitted_.push_back({here(), role});
+        return;
+    }
     emit({.op = Op::Fence, .role = role});
 }
 
@@ -220,6 +224,7 @@ Assembler::finish()
     Program p;
     p.name = name_;
     p.instrs = std::move(instrs_);
+    p.omittedFences = std::move(omitted_);
     return p;
 }
 

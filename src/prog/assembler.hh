@@ -60,6 +60,15 @@ class Assembler
     void mark(int64_t counter);
     void halt();
 
+    /**
+     * While on, fence() emits nothing and instead records the site as
+     * an OmittedFence on the finished Program. Runtime builders use it
+     * to produce *unfenced* variants of their hand-fenced code that
+     * still carry the hand placement as ground truth for the fence
+     * synthesizer (src/analysis).
+     */
+    void suppressFences(bool on) { suppressFences_ = on; }
+
     /** Current emission position (== PC of the next instruction). */
     uint64_t here() const { return instrs_.size(); }
 
@@ -74,8 +83,10 @@ class Assembler
     std::vector<Instr> instrs_;
     std::map<std::string, uint64_t> labels_;
     std::vector<std::pair<uint64_t, std::string>> fixups_;
+    std::vector<OmittedFence> omitted_;
     uint64_t freshCounter_ = 0;
     bool finished_ = false;
+    bool suppressFences_ = false;
 };
 
 } // namespace asf

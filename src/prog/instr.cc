@@ -17,6 +17,31 @@ Instr::isAtomic() const
     return op == Op::Cas || op == Op::Xchg;
 }
 
+bool
+Instr::readsMem() const
+{
+    return op == Op::Ld || isAtomic();
+}
+
+bool
+Instr::writesMem() const
+{
+    return op == Op::St || isAtomic();
+}
+
+bool
+Instr::isCondBranch() const
+{
+    return op == Op::Beq || op == Op::Bne || op == Op::Blt ||
+           op == Op::Bge;
+}
+
+bool
+Instr::isControl() const
+{
+    return isCondBranch() || op == Op::Jmp;
+}
+
 const char *
 opName(Op op)
 {

@@ -85,12 +85,34 @@ struct Instr
     bool isMem() const;
     /** True for Cas/Xchg. */
     bool isAtomic() const;
+    /** True for Ld/Cas/Xchg (reads memory). */
+    bool readsMem() const;
+    /** True for St/Cas/Xchg (may write memory). */
+    bool writesMem() const;
+    /** True for Beq/Bne/Blt/Bge (conditional, two successors). */
+    bool isCondBranch() const;
+    /** True for conditional branches and Jmp: imm is a PC target. */
+    bool isControl() const;
     /** Human-readable disassembly. */
     std::string toString() const;
 };
 
 /** Mnemonic of an opcode. */
 const char *opName(Op op);
+
+/**
+ * A fence site a builder deliberately left out (Assembler fence
+ * suppression): the hand-placed ground truth an unfenced synthesis
+ * input carries along. `beforePc` is the index of the instruction the
+ * fence would have immediately preceded.
+ */
+struct OmittedFence
+{
+    uint64_t beforePc = 0;
+    FenceRole role = FenceRole::Critical;
+
+    bool operator==(const OmittedFence &) const = default;
+};
 
 /**
  * A complete guest program: a flat instruction vector. PC values are
@@ -101,6 +123,10 @@ struct Program
 {
     std::string name;
     std::vector<Instr> instrs;
+    /** Hand-placed fence sites suppressed at build time (see
+     *  Assembler::suppressFences); empty for normally built programs.
+     *  Metadata only - execution ignores it. */
+    std::vector<OmittedFence> omittedFences;
 
     size_t size() const { return instrs.size(); }
     const Instr &at(uint64_t pc) const;

@@ -23,11 +23,12 @@ allocBakery(GuestLayout &layout, unsigned num_threads)
 Program
 buildBakeryProgram(const BakeryLayout &lay, unsigned tid,
                    unsigned iterations, unsigned think,
-                   unsigned priority_tid)
+                   unsigned priority_tid, bool fenced)
 {
     FenceRole role = tid == priority_tid ? FenceRole::Critical
                                          : FenceRole::Noncritical;
     Assembler a(format("bakery_t%u", tid));
+    a.suppressFences(!fenced);
 
     // s0 = remaining iterations, s1 = E base, s2 = N base, s3 = my E
     // address, s4 = my N address, s5 = counter address, s6 = my ticket,

@@ -9,6 +9,8 @@
  * (before scanning the other threads' entries) and another after the
  * ticket publication. One thread can be designated priority: its fences
  * carry FenceRole::Critical (a wf under WS+/SW+), the rest Noncritical.
+ * `fenced = false` builds the unfenced synthesis-input variant (the
+ * hand sites land in Program::omittedFences).
  */
 
 #ifndef ASF_RUNTIME_BAKERY_HH
@@ -42,7 +44,7 @@ BakeryLayout allocBakery(GuestLayout &layout, unsigned num_threads);
  */
 Program buildBakeryProgram(const BakeryLayout &lay, unsigned tid,
                            unsigned iterations, unsigned think,
-                           unsigned priority_tid);
+                           unsigned priority_tid, bool fenced = true);
 
 } // namespace asf::runtime
 

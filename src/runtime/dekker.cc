@@ -32,6 +32,7 @@ buildDekkerProgram(const DekkerLayout &lay, unsigned tid,
     Addr other_flag = tid == 0 ? lay.flag1 : lay.flag0;
 
     Assembler a(format("dekker_t%u", tid));
+    a.suppressFences(!fenced);
     // s0 = iterations, s1 = my flag, s2 = other flag, s3 = turn,
     // s4 = counter, s5 = my id.
     a.li(s0, int64_t(iterations));
@@ -46,8 +47,7 @@ buildDekkerProgram(const DekkerLayout &lay, unsigned tid,
     // --- lock -----------------------------------------------------------
     a.li(t0, 1);
     a.st(s1, 0, t0); // my_flag = 1
-    if (fenced)
-        a.fence(role); // the Dekker fence: flag store before flag load
+    a.fence(role); // the Dekker fence: flag store before flag load
     a.bind("check");
     a.ld(t1, s2, 0); // other_flag
     a.li(t0, 0);
@@ -62,8 +62,7 @@ buildDekkerProgram(const DekkerLayout &lay, unsigned tid,
     a.bne(t2, s5, "waitturn");
     a.li(t0, 1);
     a.st(s1, 0, t0); // my_flag = 1
-    if (fenced)
-        a.fence(role);
+    a.fence(role);
     a.jmp("check");
 
     // --- critical section -------------------------------------------------

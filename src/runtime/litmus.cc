@@ -32,6 +32,7 @@ buildSbThread(const LitmusLayout &lay, unsigned tid, bool fenced,
     Addr res = tid == 0 ? lay.res0 : lay.res1;
 
     Assembler a(format("sb_t%u", tid));
+    a.suppressFences(!fenced);
     a.li(a0, int64_t(mine));
     a.li(a1, int64_t(other));
     a.li(a2, int64_t(res));
@@ -41,8 +42,7 @@ buildSbThread(const LitmusLayout &lay, unsigned tid, bool fenced,
     }
     a.li(t0, 1);
     a.st(a0, 0, t0); // st mine = 1
-    if (fenced)
-        a.fence(role);
+    a.fence(role);    // suppressed (recorded) when !fenced
     a.ld(t1, a1, 0);  // r = ld other
     a.st(a2, 0, t1);  // res = r
     a.halt();
@@ -135,11 +135,13 @@ buildLbThread(const LitmusLayout &lay, unsigned tid)
 }
 
 Program
-buildRWriter(const LitmusLayout &lay)
+buildRWriter(const LitmusLayout &lay, unsigned warm_cycles)
 {
     Assembler a("r_writer");
     a.li(a0, int64_t(lay.x));
     a.li(a1, int64_t(lay.y));
+    if (warm_cycles > 0)
+        a.compute(int64_t(warm_cycles));
     a.li(t0, 1);
     a.st(a0, 0, t0); // st x = 1
     a.st(a1, 0, t0); // st y = 1 (TSO keeps them ordered)
@@ -152,6 +154,7 @@ buildRJudge(const LitmusLayout &lay, bool fenced, FenceRole role,
             unsigned warm_cycles)
 {
     Assembler a("r_judge");
+    a.suppressFences(!fenced);
     a.li(a0, int64_t(lay.y));
     a.li(a1, int64_t(lay.x));
     a.li(a2, int64_t(lay.res0));
@@ -161,8 +164,7 @@ buildRJudge(const LitmusLayout &lay, bool fenced, FenceRole role,
     }
     a.li(t0, 2);
     a.st(a0, 0, t0); // st y = 2
-    if (fenced)
-        a.fence(role);
+    a.fence(role);   // suppressed (recorded) when !fenced
     a.ld(t1, a1, 0); // r = ld x
     a.st(a2, 0, t1); // res0 = r
     a.halt();

@@ -69,7 +69,7 @@ Program buildLbThread(const LitmusLayout &lay, unsigned tid);
  * The outcome "y ends 2 and r == 0" requires t1's load to bypass its
  * buffered store — TSO permits it unfenced, the fence forbids it.
  */
-Program buildRWriter(const LitmusLayout &lay);
+Program buildRWriter(const LitmusLayout &lay, unsigned warm_cycles = 0);
 Program buildRJudge(const LitmusLayout &lay, bool fenced, FenceRole role,
                     unsigned warm_cycles = 0);
 

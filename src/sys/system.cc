@@ -488,6 +488,7 @@ System::dumpStatsJson(std::ostream &os, bool include_profile,
         w.field("readsFromInit", cr.readsFromInit);
         w.field("ambiguousReads", cr.ambiguousReads);
         w.field("verdict", check::verdictName(cr.verdict));
+        w.field("scChecked", cr.scChecked);
         if (!cr.passed()) {
             w.key("witness");
             w.raw(check::witnessJson(cr));

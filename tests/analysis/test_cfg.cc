@@ -1,0 +1,137 @@
+/**
+ * Unit tests for the static CFG/access substrate of the fence
+ * synthesizer: successor sets, po+ reachability, loop-depth
+ * estimation, constant-propagated address resolution, ordering
+ * points, and the path-avoidance query placement is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "analysis/cfg.hh"
+#include "runtime/regs.hh"
+
+using namespace asf;
+using namespace asf::analysis;
+using namespace asf::regs;
+using asf::test::share;
+
+namespace
+{
+
+/** A branch diamond: pc3 splits to a store arm (4,5) and a compute
+ *  arm (6), rejoining at the load (7). */
+Cfg
+diamond()
+{
+    Assembler a("diamond");
+    a.li(a0, 0x1000); // 0
+    a.ld(t0, a0, 0);  // 1
+    a.li(t1, 0);      // 2
+    a.beq(t0, t1, "skip"); // 3
+    a.st(a0, 0, t1);  // 4
+    a.jmp("join");    // 5
+    a.bind("skip");
+    a.compute(5);     // 6
+    a.bind("join");
+    a.ld(t2, a0, 0);  // 7
+    a.halt();         // 8
+    return Cfg(share(a.finish()));
+}
+
+} // namespace
+
+TEST(AnalysisCfg, SuccessorSets)
+{
+    Cfg c = diamond();
+    ASSERT_EQ(c.size(), 9u);
+    EXPECT_EQ(c.succs(0), (std::vector<uint64_t>{1}));
+    EXPECT_EQ(c.succs(3), (std::vector<uint64_t>{4, 6}));
+    EXPECT_EQ(c.succs(5), (std::vector<uint64_t>{7}));
+    EXPECT_TRUE(c.succs(8).empty()); // halt
+}
+
+TEST(AnalysisCfg, ReachabilityIsNonemptyPath)
+{
+    Cfg c = diamond();
+    EXPECT_TRUE(c.reaches(0, 8));
+    EXPECT_TRUE(c.reaches(3, 7)); // via either arm
+    EXPECT_FALSE(c.reaches(8, 0));
+    EXPECT_FALSE(c.reaches(4, 6)); // arms don't cross
+    EXPECT_FALSE(c.reaches(4, 4)); // straight line: no self-path
+}
+
+TEST(AnalysisCfg, LoopDepthNests)
+{
+    Assembler a("nest");
+    a.li(s0, 3);            // 0
+    a.bind("outer");
+    a.li(s1, 2);            // 1
+    a.bind("inner");
+    a.addi(s1, s1, -1);     // 2
+    a.li(t0, 0);            // 3
+    a.blt(t0, s1, "inner"); // 4
+    a.addi(s0, s0, -1);     // 5
+    a.li(t0, 0);            // 6
+    a.blt(t0, s0, "outer"); // 7
+    a.halt();               // 8
+    Cfg c(share(a.finish()));
+
+    EXPECT_EQ(c.loopDepth(0), 0u);
+    EXPECT_EQ(c.loopDepth(1), 1u); // outer body
+    EXPECT_EQ(c.loopDepth(3), 2u); // inner body
+    EXPECT_EQ(c.loopDepth(5), 1u);
+    EXPECT_EQ(c.loopDepth(8), 0u);
+    // Self-reach inside a loop.
+    EXPECT_TRUE(c.reaches(2, 2));
+}
+
+TEST(AnalysisCfg, ConstPropResolvesAddresses)
+{
+    Assembler a("addr");
+    a.li(a0, 0x1000);      // 0
+    a.st(a0, 8, t0);       // 1: known 0x1008
+    a.ld(t1, a0, 0);       // 2: known 0x1000
+    a.rand(t2);            // 3
+    a.add(a1, a0, t2);     // 4: a1 unknown
+    a.ld(t3, a1, 0);       // 5: unknown address
+    a.xchg(t4, a0, 0, t0); // 6: atomic read-write, known
+    a.fence(FenceRole::Critical); // 7
+    a.halt();              // 8
+    Cfg c(share(a.finish()));
+
+    const auto &acc = c.accesses();
+    ASSERT_EQ(acc.size(), 4u);
+    EXPECT_TRUE(acc[0].write);
+    EXPECT_TRUE(acc[0].addrKnown);
+    EXPECT_EQ(acc[0].addr, 0x1008u);
+    EXPECT_TRUE(acc[1].read);
+    EXPECT_EQ(acc[1].addr, 0x1000u);
+    EXPECT_FALSE(acc[2].addrKnown);
+    EXPECT_TRUE(acc[3].atomic);
+    EXPECT_TRUE(acc[3].read);
+    EXPECT_TRUE(acc[3].write);
+
+    // Fence and atomic are the ordering points.
+    EXPECT_EQ(c.orderPoints(), (std::vector<uint64_t>{6, 7}));
+
+    // Unknown conflicts with everything; distinct constants don't.
+    EXPECT_TRUE(mayAlias(acc[2], acc[0]));
+    EXPECT_FALSE(mayAlias(acc[0], acc[1]));
+    EXPECT_TRUE(mayAlias(acc[1], acc[3]));
+}
+
+TEST(AnalysisCfg, PathAvoidance)
+{
+    Cfg c = diamond();
+    // Blocking one arm leaves the other open.
+    EXPECT_TRUE(c.existsPathAvoiding(1, 7, {4}));
+    // Blocking both arms cuts every path.
+    EXPECT_FALSE(c.existsPathAvoiding(1, 7, {4, 6}));
+    // Blocking the destination cuts it too (a fence before L orders
+    // the pair).
+    EXPECT_FALSE(c.existsPathAvoiding(1, 7, {7}));
+    // The source itself is never blocked: the fence acts before the
+    // *next* instruction, so a path leaving a blocked `from` is fine.
+    EXPECT_TRUE(c.existsPathAvoiding(4, 7, {4}));
+}

@@ -1,0 +1,85 @@
+/**
+ * Checker-guided minimization: the directed deadpath kit shows the
+ * removal direction (statically required fences with no dynamic
+ * justification must all go), sb shows the keep direction with
+ * conviction evidence, and the weakening pass must revert a flip the
+ * checker convicts (WS+'s one-weak-fence-per-group restriction).
+ */
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "analysis/corpus.hh"
+
+using namespace asf;
+using namespace asf::analysis;
+
+TEST(Minimize, DeadpathDropsEveryFence)
+{
+    // The racy region sits behind a branch that never executes (the
+    // guarding flag is statically Unknown but dynamically always 0),
+    // so static analysis must fence it and dynamic evidence must then
+    // remove every fence again.
+    CorpusEntry e = buildCorpusEntry("deadpath");
+    SynthResult s = synthesize(e.threads);
+    EXPECT_EQ(s.fences.size(), 2u);
+    ASSERT_FALSE(s.pairs.empty());
+
+    MinimizeResult m = minimize(s, e.minimizeOptions());
+    EXPECT_EQ(m.kept, 0u);
+    EXPECT_EQ(m.dropped, 2u);
+    EXPECT_TRUE(m.finalPlacementPassed);
+    ASSERT_EQ(m.decisions.size(), 2u);
+    for (const MinimizeDecision &d : m.decisions)
+        EXPECT_EQ(d.action, MinimizeDecision::Action::Dropped);
+    // Empty placement: the outputs alias the unfenced inputs.
+    for (size_t t = 0; t < e.threads.size(); t++) {
+        EXPECT_TRUE(m.insertions[t].empty());
+        EXPECT_EQ(m.fenced[t].get(), e.threads[t].get());
+    }
+}
+
+TEST(Minimize, KeepDecisionsCarryConvictionEvidence)
+{
+    CorpusEntry e = buildCorpusEntry("sb");
+    MinimizeResult m =
+        minimize(synthesize(e.threads), e.minimizeOptions());
+    ASSERT_EQ(m.decisions.size(), 2u);
+    for (const MinimizeDecision &d : m.decisions) {
+        ASSERT_EQ(d.action, MinimizeDecision::Action::Kept);
+        // The convicting run is recorded: which design, which seed,
+        // and what the checker (or invariant/watchdog) said.
+        EXPECT_FALSE(d.evidence.empty());
+        EXPECT_GT(d.evidenceSeed, 0u);
+    }
+    EXPECT_GT(m.runs, 0u);
+    EXPECT_TRUE(m.finalPlacementPassed);
+}
+
+TEST(Minimize, WeakeningRevertsOnConviction)
+{
+    // sb thread 1 carries the Noncritical (strong-flavor) fence. The
+    // weakening pass flips it to Critical and re-runs the matrix;
+    // under WS+ two weak fences in one group genuinely break, so the
+    // flip must be reverted, with evidence.
+    CorpusEntry e = buildCorpusEntry("sb");
+    MinimizeOptions opt = e.minimizeOptions();
+    opt.tryWeaken = true;
+    MinimizeResult m = minimize(synthesize(e.threads), opt);
+    EXPECT_EQ(m.weakened, 0u);
+    EXPECT_EQ(m.kept, 2u);
+
+    bool tried = false;
+    for (const MinimizeDecision &d : m.decisions) {
+        if (!d.weakenTried)
+            continue;
+        tried = true;
+        EXPECT_EQ(d.thread, 1u);
+        EXPECT_TRUE(d.weakenReverted);
+        EXPECT_FALSE(d.weakenEvidence.empty());
+    }
+    EXPECT_TRUE(tried);
+    // The reverted placement still verifies.
+    EXPECT_TRUE(m.finalPlacementPassed);
+    EXPECT_EQ(m.insertions[1][0].role, FenceRole::Noncritical);
+}

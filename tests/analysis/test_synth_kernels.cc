@@ -1,0 +1,159 @@
+/**
+ * End-to-end synthesis over the runtime kernels (dekker, bakery,
+ * tlrw, deque): the unfenced variants go through the full
+ * synthesize→minimize pipeline; the result must never need more
+ * fences than the hand placement, and the final placement must pass
+ * the checker's full (design x seed) matrix. A mutation pass then
+ * shows the kept fences are each individually load-bearing: removing
+ * any one of them convicts some run.
+ *
+ * The expected pair/fence counts pin the behavior of the analysis on
+ * this (deterministic) corpus; a change here means the analysis — or
+ * a kernel — changed, and the numbers should be re-derived with
+ * `asf_fence_synth --kit NAME`, not loosened.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "analysis/corpus.hh"
+#include "check/batch.hh"
+#include "fence/fence_kind.hh"
+#include "prog/rewrite.hh"
+
+using namespace asf;
+using namespace asf::analysis;
+using asf::test::share;
+
+namespace
+{
+
+struct KernelOutcome
+{
+    CorpusEntry entry;
+    SynthResult synth;
+    MinimizeResult min;
+};
+
+KernelOutcome
+runPipeline(const std::string &kit)
+{
+    KernelOutcome o;
+    o.entry = buildCorpusEntry(kit);
+    o.synth = synthesize(o.entry.threads);
+    o.min = minimize(o.synth, o.entry.minimizeOptions());
+    return o;
+}
+
+size_t
+finalFenceCount(const MinimizeResult &m)
+{
+    size_t n = 0;
+    for (const auto &ins : m.insertions)
+        n += ins.size();
+    return n;
+}
+
+/**
+ * Does removing insertions[thread][idx] from the minimized placement
+ * convict some run of the (all designs x seeds {1,2}) matrix?
+ */
+bool
+mutationConvicts(const CorpusEntry &e, const MinimizeResult &m,
+                 size_t thread, size_t idx)
+{
+    std::vector<std::shared_ptr<const Program>> progs = e.threads;
+    for (size_t t = 0; t < e.threads.size(); t++) {
+        std::vector<FenceInsertion> ins = m.insertions[t];
+        if (t == thread)
+            ins.erase(ins.begin() + idx);
+        if (!ins.empty())
+            progs[t] = share(insertFences(*e.threads[t], std::move(ins)));
+    }
+    for (FenceDesign d : allFenceDesigns) {
+        for (uint64_t seed : {uint64_t(1), uint64_t(2)}) {
+            check::BatchRunSpec spec;
+            spec.programs = progs;
+            spec.design = d;
+            spec.systemSeed = seed;
+            spec.maxCycles = e.maxCycles;
+            spec.requireSc =
+                e.property == MinimizeProperty::ScEquivalence;
+            spec.setup = e.setup;
+            spec.invariant = e.invariant;
+            if (check::runCheckedExecution(spec).convicted())
+                return true;
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(SynthKernels, DekkerIsDynamicallyFenceFree)
+{
+    // Dekker's flag loads always take full miss round trips in this
+    // simulator, so the racy window never aligns: no run ever
+    // misbehaves unfenced, and the minimizer prunes all 12 statically
+    // required fences. Maximal static-vs-dynamic gap.
+    KernelOutcome o = runPipeline("dekker");
+    EXPECT_EQ(o.synth.pairs.size(), 42u);
+    EXPECT_EQ(o.synth.fences.size(), 12u);
+    EXPECT_EQ(o.min.kept, 0u);
+    EXPECT_EQ(o.min.dropped, 12u);
+    EXPECT_TRUE(o.min.finalPlacementPassed);
+    EXPECT_LE(finalFenceCount(o.min), o.entry.handFenceCount());
+}
+
+TEST(SynthKernels, BakeryKeepsOneLoadBearingFence)
+{
+    KernelOutcome o = runPipeline("bakery");
+    EXPECT_EQ(o.synth.pairs.size(), 38u);
+    EXPECT_EQ(o.synth.fences.size(), 4u);
+    EXPECT_EQ(o.min.kept, 1u);
+    EXPECT_EQ(o.min.dropped, 3u);
+    EXPECT_TRUE(o.min.finalPlacementPassed);
+    // Strictly improves on the 4 hand fences.
+    EXPECT_LT(finalFenceCount(o.min), o.entry.handFenceCount());
+
+    // Mutation: the one kept fence must be individually load-bearing.
+    for (size_t t = 0; t < o.min.insertions.size(); t++)
+        for (size_t i = 0; i < o.min.insertions[t].size(); i++)
+            EXPECT_TRUE(mutationConvicts(o.entry, o.min, t, i))
+                << "thread " << t << " fence " << i;
+}
+
+TEST(SynthKernels, TlrwAtomicsPrecoverMostDelays)
+{
+    // TLRW's CAS/XCHG already order most of its critical cycles; the
+    // few remaining statically required fences have no dynamic
+    // justification and are all pruned.
+    KernelOutcome o = runPipeline("tlrw");
+    EXPECT_EQ(o.synth.pairs.size(), 21u);
+    EXPECT_EQ(o.synth.precovered.size(), 9u);
+    EXPECT_EQ(o.synth.fences.size(), 4u);
+    EXPECT_EQ(o.min.kept, 0u);
+    EXPECT_EQ(o.min.dropped, 4u);
+    EXPECT_TRUE(o.min.finalPlacementPassed);
+    EXPECT_LE(finalFenceCount(o.min), o.entry.handFenceCount());
+}
+
+TEST(SynthKernels, DequeKeepsTwoAndSurvivesMutation)
+{
+    KernelOutcome o = runPipeline("deque");
+    EXPECT_EQ(o.synth.pairs.size(), 42u);
+    EXPECT_EQ(o.synth.precovered.size(), 17u);
+    EXPECT_EQ(o.synth.fences.size(), 6u);
+    EXPECT_EQ(o.min.kept, 2u);
+    EXPECT_EQ(o.min.dropped, 4u);
+    EXPECT_TRUE(o.min.finalPlacementPassed);
+    // Strictly improves on the 3 hand fences.
+    EXPECT_LT(finalFenceCount(o.min), o.entry.handFenceCount());
+
+    // Every kept fence is individually load-bearing: dropping either
+    // one makes some run lose tasks (invariant) or livelock.
+    for (size_t t = 0; t < o.min.insertions.size(); t++)
+        for (size_t i = 0; i < o.min.insertions[t].size(); i++)
+            EXPECT_TRUE(mutationConvicts(o.entry, o.min, t, i))
+                << "thread " << t << " fence " << i;
+}

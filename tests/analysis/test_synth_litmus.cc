@@ -1,0 +1,136 @@
+/**
+ * Fence synthesis over the seven litmus kits: the synthesized
+ * placements must reproduce the hand-placed kits exactly (the kits
+ * are straight-line, so there is one minimal answer), fence-free kits
+ * must synthesize zero fences, already-fenced inputs must need
+ * nothing new, and every final placement must survive the checker's
+ * full (design x seed) verification matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hh"
+#include "analysis/corpus.hh"
+#include "runtime/litmus.hh"
+
+using namespace asf;
+using namespace asf::analysis;
+using namespace asf::runtime;
+using asf::test::share;
+
+namespace
+{
+
+/** Synthesized insertions must equal the recorded hand sites,
+ *  position and role both. */
+void
+expectMatchesHandPlacement(const SynthResult &s)
+{
+    for (size_t t = 0; t < s.input.size(); t++) {
+        const auto &hand = s.input[t]->omittedFences;
+        ASSERT_EQ(s.insertions[t].size(), hand.size()) << "thread " << t;
+        for (size_t i = 0; i < hand.size(); i++) {
+            EXPECT_EQ(s.insertions[t][i].beforePc, hand[i].beforePc);
+            EXPECT_EQ(s.insertions[t][i].role, hand[i].role);
+        }
+    }
+}
+
+} // namespace
+
+TEST(SynthLitmus, SbReproducesHandFences)
+{
+    CorpusEntry e = buildCorpusEntry("sb");
+    SynthResult s = synthesize(e.threads);
+    EXPECT_EQ(s.pairs.size(), 2u);
+    EXPECT_TRUE(s.precovered.empty());
+    ASSERT_EQ(s.fences.size(), 2u);
+    expectMatchesHandPlacement(s);
+    // Asymmetric roles: thread 0 is the critical side.
+    EXPECT_EQ(s.criticalThread, 0u);
+    EXPECT_EQ(s.insertions[0][0].role, FenceRole::Critical);
+    EXPECT_EQ(s.insertions[1][0].role, FenceRole::Noncritical);
+}
+
+TEST(SynthLitmus, RReproducesHandFence)
+{
+    CorpusEntry e = buildCorpusEntry("r");
+    SynthResult s = synthesize(e.threads);
+    EXPECT_EQ(s.pairs.size(), 1u);
+    ASSERT_EQ(s.fences.size(), 1u);
+    EXPECT_EQ(s.fences[0].thread, 1u); // the judge
+    expectMatchesHandPlacement(s);
+}
+
+TEST(SynthLitmus, FenceFreeKitsSynthesizeNothing)
+{
+    for (const char *kit : {"mp", "iriw", "lb", "2p2w", "s"}) {
+        CorpusEntry e = buildCorpusEntry(kit);
+        SynthResult s = synthesize(e.threads);
+        EXPECT_TRUE(s.pairs.empty()) << kit;
+        EXPECT_TRUE(s.fences.empty()) << kit;
+        // Nothing to splice: outputs alias the inputs.
+        for (size_t t = 0; t < e.threads.size(); t++)
+            EXPECT_EQ(s.fenced[t].get(), e.threads[t].get()) << kit;
+    }
+}
+
+TEST(SynthLitmus, AlreadyFencedInputsNeedNothingNew)
+{
+    GuestLayout layout;
+    LitmusLayout lay = allocLitmus(layout);
+    std::vector<std::shared_ptr<const Program>> threads = {
+        share(buildSbThread(lay, 0, true, FenceRole::Critical, 600)),
+        share(buildSbThread(lay, 1, true, FenceRole::Noncritical, 600))};
+    SynthResult s = synthesize(threads);
+    EXPECT_EQ(s.pairs.size(), 2u);
+    EXPECT_EQ(s.precovered.size(), 2u);
+    EXPECT_TRUE(s.fences.empty());
+
+    std::vector<std::shared_ptr<const Program>> rj = {
+        share(buildRWriter(lay, 600)),
+        share(buildRJudge(lay, true, FenceRole::Noncritical, 600))};
+    SynthResult sr = synthesize(rj);
+    EXPECT_EQ(sr.precovered.size(), sr.pairs.size());
+    EXPECT_TRUE(sr.fences.empty());
+}
+
+TEST(SynthLitmus, EveryKitSurvivesTheVerificationMatrix)
+{
+    // minimize() re-runs the final placement under all five designs
+    // (x two seeds) with requireSc; a passing matrix is the paper's
+    // delay-set soundness argument made executable.
+    for (const char *kit : {"sb", "mp", "iriw", "lb", "r", "2p2w", "s"}) {
+        CorpusEntry e = buildCorpusEntry(kit);
+        MinimizeResult m = minimize(synthesize(e.threads),
+                                    e.minimizeOptions());
+        EXPECT_TRUE(m.finalPlacementPassed) << kit;
+    }
+}
+
+TEST(SynthLitmus, MinimizeKeepsSbAndDropsR)
+{
+    // sb's two fences are dynamically load-bearing: each removal is
+    // convicted (sc-ghb or the forbidden-outcome invariant).
+    CorpusEntry sb = buildCorpusEntry("sb");
+    MinimizeResult msb =
+        minimize(synthesize(sb.threads), sb.minimizeOptions());
+    EXPECT_EQ(msb.kept, 2u);
+    EXPECT_EQ(msb.dropped, 0u);
+    for (const MinimizeDecision &d : msb.decisions) {
+        EXPECT_EQ(d.action, MinimizeDecision::Action::Kept);
+        EXPECT_FALSE(d.evidence.empty());
+    }
+
+    // r's judge fence is statically required (the delay set demands
+    // it) but dynamically unobservable in this simulator: the judge's
+    // ownership request always beats the writer's second store, so
+    // the forbidden coherence order never forms. Checker-guided
+    // minimization prunes exactly this static-vs-dynamic gap.
+    CorpusEntry r = buildCorpusEntry("r");
+    MinimizeResult mr =
+        minimize(synthesize(r.threads), r.minimizeOptions());
+    EXPECT_EQ(mr.kept, 0u);
+    EXPECT_EQ(mr.dropped, 1u);
+    EXPECT_TRUE(mr.finalPlacementPassed);
+}

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/corpus.hh"
 #include "harness/experiment.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
@@ -43,6 +44,8 @@ struct Options
     std::string trace;     ///< --trace path ("" = off)
     std::string fenceProfile; ///< --fence-profile JSONL path ("" = off)
     Tick watchdogCycles = 1'000'000; ///< livelock watchdog (0 = off)
+    std::string synthKit;  ///< --synth kit name ("" = off)
+    bool noMinimize = false; ///< --no-minimize: run the raw placement
 };
 
 [[noreturn]] void
@@ -75,6 +78,12 @@ usage(int code)
         "stats JSON)\n"
         "  --watchdog-cycles N     livelock watchdog window (default "
         "1000000; 0 = off)\n"
+        "  --synth KIT             synthesize fences for a corpus kit "
+        "(overrides --workload;\n"
+        "                          asf_fence_synth --list names them), "
+        "then run + check it\n"
+        "  --no-minimize           with --synth, skip checker-guided "
+        "minimization\n"
         "  --csv                   machine-readable output\n"
         "  --list                  list available workloads\n");
     std::exit(code);
@@ -92,6 +101,9 @@ listWorkloads()
     std::printf("\nstamp: ");
     for (const auto &a : stampApps())
         std::printf("%s ", a.bench.name.c_str());
+    std::printf("\nsynth: ");
+    for (const auto &n : analysis::corpusNames())
+        std::printf("%s ", n.c_str());
     std::printf("\n");
 }
 
@@ -149,6 +161,12 @@ parse(int argc, char **argv)
                 Tick(std::atoll(need("--watchdog-cycles")));
         else if (const char *v = eq_form("--watchdog-cycles"))
             opt.watchdogCycles = Tick(std::atoll(v));
+        else if (!std::strcmp(argv[i], "--synth"))
+            opt.synthKit = need("--synth");
+        else if (const char *v = eq_form("--synth"))
+            opt.synthKit = v;
+        else if (!std::strcmp(argv[i], "--no-minimize"))
+            opt.noMinimize = true;
         else if (!std::strcmp(argv[i], "--csv"))
             opt.csv = true;
         else if (!std::strcmp(argv[i], "--list")) {
@@ -174,6 +192,9 @@ runOne(const Options &opt, FenceDesign design)
         colon == std::string::npos ? "" : opt.workload.substr(colon + 1);
     std::ostream *stats = opt.dumpStats ? &std::cerr : nullptr;
 
+    if (!opt.synthKit.empty())
+        return runSynthExperiment(opt.synthKit, design, !opt.noMinimize,
+                                  0, stats);
     if (group == "cilk")
         return runCilkExperiment(cilkAppByName(name), design, opt.cores,
                                  opt.cycles * 100, stats);

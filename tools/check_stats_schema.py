@@ -167,6 +167,8 @@ def check_check_block(blk):
     verdict = blk.get("verdict")
     expect(verdict in ("pass", "violation", "inconclusive"),
            f"check: unknown verdict {verdict!r}")
+    expect(isinstance(blk.get("scChecked"), bool),
+           "check: 'scChecked' is not a bool")
     if verdict == "pass":
         expect("witness" not in blk, "check: witness on a passing run")
     else:

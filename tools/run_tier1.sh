@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 gate, one command: configure + build, then the full ctest
+# suite (which includes the fence-synthesis `synth`-labelled gates).
+#
+# Usage: tools/run_tier1.sh [jobs]     (default: nproc, capped at 8)
+#
+# Exits non-zero on the first failing stage; pass extra ctest filters
+# via CTEST_ARGS, e.g. CTEST_ARGS="-L synth" tools/run_tier1.sh.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+[ "$jobs" -gt 8 ] && jobs=8
+
+cmake -B "$repo/build" -S "$repo"
+cmake --build "$repo/build" -j"$jobs"
+cd "$repo/build"
+# shellcheck disable=SC2086  # CTEST_ARGS is intentionally word-split
+ctest --output-on-failure -j"$jobs" ${CTEST_ARGS:-}

@@ -10,8 +10,11 @@ Subcommands:
   compare A B [--rtol metric=frac ...]
       Diff two stats-JSON logs (full logs or summaries). Runs are
       matched by (workload, design, cores); every numeric metric and
-      breakdown bucket must match within its tolerance. Exits 1 on any
-      difference, listing each offending metric.
+      breakdown bucket must match within its tolerance. Checked runs
+      (schemaVersion 3) also compare the execution verdict and the
+      `check` block's counters (the witness subtree is skipped; only
+      its axiom name is compared). Exits 1 on any difference, listing
+      each offending metric.
 
   summarize IN OUT
       Reduce a full stats-JSON log to the compact summary form used for
@@ -50,8 +53,21 @@ def run_key(run):
     return (run.get("workload"), run.get("design"), run.get("cores"))
 
 
+def summarize_check(blk):
+    """The comparable slice of a schemaVersion-3 `check` block: the
+    verdict, scChecked, and the recorder/axiom counters. The witness
+    subtree is skipped — it carries tick-level event detail that the
+    counters already summarize — except for the violated axiom name,
+    which is pulled up as its own leaf."""
+    out = {k: v for k, v in blk.items() if k != "witness"}
+    axiom = (blk.get("witness") or {}).get("axiom")
+    if axiom:
+        out["axiom"] = axiom
+    return out
+
+
 def summarize_run(run):
-    return {
+    out = {
         "workload": run.get("workload"),
         "design": run.get("design"),
         "cores": run.get("cores"),
@@ -60,6 +76,17 @@ def summarize_run(run):
         "metrics": run.get("metrics", {}),
         "breakdown": run.get("breakdown", {}),
     }
+    # Checked runs (schemaVersion >= 3) carry an execution verdict;
+    # keep it comparable. Unchecked runs omit both keys, so goldens
+    # from unchecked sweeps are unaffected.
+    if "checkVerdict" in run:
+        out["checkVerdict"] = run["checkVerdict"]
+    blk = (run.get("system") or {}).get("check")
+    if blk and blk.get("enabled"):
+        out["check"] = summarize_check(blk)
+    elif "check" in run:  # already-summarized input (summary-vs-summary)
+        out["check"] = run["check"]
+    return out
 
 
 def summarize_doc(doc):

@@ -9,12 +9,16 @@ witness inside it:
   - a stats-JSON log ({"schemaVersion":N,"runs":[...]}) — every run
     with a non-passing check block is printed.
 
-Usage: witness_pp.py [file.json]        (default: stdin)
+Usage: witness_pp.py [--strict] [file.json]        (default: stdin)
 
 The cycle is rendered one event per line with the relation that leads
-to the next event; the last edge wraps back to the first line. Exit
-status: 0 when every check passed (nothing to print), 1 when a witness
-was printed, 2 on malformed input.
+to the next event; the last edge wraps back to the first line.
+
+Exit status distinguishes "something is wrong" from "nothing was
+proven": 1 only when a *violation* witness was printed; 0 otherwise —
+including inconclusive verdicts (which are still printed, since an
+undecidable run is worth a look but is not a counterexample). With
+--strict, inconclusive verdicts also exit 1. Malformed input exits 2.
 """
 
 import json
@@ -99,11 +103,14 @@ def find_witnesses(doc):
 
 
 def main():
-    if len(sys.argv) > 2:
-        die("usage: witness_pp.py [file.json]")
+    argv = sys.argv[1:]
+    strict = "--strict" in argv
+    argv = [a for a in argv if a != "--strict"]
+    if len(argv) > 1:
+        die("usage: witness_pp.py [--strict] [file.json]")
     try:
-        if len(sys.argv) == 2:
-            with open(sys.argv[1]) as f:
+        if argv:
+            with open(argv[0]) as f:
                 doc = json.load(f)
         else:
             doc = json.load(sys.stdin)
@@ -111,14 +118,18 @@ def main():
         die(str(e))
 
     printed = 0
+    violations = 0
     for label, witness in find_witnesses(doc):
         if printed:
             print()
         print_witness(witness, label)
         printed += 1
+        verdict = witness.get("verdict")
+        if verdict == "violation" or (strict and verdict != "pass"):
+            violations += 1
     if not printed:
         print("all checks passed — no witness to print")
-    sys.exit(1 if printed else 0)
+    sys.exit(1 if violations else 0)
 
 
 if __name__ == "__main__":
