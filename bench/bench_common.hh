@@ -73,6 +73,8 @@ parseArgs(int argc, char **argv)
             opt.jobs = unsigned(std::atoi(v));
         else if (!std::strcmp(argv[i], "--no-fast-forward"))
             harness::setFastForwardEnabled(false);
+        else if (!std::strcmp(argv[i], "--no-direct-exec"))
+            harness::setDirectExecEnabled(false);
         else if (!std::strcmp(argv[i], "--stats-json"))
             opt.statsJson = need("--stats-json");
         else if (const char *v = eq_form("--stats-json"))
@@ -91,7 +93,7 @@ parseArgs(int argc, char **argv)
             opt.watchdogCycles = Tick(std::atoll(v));
         else
             fatal("unknown option '%s' (supported: --csv --quick "
-                  "--jobs N --no-fast-forward --stats-json PATH "
+                  "--jobs N --no-fast-forward --no-direct-exec --stats-json PATH "
                   "--trace PATH --fence-profile PATH "
                   "--watchdog-cycles N)",
                   argv[i]);

@@ -2,30 +2,40 @@
  * @file
  * Microbenchmarks of the simulator substrate itself, in two parts:
  *
- * 1. A host-performance report (BENCH_simcore.json): an 8-core
- *    fence-heavy workload — a cold-miss store stream drained through a
- *    strong fence per iteration, followed by a cold-miss load — is run
- *    with idle-cycle fast-forward off and on, recording host
- *    wall-clock, simulated cycles per host second, and
- *    executed events per second for each, plus the speedup. A busy spin
- *    loop rides along as the no-idle-cycles control. The two runs must
- *    agree on final cycle count and retired instructions (the
- *    fast-forward invariant; tests/sys/test_fast_forward.cc checks full
- *    stats equality).
+ * 1. A host-performance report (BENCH_simcore.json, schemaVersion 2):
+ *    each workload is run under all three execution modes —
+ *    `noFastForward` (cycle-exact), `fastForward` (idle-cycle skipping,
+ *    PR 2), and `directExec` (fast-forward plus the block-batched
+ *    direct-execution engine; see DESIGN.md "Run-loop arbitration") —
+ *    recording host wall-clock, simulated cycles per host second and
+ *    executed events per second for each, plus the two speedups over
+ *    the cycle-exact baseline. The workloads span the regimes the two
+ *    optimizations target: a fence-heavy cold-miss stream (idle-
+ *    dominated), 8- and 32-core busy spins (compute-bound, the
+ *    direct-execution target), and a mixed compute+fence kernel. All
+ *    three modes must produce a byte-identical full stats dump — the
+ *    report carries a per-mode FNV-1a digest of it and the run aborts
+ *    on any mismatch (tests/sys/test_direct_exec.cc checks the same
+ *    invariant over fuzz programs).
  *
  * 2. google-benchmark microbenchmarks of the individual kernels:
  *    event-queue throughput, cache-array lookups, Bypass Set probes,
  *    mesh routing, and end-to-end simulated cycles per host second.
  *
- * Usage: simcore_microbench [--out PATH] [--json-only]
- *                           [google-benchmark flags]
+ * Usage: simcore_microbench [--out PATH] [--json-only] [--quick]
+ *                           [--only SUBSTRING] [google-benchmark flags]
+ * --only filters the report's workloads by name substring (their
+ * relative timings are only meaningful within one process run).
  */
 
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
+#include <string>
 
 #include "fence/bypass_set.hh"
 #include "harness/report.hh"
@@ -40,7 +50,26 @@ using namespace asf;
 namespace
 {
 
-// --- part 1: fast-forward host-performance report -----------------------
+// --- part 1: execution-mode host-performance report ---------------------
+
+/** The three run-loop configurations the report compares. */
+enum class Mode
+{
+    NoFastForward, ///< cycle-exact: every core ticks every cycle
+    FastForward,   ///< idle-cycle skipping only (PR 2)
+    DirectExec,    ///< fast-forward + block-batched direct execution
+};
+
+const char *
+modeKey(Mode m)
+{
+    switch (m) {
+      case Mode::NoFastForward: return "noFastForward";
+      case Mode::FastForward: return "fastForward";
+      case Mode::DirectExec: return "directExec";
+    }
+    return "?";
+}
 
 struct HostRun
 {
@@ -49,6 +78,9 @@ struct HostRun
     uint64_t events = 0;
     uint64_t instrRetired = 0;
     uint64_t fastForwardedCycles = 0;
+    uint64_t directExecutedCycles = 0;
+    /** Full stats dump, for the cross-mode identity check. */
+    std::string statsJson;
 
     double cyclesPerSec() const
     {
@@ -59,6 +91,22 @@ struct HostRun
         return seconds > 0 ? double(events) / seconds : 0.0;
     }
 };
+
+/** FNV-1a 64 over the stats dump; the report carries the digest so
+ *  tools/stats_diff.py check-perf can re-verify cross-mode identity
+ *  without shipping the full dumps. */
+std::string
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx", (unsigned long long)h);
+    return buf;
+}
 
 /** Each core streams stores through a never-revisited region — every
  *  one a ~200-cycle off-chip miss — draining each through a strong
@@ -105,22 +153,55 @@ busySpinProgram(int64_t iters)
     return std::make_shared<const Program>(a.finish());
 }
 
+/** Alternating regimes inside one loop body: a 64-cycle compute block
+ *  (direct execution's best case) followed by a cold-miss store drained
+ *  through a strong fence and a cold-miss load (fast-forward's best
+ *  case). Neither optimization alone covers the whole iteration. */
+std::shared_ptr<const Program>
+computeFenceMixProgram(int64_t iters)
+{
+    Assembler a("compute_fence_mix");
+    a.li(4, 0);
+    a.li(5, iters);
+    a.bind("loop");
+    a.compute(64);
+    a.addi(3, 3, 1);
+    a.st(1, 0, 3);
+    a.fence(FenceRole::Critical);
+    a.ld(6, 2, 0);
+    a.addi(1, 1, 4096);
+    a.addi(2, 2, 4096);
+    a.addi(4, 4, 1);
+    a.blt(4, 5, "loop");
+    a.halt();
+    return std::make_shared<const Program>(a.finish());
+}
+
+enum class Kernel
+{
+    FenceHeavy,
+    BusySpin,
+    ComputeFenceMix,
+};
+
 HostRun
-timeWorkload(bool fence_heavy, bool fast_forward, int64_t iters)
+timeWorkload(Kernel kernel, unsigned cores, Mode mode, int64_t iters)
 {
     SystemConfig cfg;
-    cfg.numCores = 8;
+    cfg.numCores = cores;
     cfg.design = FenceDesign::SPlus;
-    cfg.fastForward = fast_forward;
+    cfg.fastForward = mode != Mode::NoFastForward;
+    cfg.directExec = mode == Mode::DirectExec;
     System sys(cfg);
-    auto prog = fence_heavy ? fenceHeavyProgram(iters)
-                            : busySpinProgram(iters);
-    for (unsigned i = 0; i < 8; i++) {
+    auto prog = kernel == Kernel::FenceHeavy ? fenceHeavyProgram(iters)
+                : kernel == Kernel::BusySpin ? busySpinProgram(iters)
+                                             : computeFenceMixProgram(iters);
+    for (unsigned i = 0; i < cores; i++) {
         sys.loadProgram(NodeId(i), prog);
         // Disjoint per-core streams; the 4 KiB stride stays inside
         // the same home-node residue class (homes rotate every 512 B),
         // so every access cold-misses to memory via the core's LOCAL
-        // directory. All eight cores then have identical per-iteration
+        // directory. All cores then have identical per-iteration
         // timing and stay phase-locked, the natural behaviour of a
         // bank-aligned streaming producer.
         sys.core(NodeId(i)).setReg(1, 0x1000000 + Addr(i) * 512);
@@ -139,6 +220,10 @@ timeWorkload(bool fence_heavy, bool fast_forward, int64_t iters)
     r.events = sys.eventQueue().executedEvents();
     r.instrRetired = sys.totalInstrRetired();
     r.fastForwardedCycles = sys.fastForwardedCycles();
+    r.directExecutedCycles = sys.directExecutedCycles();
+    std::ostringstream ss;
+    sys.dumpStatsJson(ss);
+    r.statsJson = ss.str();
     return r;
 }
 
@@ -153,60 +238,86 @@ emitRun(harness::JsonWriter &w, const char *key, const HostRun &r)
     w.field("eventsPerSec", r.eventsPerSec());
     w.field("instrRetired", r.instrRetired);
     w.field("fastForwardedCycles", r.fastForwardedCycles);
+    w.field("directExecutedCycles", r.directExecutedCycles);
+    w.field("statsDigest", fnv1a(r.statsJson));
     w.endObject();
 }
 
 void
-writeReport(const std::string &path)
+writeReport(const std::string &path, bool quick,
+            const std::string &only)
 {
     struct Entry
     {
         const char *name;
-        bool fenceHeavy;
+        Kernel kernel;
+        unsigned cores;
         int64_t iters;
     };
     // ~1M simulated cycles each: long enough that host timing is
-    // dominated by the simulation loop, short enough for CI.
+    // dominated by the simulation loop, short enough for CI. --quick
+    // divides the iteration counts by 4 (the perf smoke gate's 2x
+    // speedup threshold leaves ample headroom for the extra noise).
     const Entry entries[] = {
-        {"fence_heavy_8core", true, 2000},
-        {"busy_spin_8core", false, 40000},
+        {"fence_heavy_8core", Kernel::FenceHeavy, 8, 2000},
+        {"busy_spin_8core", Kernel::BusySpin, 8, 100000},
+        {"busy_spin_32core", Kernel::BusySpin, 32, 20000},
+        {"compute_fence_mix_8core", Kernel::ComputeFenceMix, 8, 3000},
     };
+    const Mode modes[] = {Mode::NoFastForward, Mode::FastForward,
+                          Mode::DirectExec};
 
     std::ofstream f(path, std::ios::trunc);
     if (!f)
         fatal("cannot write '%s'", path.c_str());
     harness::JsonWriter w(f);
     w.beginObject();
-    w.field("schemaVersion", uint64_t(1));
+    w.field("schemaVersion", uint64_t(2));
     w.field("design", "S+");
-    w.field("cores", 8u);
+    w.field("quick", quick);
     w.key("workloads").beginArray();
     for (const Entry &e : entries) {
+        if (!only.empty() && std::string(e.name).find(only) ==
+                                 std::string::npos)
+            continue;
+        int64_t iters = quick ? e.iters / 4 : e.iters;
         // Warm-up run absorbs first-touch host effects (page faults,
-        // allocator growth), then time both modes.
-        timeWorkload(e.fenceHeavy, false, e.iters / 4);
-        HostRun off = timeWorkload(e.fenceHeavy, false, e.iters);
-        HostRun on = timeWorkload(e.fenceHeavy, true, e.iters);
-        if (on.simCycles != off.simCycles ||
-            on.instrRetired != off.instrRetired)
-            fatal("%s: fast-forward changed simulated results "
-                  "(cycles %llu vs %llu)",
-                  e.name, (unsigned long long)on.simCycles,
-                  (unsigned long long)off.simCycles);
-        double speedup =
-            on.seconds > 0 ? off.seconds / on.seconds : 0.0;
+        // allocator growth), then time all three modes.
+        timeWorkload(e.kernel, e.cores, Mode::NoFastForward, iters / 4);
+        HostRun runs[3];
+        for (int m = 0; m < 3; m++)
+            runs[m] = timeWorkload(e.kernel, e.cores, modes[m], iters);
+        const HostRun &base = runs[0];
+        // The identity invariant, over the FULL stats dump: any
+        // divergence between execution modes is a simulator bug, not a
+        // benchmarking artifact — refuse to write a report.
+        for (int m = 1; m < 3; m++)
+            if (runs[m].statsJson != base.statsJson)
+                fatal("%s: %s changed simulated results "
+                      "(cycles %llu vs %llu)",
+                      e.name, modeKey(modes[m]),
+                      (unsigned long long)runs[m].simCycles,
+                      (unsigned long long)base.simCycles);
+        double speedup_ff = runs[1].seconds > 0
+                                ? base.seconds / runs[1].seconds : 0.0;
+        double speedup_de = runs[2].seconds > 0
+                                ? base.seconds / runs[2].seconds : 0.0;
         w.beginObject();
         w.field("name", e.name);
-        emitRun(w, "noFastForward", off);
-        emitRun(w, "fastForward", on);
-        w.field("speedup", speedup);
+        w.field("cores", e.cores);
+        for (int m = 0; m < 3; m++)
+            emitRun(w, modeKey(modes[m]), runs[m]);
+        w.field("speedupFastForward", speedup_ff);
+        w.field("speedupDirectExec", speedup_de);
+        w.field("statsIdentical", true);
         w.endObject();
-        std::printf("%-20s %9.0f cyc/s off, %9.0f cyc/s on, "
-                    "speedup %.2fx (%llu/%llu cycles fast-forwarded)\n",
-                    e.name, off.cyclesPerSec(), on.cyclesPerSec(),
-                    speedup,
-                    (unsigned long long)on.fastForwardedCycles,
-                    (unsigned long long)on.simCycles);
+        std::printf("%-24s %9.0f cyc/s exact, %9.0f ff (%.2fx), "
+                    "%9.0f direct (%.2fx; %llu/%llu cycles batched)\n",
+                    e.name, base.cyclesPerSec(),
+                    runs[1].cyclesPerSec(), speedup_ff,
+                    runs[2].cyclesPerSec(), speedup_de,
+                    (unsigned long long)runs[2].directExecutedCycles,
+                    (unsigned long long)runs[2].simCycles);
     }
     w.endArray();
     w.endObject();
@@ -316,7 +427,9 @@ int
 main(int argc, char **argv)
 {
     std::string out = "BENCH_simcore.json";
+    std::string only;
     bool json_only = false;
+    bool quick = false;
     // Strip our flags so google-benchmark does not reject them.
     int kept = 1;
     for (int i = 1; i < argc; i++) {
@@ -324,15 +437,21 @@ main(int argc, char **argv)
             out = argv[++i];
         else if (!std::strncmp(argv[i], "--out=", 6))
             out = argv[i] + 6;
+        else if (!std::strcmp(argv[i], "--only") && i + 1 < argc)
+            only = argv[++i];
+        else if (!std::strncmp(argv[i], "--only=", 7))
+            only = argv[i] + 7;
         else if (!std::strcmp(argv[i], "--json-only"))
             json_only = true;
+        else if (!std::strcmp(argv[i], "--quick"))
+            quick = true;
         else
             argv[kept++] = argv[i];
     }
     argc = kept;
 
     setVerbose(false);
-    writeReport(out);
+    writeReport(out, quick, only);
     if (json_only)
         return 0;
 

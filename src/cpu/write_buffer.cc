@@ -15,19 +15,6 @@ WriteBuffer::WriteBuffer(unsigned capacity) : capacity_(capacity)
         fatal("write buffer with zero capacity");
 }
 
-uint64_t
-WriteBuffer::push(Addr addr, uint64_t value)
-{
-    if (full())
-        panic("write buffer overflow");
-    uint64_t seq = nextSeq_++;
-    entries_.push_back(Entry{addr, value, seq, false, false});
-    totalPushes_++;
-    if (entries_.size() > highWater_)
-        highWater_ = unsigned(entries_.size());
-    return seq;
-}
-
 WriteBuffer::Entry *
 WriteBuffer::nextIssuable(bool tso_order, uint64_t max_seq,
                           uint64_t after_seq)
@@ -70,15 +57,6 @@ WriteBuffer::issuedEntryForLine(Addr line_addr)
     return nullptr;
 }
 
-void
-WriteBuffer::complete(Entry &entry)
-{
-    entry.done = true;
-    entry.issued = false;
-    while (!entries_.empty() && entries_.front().done)
-        entries_.pop_front();
-}
-
 const WriteBuffer::Entry &
 WriteBuffer::front() const
 {
@@ -93,15 +71,6 @@ WriteBuffer::popFront()
     if (entries_.empty())
         panic("popFront() on empty write buffer");
     entries_.pop_front();
-}
-
-const WriteBuffer::Entry *
-WriteBuffer::forwardLookup(Addr addr) const
-{
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
-        if (it->addr == addr)
-            return &*it;
-    return nullptr;
 }
 
 bool

@@ -15,6 +15,7 @@
 #include <deque>
 #include <vector>
 
+#include "sim/logging.hh"
 #include "sim/types.hh"
 
 namespace asf
@@ -45,8 +46,19 @@ class WriteBuffer
     size_t size() const { return entries_.size(); }
     unsigned capacity() const { return capacity_; }
 
-    /** Enqueue a retired store; returns its sequence number. */
-    uint64_t push(Addr addr, uint64_t value);
+    /** Enqueue a retired store; returns its sequence number.
+     *  Inline: a hot operation of both tick and burst execution. */
+    uint64_t push(Addr addr, uint64_t value)
+    {
+        if (full())
+            panic("write buffer overflow");
+        uint64_t seq = nextSeq_++;
+        entries_.push_back(Entry{addr, value, seq, false, false});
+        totalPushes_++;
+        if (entries_.size() > highWater_)
+            highWater_ = unsigned(entries_.size());
+        return seq;
+    }
 
     const Entry &front() const;
     void popFront();
@@ -64,6 +76,18 @@ class WriteBuffer
      */
     Entry *nextIssuable(bool tso_order, uint64_t max_seq = ~uint64_t(0),
                         uint64_t after_seq = 0);
+
+    /** Inline TSO fast path of nextIssuable(true) with the default
+     *  bounds (entry seqs start at 1, so the default after_seq of 0
+     *  never masks the head) — the direct-execution burst's per-cycle
+     *  head lookup. */
+    Entry *tsoHead()
+    {
+        if (entries_.empty())
+            return nullptr;
+        Entry &head = entries_.front();
+        return (!head.issued && !head.done) ? &head : nullptr;
+    }
     const Entry *nextIssuable(bool tso_order,
                               uint64_t max_seq = ~uint64_t(0),
                               uint64_t after_seq = 0) const
@@ -75,17 +99,32 @@ class WriteBuffer
     /** Locate the (unique) in-flight entry for a line. */
     Entry *issuedEntryForLine(Addr line_addr);
 
-    /** Mark an entry merged and drop the completed prefix. */
-    void complete(Entry &entry);
+    /** Mark an entry merged and drop the completed prefix.
+     *  Inline: a hot operation of both tick and burst execution. */
+    void complete(Entry &entry)
+    {
+        entry.done = true;
+        entry.issued = false;
+        while (!entries_.empty() && entries_.front().done)
+            entries_.pop_front();
+    }
 
     /** Sequence number of the most recently enqueued store (0 if none). */
     uint64_t lastSeq() const { return nextSeq_ - 1; }
 
     /**
-     * Youngest entry matching a word address; nullptr if none.
-     * (Word-granularity accesses only, so partial overlap cannot occur.)
+     * Youngest entry matching a word address, for store->load
+     * forwarding; nullptr if none. (Word-granularity accesses only, so
+     * partial overlap cannot occur.) Inline: the direct-execution burst
+     * calls it for every load.
      */
-    const Entry *forwardLookup(Addr addr) const;
+    const Entry *forwardLookup(Addr addr) const
+    {
+        for (auto it = entries_.rbegin(); it != entries_.rend(); ++it)
+            if (it->addr == addr)
+                return &*it;
+        return nullptr;
+    }
 
     /** True once every store with seq <= upto has drained. */
     bool drainedUpTo(uint64_t upto) const;
@@ -109,6 +148,43 @@ class WriteBuffer
 
     /** Zero the occupancy accounting (post-warmup stat reset). */
     void resetCounters();
+
+    // --- direct-execution undo support ---------------------------------
+    /**
+     * Wholesale state capture for the burst interpreter's rollback. A
+     * burst only push()es and complete()s — both fully described by the
+     * entry deque plus the accounting counters — so restoring a
+     * burst-entry snapshot undoes every buffer effect at once,
+     * including the sequence numbering (a re-executed store gets the
+     * same seq). The caller owns the Snapshot and reuses it across
+     * bursts so the deque copy recycles its capacity.
+     */
+    struct Snapshot
+    {
+        std::deque<Entry> entries;
+        uint64_t nextSeq = 1;
+        uint64_t totalPushes = 0;
+        uint64_t totalDropped = 0;
+        unsigned highWater = 0;
+    };
+
+    void save(Snapshot &s) const
+    {
+        s.entries = entries_;
+        s.nextSeq = nextSeq_;
+        s.totalPushes = totalPushes_;
+        s.totalDropped = totalDropped_;
+        s.highWater = highWater_;
+    }
+
+    void restore(const Snapshot &s)
+    {
+        entries_ = s.entries;
+        nextSeq_ = s.nextSeq;
+        totalPushes_ = s.totalPushes;
+        totalDropped_ = s.totalDropped;
+        highWater_ = s.highWater;
+    }
 
     /**
      * Fast-forward protocol: the buffer is passive — it only mutates

@@ -37,6 +37,7 @@ statsJsonRuns()
 thread_local std::vector<std::string> *runCaptureSink = nullptr;
 
 std::atomic<bool> fastForwardDefault{true};
+std::atomic<bool> directExecDefault{true};
 std::atomic<Tick> watchdogDefault{0};
 std::atomic<bool> checkExecutionDefault{false};
 
@@ -192,6 +193,18 @@ void
 setFastForwardEnabled(bool on)
 {
     fastForwardDefault.store(on, std::memory_order_relaxed);
+}
+
+void
+setDirectExecEnabled(bool on)
+{
+    directExecDefault.store(on, std::memory_order_relaxed);
+}
+
+bool
+directExecEnabled()
+{
+    return directExecDefault.load(std::memory_order_relaxed);
 }
 
 bool
@@ -350,6 +363,7 @@ runCilkExperiment(const workloads::CilkApp &app, FenceDesign design,
     cfg.numCores = cores;
     cfg.design = design;
     cfg.fastForward = fastForwardEnabled();
+    cfg.directExec = directExecEnabled();
     cfg.watchdogCycles = watchdogCyclesDefault();
     cfg.fenceProfileRaw = !fenceProfilePath().empty();
     cfg.checkExecution = checkExecutionEnabled();
@@ -424,6 +438,7 @@ runUstmExperiment(const workloads::TlrwBench &bench, FenceDesign design,
     cfg.numCores = cores;
     cfg.design = design;
     cfg.fastForward = fastForwardEnabled();
+    cfg.directExec = directExecEnabled();
     cfg.watchdogCycles = watchdogCyclesDefault();
     cfg.fenceProfileRaw = !fenceProfilePath().empty();
     cfg.checkExecution = checkExecutionEnabled();
@@ -461,6 +476,7 @@ runStampExperiment(const workloads::StampApp &app, FenceDesign design,
     cfg.numCores = cores;
     cfg.design = design;
     cfg.fastForward = fastForwardEnabled();
+    cfg.directExec = directExecEnabled();
     cfg.watchdogCycles = watchdogCyclesDefault();
     cfg.fenceProfileRaw = !fenceProfilePath().empty();
     cfg.checkExecution = checkExecutionEnabled();
@@ -518,6 +534,7 @@ runSynthExperiment(const std::string &kit, FenceDesign design,
     cfg.numCores = cores;
     cfg.design = design;
     cfg.fastForward = fastForwardEnabled();
+    cfg.directExec = directExecEnabled();
     cfg.watchdogCycles = watchdogCyclesDefault();
     cfg.fenceProfileRaw = !fenceProfilePath().empty();
     // The verdict is the point of a synth run; checking is not optional.

@@ -159,6 +159,14 @@ void setFastForwardEnabled(bool on);
 bool fastForwardEnabled();
 
 /**
+ * Process-wide default for SystemConfig::directExec, consulted by the
+ * experiment runners (on unless turned off). `--no-direct-exec` A/B
+ * switch; simulated results are bit-identical either way.
+ */
+void setDirectExecEnabled(bool on);
+bool directExecEnabled();
+
+/**
  * Process-wide default for SystemConfig::watchdogCycles, consulted by
  * the experiment runners. 0 (library default) disables; the bench
  * binaries set a large value so a livelocked configuration aborts with

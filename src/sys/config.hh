@@ -107,6 +107,18 @@ struct SystemConfig
     bool fastForward = true;
 
     /**
+     * Direct execution: compute-bound cores batch-interpret straight-line
+     * runs of pure register ops, L1-hitting loads/stores, and compute
+     * count-downs several cycles at a time (Core::directBurst), dropping
+     * back to cycle-exact ticking at the first fence, RMW, cache miss, or
+     * other coherence-visible action. Host-side optimization only —
+     * simulated timing and statistics are bit-identical either way
+     * (enforced by tests/sys/test_direct_exec.cc). TSO cores only; RC
+     * cores always tick cycle-exactly. Off switch for A/B checks.
+     */
+    bool directExec = true;
+
+    /**
      * Livelock/hang watchdog: if System::run observes no system-wide
      * forward progress (no retired instruction, drained store, or busy
      * cycle on any core) for this many cycles, it dumps a diagnostic

@@ -236,50 +236,135 @@ System::run(Tick max_cycles)
 
         Tick next = eq_.now() + 1;
 
-        if (cfg_.fastForward && next >= ffResumeAt_) {
-            // Idle-cycle fast-forward: if every component reports that
-            // its next ticks are pure statistics (stalled, idle, or a
-            // compute count-down), jump the clock to the earliest tick
-            // where anything can happen — the next queued event or a
-            // core's own wake deadline — and replay the skipped cycles'
-            // statistics in bulk. Simulated state and statistics are
-            // bit-identical to ticking through (see Core::quiescent).
+        if ((cfg_.fastForward || cfg_.directExec) && next >= ffResumeAt_) {
+            // Run-loop arbitration between the three execution modes
+            // (see DESIGN.md "Run-loop arbitration"):
+            //  - cores in a compute-bound region batch-interpret their
+            //    next cycles directly (Core::directBurst) as one
+            //    speculative transaction per core, which the round
+            //    then commits to the minimum progress across cores
+            //    (Core::directCommit);
+            //  - quiescent cores have the skipped cycles' statistics
+            //    replayed in bulk (Core::skipCycles), jumping as far as
+            //    the next queued event or core wake deadline when no
+            //    core is bursting;
+            //  - any active core drops the whole round back to
+            //    cycle-exact ticking.
+            // All of it is host-side only: simulated timing and
+            // statistics are bit-identical to ticking through.
             //
-            // Two host-side throttles keep the quiescence walk off the
-            // hot path when it cannot pay for itself (declining to jump
-            // is always correct): events due within kMinGap cycles make
-            // the jump cheaper to tick through, and a failed walk
-            // usually means a busy core, so retry only after
-            // kWalkBackoff cycles.
+            // Host-side throttles keep the classification walk off the
+            // hot path when it cannot pay for itself (declining a
+            // round is always correct): events due within kMinGap
+            // cycles make the jump cheaper to tick through, and a
+            // failed or unprofitable walk backs off adaptively — a
+            // compute-bound phase without direct execution would
+            // otherwise re-walk forever for 1-cycle jumps.
             static constexpr Tick kMinGap = 2;
-            static constexpr Tick kWalkBackoff = 8;
+            static constexpr Tick kBackoffMin = 8;
+            static constexpr Tick kBackoffMax = 256;
+            static constexpr Tick kBurstWindowMin = 16;
+            static constexpr Tick kBurstWindowMax = 2048;
+            bool committed = false;
+            bool attempted = false;
             Tick target = std::min(eq_.nextEventTick(), end);
             if (target >= next + kMinGap && mesh_->quiescent()) {
+                attempted = true;
+                const Tick T = eq_.now();
                 Tick wake = maxTick;
-                bool all_quiescent = true;
+                bool all_passive = true;
+                bool any_burst = false;
                 for (auto &c : cores_) {
+                    if (cfg_.directExec && c->directBurstable()) {
+                        any_burst = true;
+                        continue;
+                    }
                     Tick w;
                     if (!c->quiescent(w)) {
-                        all_quiescent = false;
+                        all_passive = false;
                         break;
                     }
                     wake = std::min(wake, w);
                     wake = std::min(wake,
                                     c->writeBuffer().nextWakeTick());
                 }
-                target = std::min(target, wake);
-                if (all_quiescent && target > next) {
-                    // Ticks at `next` .. `target - 1` are skipped; the
-                    // first real tick happens at `target`.
-                    Tick skipped = target - next;
-                    for (auto &c : cores_)
-                        c->skipCycles(skipped);
-                    eq_.setNow(target - 1);
-                    fastForwardedCycles_ += skipped;
-                    next = target;
-                } else if (!all_quiescent) {
-                    ffResumeAt_ = next + kWalkBackoff;
+                if (all_passive && any_burst) {
+                    // Direct-execution round: every eligible core
+                    // bursts speculatively up to a shared window, then
+                    // the round commits the *minimum* progress and
+                    // rolls the rest back (Core::directCommit), so
+                    // cores leave the round fully synchronized at
+                    // T+commit. No message can be missed inside the
+                    // committed span — bursts end before any send,
+                    // quiescent cores cap it at their wake deadline,
+                    // and queued events stay out via target — which
+                    // makes the window a pure host-side tuning knob:
+                    // it doubles after a fully committed round and
+                    // shrinks to the achieved length after a partial
+                    // one.
+                    Tick horizon = std::min(T + burstWindow_,
+                                            target - 1);
+                    if (wake != maxTick)
+                        horizon = wake <= T + 1
+                                      ? T
+                                      : std::min(horizon, wake - 1);
+                    if (horizon > T) {
+                        uint64_t W = uint64_t(horizon - T);
+                        burstRound_.clear();
+                        for (auto &c : cores_)
+                            if (cfg_.directExec && c->directBurstable())
+                                burstRound_.push_back(c.get());
+                        uint64_t commit = W;
+                        for (Core *c : burstRound_)
+                            commit = std::min<uint64_t>(
+                                commit, c->directBurst(T, W));
+                        for (Core *c : burstRound_)
+                            c->directCommit(T, commit);
+                        if (commit > 0) {
+                            // Quiescent cores replay the committed
+                            // cycles' statistics; bursting cores
+                            // already recorded theirs (skipCycles
+                            // consumes their debt silently).
+                            for (auto &c : cores_)
+                                c->skipCycles(commit);
+                            eq_.setNow(T + commit);
+                            directExecutedCycles_ += commit;
+                            committed = true;
+                            ffBackoff_ = kBackoffMin;
+                            burstWindow_ =
+                                commit == W
+                                    ? std::min(burstWindow_ * 2,
+                                               kBurstWindowMax)
+                                    : std::max(Tick(commit),
+                                               kBurstWindowMin);
+                            continue;
+                        }
+                        burstWindow_ = kBurstWindowMin;
+                    }
+                } else if (all_passive && cfg_.fastForward) {
+                    // Pure fast-forward: jump the clock to the earliest
+                    // tick where anything can happen — the next queued
+                    // event or a core's own wake deadline — when the
+                    // jump clears at least kMinGap (1-cycle jumps cost
+                    // more than they save).
+                    target = std::min(target, wake);
+                    if (target >= next + kMinGap) {
+                        // Ticks at `next` .. `target - 1` are skipped;
+                        // the first real tick happens at `target`.
+                        Tick skipped = target - next;
+                        for (auto &c : cores_)
+                            c->skipCycles(skipped);
+                        eq_.setNow(target - 1);
+                        fastForwardedCycles_ += skipped;
+                        next = target;
+                        committed = true;
+                        ffBackoff_ = kBackoffMin;
+                    }
                 }
+            }
+            if (attempted && !committed) {
+                ffResumeAt_ = next + ffBackoff_;
+                ffBackoff_ = std::min(ffBackoff_ * 2, kBackoffMax);
             }
         }
 

@@ -109,6 +109,13 @@ class System
      */
     uint64_t fastForwardedCycles() const { return fastForwardedCycles_; }
 
+    /**
+     * Cycles committed by direct-execution rounds (host-side metric
+     * like fastForwardedCycles; deliberately not part of the stats
+     * dump, which stays identical with direct execution on or off).
+     */
+    uint64_t directExecutedCycles() const { return directExecutedCycles_; }
+
     // --- component access ----------------------------------------------
     const SystemConfig &config() const { return cfg_; }
     unsigned numCores() const { return cfg_.numCores; }
@@ -189,9 +196,23 @@ class System
     /** Previous sample per core, for delta-based counter values. */
     std::vector<CycleBreakdown> traceCpiPrev_;
     uint64_t fastForwardedCycles_ = 0;
+    uint64_t directExecutedCycles_ = 0;
     /** Next tick worth re-attempting the quiescence walk after a core
      *  reported busy (host-side throttle; see System::run). */
     Tick ffResumeAt_ = 0;
+    /** Adaptive retry distance for ffResumeAt_: doubles after every
+     *  walk that fails or cannot pay for itself (a compute-bound phase
+     *  makes them all useless), resets once a jump or a direct-exec
+     *  round actually commits cycles. */
+    Tick ffBackoff_ = 8;
+    /** Adaptive direct-execution window: doubles after every round
+     *  that commits its full window, shrinks to the achieved length
+     *  after a partial one (see System::run). Host-side tuning only —
+     *  rounds commit the minimum progress and roll the rest back, so
+     *  the window never changes simulated behavior. */
+    Tick burstWindow_ = 64;
+    /** Scratch list of the cores bursting in the current round. */
+    std::vector<Core *> burstRound_;
 };
 
 } // namespace asf

@@ -1,0 +1,171 @@
+/**
+ * Unit tests for the pre-decoded trace cache behind the direct-execution
+ * fast path: per-opcode classification, pure-run lengths, the packed
+ * per-PC record, register-range demotion, and — the invalidation story —
+ * that splicing a fence into previously pure straight-line code via
+ * prog/rewrite.cc yields a rebuilt cache whose block is split at the
+ * fence (programs are immutable, so rebuild *is* invalidation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/trace_cache.hh"
+#include "prog/assembler.hh"
+#include "prog/rewrite.hh"
+
+using namespace asf;
+
+using Kind = TraceCache::Kind;
+
+namespace
+{
+
+TraceCache
+buildCache(const Program &p)
+{
+    TraceCache tc;
+    tc.build(p);
+    return tc;
+}
+
+} // namespace
+
+TEST(TraceCache, ClassifiesEveryOpcodeFamily)
+{
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Nop}), Kind::Pure);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Li}), Kind::Pure);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Add}), Kind::Pure);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Shri}), Kind::Pure);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Rand}), Kind::Pure);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Beq}), Kind::Control);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Jmp}), Kind::Control);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Ld}), Kind::Load);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::St}), Kind::Store);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Compute}), Kind::Compute);
+    // Breakers: everything the burst interpreter must not touch.
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Fence}), Kind::Breaker);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Cas}), Kind::Breaker);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Xchg}), Kind::Breaker);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Mark}), Kind::Breaker);
+    EXPECT_EQ(TraceCache::classify(Instr{Op::Halt}), Kind::Breaker);
+}
+
+TEST(TraceCache, PureRunLengthsCountToTheNextBoundary)
+{
+    Assembler a("runs");
+    a.li(1, 1);      // pc 0: pure, run 3
+    a.addi(1, 1, 1); // pc 1: pure, run 2
+    a.mov(2, 1);     // pc 2: pure, run 1
+    a.ld(3, 1, 0);   // pc 3: load, run 0
+    a.add(4, 1, 2);  // pc 4: pure, run 1
+    a.halt();        // pc 5: breaker, run 0
+    TraceCache tc = buildCache(a.finish());
+
+    ASSERT_TRUE(tc.valid());
+    EXPECT_EQ(tc.size(), 6u);
+    EXPECT_EQ(tc.pureRun(0), 3u);
+    EXPECT_EQ(tc.pureRun(1), 2u);
+    EXPECT_EQ(tc.pureRun(2), 1u);
+    EXPECT_EQ(tc.pureRun(3), 0u);
+    EXPECT_EQ(tc.pureRun(4), 1u);
+    EXPECT_EQ(tc.pureRun(5), 0u);
+    EXPECT_EQ(tc.kind(3), Kind::Load);
+    EXPECT_EQ(tc.kind(5), Kind::Breaker);
+}
+
+TEST(TraceCache, PackedOpFusesKindAndRun)
+{
+    Assembler a("packed");
+    a.li(1, 7);
+    a.addi(1, 1, 1);
+    a.st(2, 0, 1);
+    a.halt();
+    TraceCache tc = buildCache(a.finish());
+
+    // One 64-bit load carries both fields for the burst dispatcher.
+    uint64_t op0 = tc.op(0);
+    EXPECT_EQ(TraceCache::opKind(op0), Kind::Pure);
+    EXPECT_EQ(TraceCache::opRun(op0), 2u);
+    uint64_t op2 = tc.op(2);
+    EXPECT_EQ(TraceCache::opKind(op2), Kind::Store);
+    EXPECT_EQ(TraceCache::opRun(op2), 0u);
+}
+
+TEST(TraceCache, OutOfRangePcReportsBreaker)
+{
+    Assembler a("tiny");
+    a.halt();
+    TraceCache tc = buildCache(a.finish());
+
+    // A wild PC must end the burst, not fault the cache: the cycle-exact
+    // path then raises the same fatal a plain tick would.
+    EXPECT_EQ(tc.kind(1), Kind::Breaker);
+    EXPECT_EQ(tc.pureRun(1), 0u);
+    EXPECT_EQ(tc.kind(uint64_t(-1)), Kind::Breaker);
+}
+
+TEST(TraceCache, OutOfRangeRegisterDemotesToBreaker)
+{
+    // Hand-built instruction with an out-of-range destination: the
+    // cache must demote it so the burst interpreter can use unchecked
+    // register accessors, leaving the range panic to the exact path.
+    Program p;
+    p.name = "badreg";
+    p.instrs.push_back(Instr{Op::Li, Reg(0), 0, 0, 0, 1});
+    Instr bad;
+    bad.op = Op::Addi;
+    bad.rd = Reg(numRegs); // first invalid register
+    p.instrs.push_back(bad);
+    p.instrs.push_back(Instr{Op::Halt});
+    TraceCache tc = buildCache(p);
+
+    EXPECT_EQ(tc.kind(0), Kind::Pure);
+    EXPECT_EQ(tc.kind(1), Kind::Breaker);
+    // The demotion also truncates the preceding pure run.
+    EXPECT_EQ(tc.pureRun(0), 1u);
+}
+
+TEST(TraceCache, FenceSpliceSplitsPreviouslyPureBlock)
+{
+    // Straight-line pure code, then rewrite.cc splices a fence into the
+    // middle. Programs are immutable (the splice yields a new Program),
+    // so rebuilding the cache is what invalidates the old block; the
+    // rebuilt cache must classify the spliced fence as a Breaker and
+    // split the pure run around it.
+    Assembler a("straight");
+    a.li(1, 0);      // pc 0
+    a.addi(1, 1, 1); // pc 1
+    a.addi(1, 1, 2); // pc 2
+    a.addi(1, 1, 3); // pc 3
+    a.halt();        // pc 4
+    Program before = a.finish();
+    TraceCache tc = buildCache(before);
+    ASSERT_EQ(tc.pureRun(0), 4u);
+
+    Program after = insertFences(before, {{2, FenceRole::Critical}});
+    ASSERT_EQ(after.instrs.size(), before.instrs.size() + 1);
+    tc.build(after);
+
+    // pc 2 is now the fence; the single 4-long run is split 2 / 2.
+    EXPECT_EQ(tc.size(), 6u);
+    EXPECT_EQ(tc.kind(2), Kind::Breaker);
+    EXPECT_EQ(tc.pureRun(0), 2u);
+    EXPECT_EQ(tc.pureRun(1), 1u);
+    EXPECT_EQ(tc.pureRun(2), 0u);
+    EXPECT_EQ(tc.pureRun(3), 2u);
+    EXPECT_EQ(tc.pureRun(4), 1u);
+    EXPECT_EQ(tc.kind(5), Kind::Breaker);
+}
+
+TEST(TraceCache, ClearForgetsTheProgram)
+{
+    Assembler a("gone");
+    a.li(1, 1);
+    a.halt();
+    TraceCache tc = buildCache(a.finish());
+    ASSERT_TRUE(tc.valid());
+    tc.clear();
+    EXPECT_FALSE(tc.valid());
+    EXPECT_EQ(tc.size(), 0u);
+    EXPECT_EQ(tc.kind(0), Kind::Breaker);
+}

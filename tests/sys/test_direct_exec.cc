@@ -1,0 +1,357 @@
+/**
+ * The direct-execution invariant: block-batched burst interpretation is
+ * a host-side optimization only, and must leave every simulated
+ * observable — final cycle count, retired instructions, and the
+ * complete stats JSON dump — bit-identical to a cycle-by-cycle run.
+ * Unlike fast-forward (which only skips provably inert cycles), the
+ * burst interpreter re-implements the per-cycle semantics of pure
+ * compute regions, so it is checked on workloads that actually mutate
+ * architectural and memory state inside bursts: the busy-spin kernel
+ * (where batching demonstrably engages), the randomized fuzz corpus,
+ * and all four synthesis kernels (Dekker, bakery, TLRW, THE deque)
+ * across every fence design.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "../helpers.hh"
+#include "prog/fuzz.hh"
+#include "runtime/bakery.hh"
+#include "runtime/dekker.hh"
+#include "runtime/layout.hh"
+#include "runtime/marks.hh"
+#include "runtime/regs.hh"
+#include "runtime/the_deque.hh"
+#include "runtime/tlrw.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::runtime;
+using namespace asf::regs;
+
+namespace
+{
+
+/** The three run-loop modes System::run can arbitrate between. */
+enum class Mode
+{
+    Exact,       ///< cycle-by-cycle ticking only
+    FastForward, ///< idle-cycle skipping (PR 2)
+    DirectExec,  ///< fast-forward + block-batched bursts
+};
+
+SystemConfig
+modeConfig(FenceDesign design, unsigned cores, Mode m)
+{
+    SystemConfig cfg = smallConfig(design, cores);
+    cfg.fastForward = m != Mode::Exact;
+    cfg.directExec = m == Mode::DirectExec;
+    return cfg;
+}
+
+struct RunOutcome
+{
+    Tick cycles = 0;
+    uint64_t instrRetired = 0;
+    uint64_t directExecutedCycles = 0;
+    std::string statsJson;
+};
+
+/** Run `sys` to completion and harvest everything the invariant covers. */
+RunOutcome
+harvest(System &sys)
+{
+    runToCompletion(sys);
+    RunOutcome out;
+    out.cycles = sys.now();
+    out.instrRetired = sys.totalInstrRetired();
+    out.directExecutedCycles = sys.directExecutedCycles();
+    std::ostringstream os;
+    sys.dumpStatsJson(os);
+    out.statsJson = os.str();
+    return out;
+}
+
+void
+expectIdentical(const RunOutcome &got, const RunOutcome &want,
+                const std::string &what)
+{
+    EXPECT_EQ(got.cycles, want.cycles) << what;
+    EXPECT_EQ(got.instrRetired, want.instrRetired) << what;
+    EXPECT_EQ(got.statsJson, want.statsJson)
+        << what << ": direct execution changed a simulated statistic";
+}
+
+/** The microbench busy-spin kernel: a never-idle ld/add/st/count loop
+ *  whose body is all batchable instruction kinds. */
+Program
+spinProgram(int64_t iters)
+{
+    Assembler a("spin");
+    a.li(4, 0);
+    a.li(5, iters);
+    a.bind("loop");
+    a.ld(2, 1, 0);
+    a.addi(2, 2, 1);
+    a.st(1, 0, 2);
+    a.addi(4, 4, 1);
+    a.blt(4, 5, "loop");
+    a.halt();
+    return a.finish();
+}
+
+/** TLRW kernel: n write-locked increments of data[0] (clone of the
+ *  runtime test's writer, contended here by every core). */
+Program
+tlrwWriterProgram(const TlrwTable &table, int n)
+{
+    Assembler a("tlrw_writer");
+    a.li(s0, n);
+    a.li(env0, int64_t(table.orecBase));
+    a.li(env1, int64_t(table.dataBase));
+    a.bind("loop");
+    a.li(a4, int64_t(table.orecAddr(0)));
+    emitTlrwWriteAcquire(a, a4, "wabort", t0, t1, t2, t3);
+    a.li(a5, int64_t(table.dataAddr(0)));
+    a.ld(t0, a5, 0);
+    a.addi(t0, t0, 1);
+    a.st(a5, 0, t0);
+    emitTlrwWriteRelease(a, a4, t0);
+    a.addi(s0, s0, -1);
+    a.li(t0, 0);
+    a.blt(t0, s0, "loop");
+    a.halt();
+    a.bind("wabort");
+    a.compute(30);
+    a.jmp("loop");
+    return a.finish();
+}
+
+/** Deque owner: take until empty, summing tasks into [res]. */
+Program
+dequeOwnerProgram(const TheDeque &q, Addr res)
+{
+    Assembler a("owner");
+    a.li(env0, int64_t(q.base));
+    a.li(s0, 0);
+    a.li(s9, int64_t(dequeEmpty));
+    a.bind("loop");
+    emitTake(a, q, env0, a0, t0, t1, t2, t3);
+    a.beq(a0, s9, "done");
+    a.add(s0, s0, a0);
+    a.jmp("loop");
+    a.bind("done");
+    a.li(t0, int64_t(res));
+    a.st(t0, 0, s0);
+    a.halt();
+    return a.finish();
+}
+
+/** Deque thief: bounded steal attempts, summing tasks into [res]. */
+Program
+dequeThiefProgram(const TheDeque &q, Addr res, unsigned attempts)
+{
+    Assembler a("thief");
+    a.li(env0, int64_t(q.base));
+    a.li(s0, 0);
+    a.li(s1, int64_t(attempts));
+    a.li(s9, int64_t(dequeEmpty));
+    a.bind("loop");
+    emitSteal(a, q, env0, a0, t0, t1, t2, t3);
+    a.beq(a0, s9, "next");
+    a.add(s0, s0, a0);
+    a.bind("next");
+    a.addi(s1, s1, -1);
+    a.li(t0, 0);
+    a.blt(t0, s1, "loop");
+    a.li(t0, int64_t(res));
+    a.st(t0, 0, s0);
+    a.halt();
+    return a.finish();
+}
+
+} // namespace
+
+TEST(DirectExec, BusySpinThreeModesBitIdentical)
+{
+    // The workload direct execution exists for: a compute-bound spin
+    // that fast-forward cannot touch. All three modes must agree on
+    // every simulated observable, and the burst path must actually
+    // engage or the test is vacuous.
+    RunOutcome outcomes[3];
+    for (Mode m : {Mode::Exact, Mode::FastForward, Mode::DirectExec}) {
+        System sys(modeConfig(FenceDesign::SPlus, 2, m));
+        auto prog = share(spinProgram(4000));
+        for (unsigned i = 0; i < 2; i++) {
+            sys.loadProgram(NodeId(i), prog);
+            sys.core(NodeId(i)).setReg(1, 0x1000 + Addr(i) * 512);
+        }
+        outcomes[unsigned(m)] = harvest(sys);
+    }
+    const RunOutcome &exact = outcomes[0];
+    const RunOutcome &ff = outcomes[1];
+    const RunOutcome &direct = outcomes[2];
+
+    EXPECT_EQ(exact.directExecutedCycles, 0u);
+    EXPECT_EQ(ff.directExecutedCycles, 0u);
+    EXPECT_GT(direct.directExecutedCycles, 0u)
+        << "direct execution never engaged on a busy-spin workload";
+
+    expectIdentical(ff, exact, "fast-forward vs exact");
+    expectIdentical(direct, exact, "direct-exec vs exact");
+}
+
+TEST(DirectExec, FuzzCorpusBitIdenticalAcrossDesigns)
+{
+    // Randomized fence-disciplined programs: every design, two seeds,
+    // padded and packed layouts. Stats must match exactly with direct
+    // execution on vs off in every combination. (Fast-forward vs exact
+    // is already covered by test_fast_forward.cc; both runs here keep
+    // fast-forward on so the delta isolates the burst interpreter.)
+    for (FenceDesign design : allFenceDesigns) {
+        for (uint64_t seed : {5ull, 17ull}) {
+            for (bool packed : {false, true}) {
+                FuzzConfig fc;
+                fc.numThreads = 4;
+                fc.numLocations = 8;
+                fc.rounds = 8;
+                fc.packLocations = packed;
+                fc.seed = seed;
+                FuzzSetup setup = buildFuzz(fc);
+
+                RunOutcome outcomes[2];
+                for (bool direct : {false, true}) {
+                    System sys(modeConfig(design, 4,
+                                          direct ? Mode::DirectExec
+                                                 : Mode::FastForward));
+                    for (unsigned t = 0; t < fc.numThreads; t++)
+                        sys.loadProgram(
+                            NodeId(t),
+                            share(Program(setup.programs[t])));
+                    outcomes[direct] = harvest(sys);
+                }
+                std::ostringstream what;
+                what << fenceDesignName(design) << " seed " << seed
+                     << (packed ? " packed" : " padded");
+                expectIdentical(outcomes[1], outcomes[0], what.str());
+            }
+        }
+    }
+}
+
+TEST(DirectExec, DekkerKernelBitIdenticalAcrossDesigns)
+{
+    for (FenceDesign design : allFenceDesigns) {
+        const unsigned iters = 40;
+        RunOutcome outcomes[2];
+        for (bool direct : {false, true}) {
+            System sys(modeConfig(design, 2,
+                                  direct ? Mode::DirectExec
+                                         : Mode::FastForward));
+            GuestLayout layout;
+            DekkerLayout lay = allocDekker(layout);
+            sys.loadProgram(0,
+                            share(buildDekkerProgram(lay, 0, iters, 0)));
+            sys.loadProgram(1,
+                            share(buildDekkerProgram(lay, 1, iters, 0)));
+            outcomes[direct] = harvest(sys);
+            // Mutual exclusion must survive burst batching too.
+            EXPECT_EQ(sys.debugReadWord(lay.counterAddr), 2 * iters)
+                << fenceDesignName(design)
+                << (direct ? " direct" : " exact");
+        }
+        expectIdentical(outcomes[1], outcomes[0],
+                        std::string("dekker ") + fenceDesignName(design));
+    }
+}
+
+TEST(DirectExec, BakeryKernelBitIdenticalAcrossDesigns)
+{
+    for (FenceDesign design : allFenceDesigns) {
+        const unsigned threads = 3;
+        const unsigned iters = 12;
+        RunOutcome outcomes[2];
+        for (bool direct : {false, true}) {
+            System sys(modeConfig(design, threads,
+                                  direct ? Mode::DirectExec
+                                         : Mode::FastForward));
+            GuestLayout layout;
+            BakeryLayout lay = allocBakery(layout, threads);
+            for (unsigned i = 0; i < threads; i++) {
+                sys.loadProgram(
+                    NodeId(i),
+                    share(buildBakeryProgram(lay, i, iters, 20, 0)));
+                sys.core(NodeId(i)).setReg(regs::tid, i);
+                sys.core(NodeId(i)).setReg(regs::nthreads, threads);
+            }
+            outcomes[direct] = harvest(sys);
+            EXPECT_EQ(sys.debugReadWord(lay.counterAddr),
+                      uint64_t(threads) * iters)
+                << fenceDesignName(design)
+                << (direct ? " direct" : " exact");
+        }
+        expectIdentical(outcomes[1], outcomes[0],
+                        std::string("bakery ") + fenceDesignName(design));
+    }
+}
+
+TEST(DirectExec, TlrwKernelBitIdenticalAcrossDesigns)
+{
+    for (FenceDesign design : allFenceDesigns) {
+        const int iters = 10;
+        RunOutcome outcomes[2];
+        for (bool direct : {false, true}) {
+            System sys(modeConfig(design, 2,
+                                  direct ? Mode::DirectExec
+                                         : Mode::FastForward));
+            GuestLayout layout;
+            TlrwTable table = allocTlrwTable(layout, 4, 2);
+            auto prog = share(tlrwWriterProgram(table, iters));
+            sys.loadProgram(0, prog);
+            sys.loadProgram(1, prog);
+            outcomes[direct] = harvest(sys);
+            EXPECT_EQ(sys.debugReadWord(table.dataAddr(0)),
+                      uint64_t(2 * iters))
+                << fenceDesignName(design)
+                << (direct ? " direct" : " exact");
+        }
+        expectIdentical(outcomes[1], outcomes[0],
+                        std::string("tlrw ") + fenceDesignName(design));
+    }
+}
+
+TEST(DirectExec, TheDequeKernelBitIdenticalAcrossDesigns)
+{
+    for (FenceDesign design : allFenceDesigns) {
+        std::vector<uint64_t> tasks;
+        uint64_t expect = 0;
+        for (uint64_t i = 1; i <= 24; i++) {
+            tasks.push_back(i);
+            expect += i;
+        }
+        RunOutcome outcomes[2];
+        for (bool direct : {false, true}) {
+            System sys(modeConfig(design, 2,
+                                  direct ? Mode::DirectExec
+                                         : Mode::FastForward));
+            GuestLayout layout;
+            TheDeque q = allocTheDeque(layout, 64);
+            seedDeque(sys.memory(), q, tasks);
+            sys.loadProgram(0, share(dequeOwnerProgram(q, 0x8000)));
+            sys.loadProgram(1, share(dequeThiefProgram(q, 0x8040, 120)));
+            outcomes[direct] = harvest(sys);
+            EXPECT_EQ(sys.debugReadWord(0x8000) +
+                          sys.debugReadWord(0x8040),
+                      expect)
+                << "task lost or duplicated under "
+                << fenceDesignName(design)
+                << (direct ? " direct" : " exact");
+        }
+        expectIdentical(outcomes[1], outcomes[0],
+                        std::string("deque ") + fenceDesignName(design));
+    }
+}

@@ -65,6 +65,8 @@ usage(int code)
         "(default 1)\n"
         "  --no-fast-forward       tick every idle cycle (A/B check; "
         "results are identical)\n"
+        "  --no-direct-exec        disable batched direct execution "
+        "(A/B check; results are identical)\n"
         "  --stats                 dump per-core statistic counters\n"
         "  --stats-json PATH       write the full stats report "
         "(schemaVersion 2 JSON)\n"
@@ -140,6 +142,8 @@ parse(int argc, char **argv)
             opt.jobs = unsigned(std::atoi(v));
         else if (!std::strcmp(argv[i], "--no-fast-forward"))
             setFastForwardEnabled(false);
+        else if (!std::strcmp(argv[i], "--no-direct-exec"))
+            setDirectExecEnabled(false);
         else if (!std::strcmp(argv[i], "--check"))
             setCheckExecutionEnabled(true);
         else if (!std::strcmp(argv[i], "--stats"))

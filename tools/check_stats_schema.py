@@ -17,7 +17,15 @@ entirely when checking was off, so v1/v2 consumers keep working.
 The run is executed twice: once plain, once with --check, so both the
 without-check and with-check shapes are validated.
 
+With --bench the script instead validates a simcore-microbench host
+performance report (BENCH_simcore.json, schemaVersion 2): per-workload
+run documents for all three execution modes (cycle-exact, fast-forward,
+direct-exec), the speedup fields, and the cross-mode identity claims
+(equal stats digests, statsIdentical true, and no batched cycles
+reported by the modes that cannot batch).
+
 Usage: check_stats_schema.py <path-to-asf_sim>
+       check_stats_schema.py --bench <path-to-BENCH_simcore.json>
 """
 
 import json
@@ -305,9 +313,69 @@ def check_trace(path):
     expect("thread_name" in names, "trace: rows are not named")
 
 
+# Per-mode run document keys in a simcore-microbench report
+# (mirrors emitRun in bench/simcore_microbench.cc).
+BENCH_RUN_KEYS = ("hostSeconds", "simCycles", "simCyclesPerSec",
+                  "eventsExecuted", "eventsPerSec", "instrRetired",
+                  "fastForwardedCycles", "directExecutedCycles")
+BENCH_MODES = ("noFastForward", "fastForward", "directExec")
+
+
+def check_bench_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    expect(doc.get("schemaVersion") == 2,
+           f"bench: schemaVersion {doc.get('schemaVersion')!r}, "
+           f"expected 2")
+    expect(isinstance(doc.get("design"), str), "bench: missing 'design'")
+    expect(isinstance(doc.get("quick"), bool), "bench: missing 'quick'")
+    workloads = doc.get("workloads")
+    expect(isinstance(workloads, list) and workloads,
+           "bench: empty 'workloads'")
+    for w in workloads:
+        name = w.get("name")
+        expect(isinstance(name, str), "bench workload: missing 'name'")
+        check_number(w, "cores", name)
+        digests = set()
+        for mode in BENCH_MODES:
+            run = w.get(mode)
+            expect(isinstance(run, dict),
+                   f"{name}: missing mode document '{mode}'")
+            for key in BENCH_RUN_KEYS:
+                check_number(run, key, f"{name}.{mode}")
+            digest = run.get("statsDigest")
+            expect(isinstance(digest, str) and len(digest) == 16,
+                   f"{name}.{mode}: 'statsDigest' is not a 16-char "
+                   f"hex string")
+            digests.add(digest)
+        # Identity across modes, and only the modes that can skip or
+        # batch may report skipped/batched cycles.
+        expect(len(digests) == 1,
+               f"{name}: stats digests differ across modes")
+        expect(w.get("statsIdentical") is True,
+               f"{name}: 'statsIdentical' is not true")
+        exact = w["noFastForward"]
+        expect(exact["fastForwardedCycles"] == 0,
+               f"{name}: cycle-exact run fast-forwarded cycles")
+        for mode in ("noFastForward", "fastForward"):
+            expect(w[mode]["directExecutedCycles"] == 0,
+                   f"{name}: {mode} run reports batched cycles")
+        for key in ("speedupFastForward", "speedupDirectExec"):
+            check_number(w, key, name)
+            expect(w[key] > 0, f"{name}: '{key}' not positive")
+    print(f"ok: bench report schema validated "
+          f"({len(workloads)} workloads)")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--bench":
+        bench = Path(sys.argv[2])
+        expect(bench.exists(), f"no such report: {bench}")
+        check_bench_report(bench)
+        return
     if len(sys.argv) != 2:
-        fail(f"usage: {sys.argv[0]} <path-to-asf_sim>")
+        fail(f"usage: {sys.argv[0]} <path-to-asf_sim> | "
+             f"--bench <report.json>")
     asf_sim = Path(sys.argv[1])
     expect(asf_sim.exists(), f"no such binary: {asf_sim}")
 

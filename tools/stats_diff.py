@@ -26,6 +26,16 @@ Subcommands:
       result, and compare against the committed GOLDEN summary. This is
       the CTest regression gate for the bench binaries.
 
+  check-perf BENCH [--min-speedup X] [--gate NAME] [--only SUBSTRING]
+      Run `BENCH --quick --json-only` (the simcore microbench) and
+      gate on its report: every workload's stats digest must be
+      identical across all three execution modes, and the gated
+      workload's direct-execution speedup must clear the threshold
+      (default: busy_spin_8core at 2.0x — deliberately below the
+      committed full-run numbers so host noise cannot flake CI, but
+      high enough that a disabled or regressed burst path fails).
+      This is the CTest perf smoke gate (tools.perf_smoke).
+
 Used by CTest as tools.stats_diff_fig10; regenerate the golden with:
   build/bench/fig10_ustm_breakdown --quick --stats-json /tmp/f.json
   tools/stats_diff.py summarize /tmp/f.json tests/golden/fig10_quick_summary.json
@@ -208,6 +218,70 @@ def cmd_check_bench(args):
     report(errors, f"{bench.name} --quick vs {args.golden}")
 
 
+BENCH_MODES = ("noFastForward", "fastForward", "directExec")
+
+
+def check_perf_report(doc, min_speedup, gate):
+    """Gate a simcore-microbench report (schemaVersion 2): mode
+    identity everywhere, direct-exec speedup on the gated workload."""
+    errors = []
+    if doc.get("schemaVersion") != 2:
+        errors.append(f"report schemaVersion "
+                      f"{doc.get('schemaVersion')!r}, expected 2")
+        return errors
+    workloads = doc.get("workloads", [])
+    if not workloads:
+        errors.append("report contains no workloads")
+    gated = 0
+    for w in workloads:
+        name = w.get("name", "?")
+        if w.get("statsIdentical") is not True:
+            errors.append(f"{name}: statsIdentical is not true")
+        digests = []
+        for mode in BENCH_MODES:
+            run = w.get(mode)
+            if not isinstance(run, dict) or "statsDigest" not in run:
+                errors.append(f"{name}: mode '{mode}' missing "
+                              f"statsDigest")
+                continue
+            digests.append(run["statsDigest"])
+        if len(set(digests)) > 1:
+            errors.append(f"{name}: stats digests differ across "
+                          f"modes: {digests}")
+        if gate in name:
+            gated += 1
+            speedup = w.get("speedupDirectExec", 0.0)
+            if speedup < min_speedup:
+                errors.append(
+                    f"{name}: direct-exec speedup {speedup:.2f}x "
+                    f"below the {min_speedup:.2f}x gate")
+    if gated == 0:
+        errors.append(f"no workload matched the gate '{gate}'")
+    return errors
+
+
+def cmd_check_perf(args):
+    bench = Path(args.bench)
+    if not bench.exists():
+        sys.exit(f"no such binary: {bench}")
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "bench.json"
+        cmd = [str(bench), "--quick", "--json-only", "--out", str(out)]
+        if args.only:
+            cmd += ["--only", args.only]
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=1800)
+        # The bench itself refuses to write a report when any mode
+        # diverges, so a non-zero exit already is an identity failure.
+        if proc.returncode != 0:
+            sys.exit(f"FAIL: {bench.name} exited "
+                     f"{proc.returncode}:\n{proc.stderr}")
+        doc = load(out)
+    errors = check_perf_report(doc, args.min_speedup, args.gate)
+    report(errors, f"{bench.name} perf smoke "
+                   f"(gate {args.gate} >= {args.min_speedup:.2f}x)")
+
+
 def main():
     top = argparse.ArgumentParser(description=__doc__)
     sub = top.add_subparsers(dest="command", required=True)
@@ -231,6 +305,15 @@ def main():
     p.add_argument("--jobs", type=int, default=0)
     p.add_argument("--rtol", action="append", metavar="METRIC=FRAC")
     p.set_defaults(func=cmd_check_bench)
+
+    p = sub.add_parser("check-perf",
+                       help="run the simcore microbench and gate on "
+                            "mode identity + direct-exec speedup")
+    p.add_argument("bench")
+    p.add_argument("--min-speedup", type=float, default=2.0)
+    p.add_argument("--gate", default="busy_spin_8core")
+    p.add_argument("--only", default="")
+    p.set_defaults(func=cmd_check_perf)
 
     args = top.parse_args()
     args.func(args)
