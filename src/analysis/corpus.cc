@@ -311,6 +311,12 @@ buildCorpusEntry(const std::string &name)
         e.threads = {
             share(buildDekkerProgram(lay, 0, iters, 0, false)),
             share(buildDekkerProgram(lay, 1, iters, 0, false))};
+        e.setup = [lay](System &sys) {
+            sys.labelLine(lay.flag0, "dekker.flag[0]");
+            sys.labelLine(lay.flag1, "dekker.flag[1]");
+            sys.labelLine(lay.turn, "dekker.turn");
+            sys.labelLine(lay.counterAddr, "dekker.counter");
+        };
         e.invariant = [lay](System &sys) {
             return sys.debugReadWord(lay.counterAddr) == 2 * iters;
         };
@@ -324,6 +330,13 @@ buildCorpusEntry(const std::string &name)
         e.threads = {
             share(buildBakeryProgram(lay, 0, iters, 0, 0, false)),
             share(buildBakeryProgram(lay, 1, iters, 0, 0, false))};
+        e.setup = [lay](System &sys) {
+            // E[] and N[] are packed words, so each array is one
+            // (false-)shared line; label the whole line once.
+            sys.labelLine(lay.eAddr(0), "bakery.E[]");
+            sys.labelLine(lay.nAddr(0), "bakery.N[]");
+            sys.labelLine(lay.counterAddr, "bakery.counter");
+        };
         e.invariant = [lay](System &sys) {
             return sys.debugReadWord(lay.counterAddr) == 2 * iters;
         };

@@ -1345,8 +1345,13 @@ Core::evaluateLoadGate()
                 profiler_->onBsInsert(epoch_profile);
         } else {
             hr = HoldReason::BsFull;
-            if (load_.hold != HoldReason::BsFull)
+            // Transition-counted (like bsFullHolds): one conflict per
+            // refused insert, not one per held cycle.
+            if (load_.hold != HoldReason::BsFull) {
                 stats_.scalar("bsFullHolds").inc();
+                if (hotspot_)
+                    hotspot_->record(load_.addr, HotEvent::BsConflict);
+            }
         }
     }
 

@@ -39,6 +39,7 @@
 #include "cpu/write_buffer.hh"
 #include "fence/bypass_set.hh"
 #include "fence/fence_kind.hh"
+#include "mem/hotspot.hh"
 #include "mem/l1_cache.hh"
 #include "noc/mesh.hh"
 #include "prog/instr.hh"
@@ -182,6 +183,10 @@ class Core
      *  either way: capture happens at commit points that never branch
      *  on it). */
     void setRecorder(check::ExecutionRecorder *rec) { recorder_ = rec; }
+
+    /** Attach the hot-line tracker (nullptr = off; observation-only:
+     *  Bypass-Set insert conflicts are charged to the refused line). */
+    void setHotspot(HotLineTracker *h) { hotspot_ = h; }
 
     /** One-line-per-item diagnostic state dump (watchdog snapshot). */
     void debugDump(std::ostream &os) const;
@@ -521,6 +526,7 @@ class Core
     bool weeSerializeStall_ = false;
     FenceProfiler *profiler_ = nullptr;
     check::ExecutionRecorder *recorder_ = nullptr;
+    HotLineTracker *hotspot_ = nullptr;
 
     std::map<int64_t, uint64_t> markCounters_;
     /** Marks executed while a checkpointed (W+) weak fence was active:

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <sstream>
 
 #include "analysis/corpus.hh"
 #include "check/axioms.hh"
+#include "harness/heartbeat.hh"
 #include "harness/report.hh"
 #include "runtime/marks.hh"
 #include "sim/logging.hh"
@@ -40,6 +42,14 @@ std::atomic<bool> fastForwardDefault{true};
 std::atomic<bool> directExecDefault{true};
 std::atomic<Tick> watchdogDefault{0};
 std::atomic<bool> checkExecutionDefault{false};
+std::atomic<Tick> statsIntervalDefault_{0};
+
+std::string &
+obsDirRef()
+{
+    static std::string dir;
+    return dir;
+}
 
 std::string &
 fenceProfilePathRef()
@@ -74,13 +84,38 @@ appendFenceProfileRaw(System &sys)
     sys.fenceProfiler()->dumpRawJsonl(f);
 }
 
-/** One viewer process row per experiment, labelled like "fib/W+/8c". */
-void
-beginRunTrace(const std::string &workload, FenceDesign design,
-              unsigned cores)
+/** Run label like "fib/W+/8c": the trace process-row name and the
+ *  heartbeat job label. */
+std::string
+runLabel(const std::string &workload, FenceDesign design, unsigned cores)
 {
-    ASF_TRACE(beginRun(format("%s/%s/%uc", workload.c_str(),
-                              fenceDesignName(design), cores)));
+    return format("%s/%s/%uc", workload.c_str(), fenceDesignName(design),
+                  cores);
+}
+
+/** One viewer process row per experiment. */
+void
+beginRunTrace(const std::string &label)
+{
+    ASF_TRACE(beginRun(label));
+}
+
+/** The SystemConfig fields every runner derives from the process-wide
+ *  defaults. Runners may still adjust fields afterwards (synth forces
+ *  checkExecution on) before heartbeatBindRun() hashes the summary. */
+SystemConfig
+baseRunConfig(FenceDesign design, unsigned cores)
+{
+    SystemConfig cfg;
+    cfg.numCores = cores;
+    cfg.design = design;
+    cfg.fastForward = fastForwardEnabled();
+    cfg.directExec = directExecEnabled();
+    cfg.watchdogCycles = watchdogCyclesDefault();
+    cfg.fenceProfileRaw = !fenceProfilePath().empty();
+    cfg.checkExecution = checkExecutionEnabled();
+    cfg.statsInterval = statsIntervalDefault();
+    return cfg;
 }
 
 /** Append this run's stats document to the log and rewrite the file. */
@@ -238,9 +273,48 @@ watchdogCyclesDefault()
 }
 
 void
+setStatsIntervalDefault(Tick interval)
+{
+    statsIntervalDefault_.store(interval, std::memory_order_relaxed);
+}
+
+Tick
+statsIntervalDefault()
+{
+    return statsIntervalDefault_.load(std::memory_order_relaxed);
+}
+
+void
+setObsDir(const std::string &dir)
+{
+    obsDirRef() = dir;
+}
+
+const std::string &
+obsDir()
+{
+    return obsDirRef();
+}
+
+std::string
+resolveObsPath(const std::string &path)
+{
+    const std::string &dir = obsDirRef();
+    if (path.empty() || dir.empty() ||
+        std::filesystem::path(path).is_absolute())
+        return path;
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        warn("cannot create obs dir '%s': %s", dir.c_str(),
+             ec.message().c_str());
+    return (std::filesystem::path(dir) / path).string();
+}
+
+void
 setFenceProfilePath(const std::string &path)
 {
-    fenceProfilePathRef() = path;
+    fenceProfilePathRef() = resolveObsPath(path);
 }
 
 const std::string &
@@ -252,7 +326,7 @@ fenceProfilePath()
 void
 setStatsJsonPath(const std::string &path)
 {
-    statsJsonPathRef() = path;
+    statsJsonPathRef() = resolveObsPath(path);
 }
 
 const std::string &
@@ -264,7 +338,7 @@ statsJsonPath()
 void
 setTracePath(const std::string &path)
 {
-    Trace::get().open(path);
+    Trace::get().open(resolveObsPath(path));
 }
 
 void
@@ -278,7 +352,7 @@ flushStatsJson()
         warn("cannot write stats JSON to '%s'", path.c_str());
         return;
     }
-    f << "{\"schemaVersion\":3,\"runs\":[";
+    f << "{\"schemaVersion\":4,\"runs\":[";
     const auto &runs = statsJsonRuns();
     for (size_t i = 0; i < runs.size(); i++)
         f << (i ? ",\n" : "\n") << runs[i];
@@ -312,6 +386,7 @@ harvestStats(System &sys, ExperimentResult &r)
     r.cores = sys.numCores();
     r.breakdown = sys.breakdown();
     r.instrRetired = sys.totalInstrRetired();
+    r.watchdogFired = sys.watchdogFired();
 
     r.tasks = sys.guestCounter(marks::taskDone);
     r.steals = sys.guestCounter(marks::taskStolen);
@@ -358,15 +433,10 @@ runCilkExperiment(const workloads::CilkApp &app, FenceDesign design,
                   unsigned cores, Tick max_cycles,
                   std::ostream *stats_out)
 {
-    beginRunTrace(app.name, design, cores);
-    SystemConfig cfg;
-    cfg.numCores = cores;
-    cfg.design = design;
-    cfg.fastForward = fastForwardEnabled();
-    cfg.directExec = directExecEnabled();
-    cfg.watchdogCycles = watchdogCyclesDefault();
-    cfg.fenceProfileRaw = !fenceProfilePath().empty();
-    cfg.checkExecution = checkExecutionEnabled();
+    std::string label = runLabel(app.name, design, cores);
+    beginRunTrace(label);
+    SystemConfig cfg = baseRunConfig(design, cores);
+    heartbeatBindRun(cfg, label);
     System sys(cfg);
     auto setup = workloads::setupCilkApp(sys, app);
 
@@ -433,15 +503,10 @@ runUstmExperiment(const workloads::TlrwBench &bench, FenceDesign design,
                   unsigned cores, Tick run_cycles,
                   std::ostream *stats_out)
 {
-    beginRunTrace(bench.name, design, cores);
-    SystemConfig cfg;
-    cfg.numCores = cores;
-    cfg.design = design;
-    cfg.fastForward = fastForwardEnabled();
-    cfg.directExec = directExecEnabled();
-    cfg.watchdogCycles = watchdogCyclesDefault();
-    cfg.fenceProfileRaw = !fenceProfilePath().empty();
-    cfg.checkExecution = checkExecutionEnabled();
+    std::string label = runLabel(bench.name, design, cores);
+    beginRunTrace(label);
+    SystemConfig cfg = baseRunConfig(design, cores);
+    heartbeatBindRun(cfg, label);
     System sys(cfg);
     auto setup = workloads::setupTlrwWorkload(sys, bench, 0);
 
@@ -471,15 +536,10 @@ runStampExperiment(const workloads::StampApp &app, FenceDesign design,
                    unsigned cores, Tick max_cycles,
                    std::ostream *stats_out)
 {
-    beginRunTrace(app.bench.name, design, cores);
-    SystemConfig cfg;
-    cfg.numCores = cores;
-    cfg.design = design;
-    cfg.fastForward = fastForwardEnabled();
-    cfg.directExec = directExecEnabled();
-    cfg.watchdogCycles = watchdogCyclesDefault();
-    cfg.fenceProfileRaw = !fenceProfilePath().empty();
-    cfg.checkExecution = checkExecutionEnabled();
+    std::string label = runLabel(app.bench.name, design, cores);
+    beginRunTrace(label);
+    SystemConfig cfg = baseRunConfig(design, cores);
+    heartbeatBindRun(cfg, label);
     System sys(cfg);
     auto setup = workloads::setupTlrwWorkload(sys, app.bench,
                                               app.txnsPerThread);
@@ -529,16 +589,12 @@ runSynthExperiment(const std::string &kit, FenceDesign design,
 
     unsigned cores =
         unsigned(std::max<size_t>(4, entry.threads.size()));
-    beginRunTrace("synth:" + kit, design, cores);
-    SystemConfig cfg;
-    cfg.numCores = cores;
-    cfg.design = design;
-    cfg.fastForward = fastForwardEnabled();
-    cfg.directExec = directExecEnabled();
-    cfg.watchdogCycles = watchdogCyclesDefault();
-    cfg.fenceProfileRaw = !fenceProfilePath().empty();
+    std::string label = runLabel("synth:" + kit, design, cores);
+    beginRunTrace(label);
+    SystemConfig cfg = baseRunConfig(design, cores);
     // The verdict is the point of a synth run; checking is not optional.
     cfg.checkExecution = true;
+    heartbeatBindRun(cfg, label);
     System sys(cfg);
     for (size_t t = 0; t < progs.size(); t++)
         sys.loadProgram(NodeId(t), progs[t]);

@@ -54,6 +54,10 @@ struct ExperimentResult
     bool valid = false;
     std::string validationError;
 
+    /** True when the run was aborted by the livelock watchdog (also
+     *  reflected in validationError; split out for sweep telemetry). */
+    bool watchdogFired = false;
+
     /** Execution-checker verdict ("pass" / "violation" /
      *  "inconclusive"); empty when checking was off. */
     std::string checkVerdict;
@@ -104,7 +108,7 @@ void harvestStats(System &sys, ExperimentResult &r);
 /**
  * Record a machine-readable stats document for every subsequent
  * experiment run in this process and write the accumulated log
- * (`{"schemaVersion":1,"runs":[...]}`) to `path`. The file is rewritten
+ * (`{"schemaVersion":4,"runs":[...]}`) to `path`. The file is rewritten
  * after every run, so a partial log survives an aborted sweep. Pass an
  * empty string to disable. See README.md "Observability".
  */
@@ -195,6 +199,31 @@ const std::string &fenceProfilePath();
  */
 void setCheckExecutionEnabled(bool on);
 bool checkExecutionEnabled();
+
+/**
+ * Process-wide default for SystemConfig::statsInterval, consulted by
+ * the experiment runners (`--stats-interval`). 0 (the default)
+ * disables the interval time-series; any other value snapshots the
+ * contention counters every N cycles into the stats documents'
+ * `timeline` block. Observation-only: cycles and cumulative stats are
+ * bit-identical with it on or off (tests/sim/test_interval_stats.cc).
+ */
+void setStatsIntervalDefault(Tick interval);
+Tick statsIntervalDefault();
+
+/**
+ * Observability output directory (`--obs-dir`). When set, every
+ * relative path later handed to setStatsJsonPath / setTracePath /
+ * setFenceProfilePath / setHeartbeatPath is resolved under it (the
+ * directory is created on demand); absolute paths pass through
+ * untouched. Lets one flag co-locate an entire campaign's artifacts.
+ */
+void setObsDir(const std::string &dir);
+const std::string &obsDir();
+
+/** Apply the obs-dir policy above to `path` (exposed for the setters
+ *  that live outside this file, e.g. setHeartbeatPath). */
+std::string resolveObsPath(const std::string &path);
 
 } // namespace asf::harness
 

@@ -1,8 +1,10 @@
 #include "harness/sweep.hh"
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
+#include "harness/heartbeat.hh"
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 
@@ -27,9 +29,22 @@ runSweep(const std::vector<SweepJob> &jobs, unsigned num_threads)
     if (size_t(num_threads) > n)
         num_threads = unsigned(n);
 
+    // Live campaign telemetry (--heartbeat): one JSONL file for the
+    // whole sweep, updated as jobs start/finish and while they run.
+    std::unique_ptr<SweepHeartbeat> hb;
+    if (!heartbeatPath().empty())
+        hb = std::make_unique<SweepHeartbeat>(heartbeatPath(), n);
+
     auto run_one = [&](size_t i) {
         ScopedRunCapture capture(docs[i]);
+        ScopedHeartbeatJob hb_job(hb.get(), i);
         results[i] = jobs[i]();
+        if (hb)
+            hb->jobFinished(i, results[i].cycles, results[i].valid,
+                            results[i].watchdogFired,
+                            results[i].valid
+                                ? "ok"
+                                : results[i].validationError);
     };
 
     if (num_threads <= 1) {

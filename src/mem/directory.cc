@@ -177,6 +177,14 @@ Directory::issueTxn(Addr line)
         panic("startTxn on %s", msgTypeName(req.type));
     }
 
+    // Contended line: the transaction had to invalidate or downgrade
+    // remote copies. This is the ping-pong signature (a spin lock
+    // bounces between two caches via 1-ack probes every iteration),
+    // while cold misses probe nobody and stream through without
+    // touching the sketch.
+    if (hotspot_ && txn.pendingAcks >= 1)
+        hotspot_->recordSharers(line, txn.pendingAcks);
+
     tryFinalize(line);
 }
 
@@ -219,6 +227,8 @@ Directory::onProbeAck(const Message &ack)
     if (ack.bounced) {
         txn.anyBounce = true;
         statBounces_.inc();
+        if (hotspot_)
+            hotspot_->record(ack.addr, HotEvent::Bounce);
         ASF_TRACE(instant(
             eq_.now(), 1000 + uint32_t(node_), "dir", "bounce",
             format("{\"line\":%llu,\"by\":%d,\"for\":%d,\"fenceId\":%llu}",
@@ -303,6 +313,8 @@ Directory::finalizeGetX(Txn &txn, Entry &entry)
 
     if (txn.anyBounce) {
         stats_.scalar("getxNacked").inc();
+        if (hotspot_)
+            hotspot_->record(txn.req.addr, HotEvent::NackX);
         ASF_TRACE(instant(
             eq_.now(), 1000 + uint32_t(node_), "dir", "NackX",
             format("{\"line\":%llu,\"to\":%d,\"fenceId\":%llu}",
@@ -346,6 +358,8 @@ Directory::finalizeOrder(Txn &txn, Entry &entry)
     if (conditional && txn.anyTrueShare) {
         // CO fails: discard the update, requester retries as CO.
         stats_.scalar("coFailed").inc();
+        if (hotspot_)
+            hotspot_->record(txn.req.addr, HotEvent::NackCO);
         ASF_TRACE(instant(
             eq_.now(), 1000 + uint32_t(node_), "dir", "NackCO",
             format("{\"line\":%llu,\"to\":%d,\"fenceId\":%llu}",

@@ -29,6 +29,7 @@
 #include <set>
 #include <vector>
 
+#include "mem/hotspot.hh"
 #include "mem/l2_bank.hh"
 #include "mem/memory_image.hh"
 #include "mem/message.hh"
@@ -58,6 +59,11 @@ class Directory
     /** Attach the execution recorder (observation only: Order-merge
      *  coherence stamping; never affects protocol decisions). */
     void setRecorder(check::ExecutionRecorder *rec) { recorder_ = rec; }
+
+    /** Attach the hot-line tracker (observation only: bounces, NACKs,
+     *  and contended probe fan-outs are charged to their line; never
+     *  affects protocol decisions). */
+    void setHotspot(HotLineTracker *h) { hotspot_ = h; }
 
     // --- introspection for tests --------------------------------------
     bool isSharer(Addr line, NodeId node) const;
@@ -116,6 +122,7 @@ class Directory
     L2Bank &l2_;
     Tick lookupLatency_;
     check::ExecutionRecorder *recorder_ = nullptr;
+    HotLineTracker *hotspot_ = nullptr;
     std::map<Addr, Entry> entries_;
     std::map<Addr, Txn> active_;
     std::map<Addr, std::deque<Message>> waiting_;

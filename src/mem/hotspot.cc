@@ -1,0 +1,127 @@
+#include "mem/hotspot.hh"
+
+#include <algorithm>
+
+#include "mem/address.hh"
+
+namespace asf
+{
+
+const char *
+hotEventName(HotEvent e)
+{
+    switch (e) {
+      case HotEvent::Bounce:      return "bounces";
+      case HotEvent::NackX:       return "nackX";
+      case HotEvent::NackCO:      return "nackCO";
+      case HotEvent::SharerProbe: return "sharerProbes";
+      case HotEvent::BsConflict:  return "bsConflicts";
+      case HotEvent::GrtDeposit:  return "grtDeposits";
+      case HotEvent::GrtBlock:    return "grtBlocks";
+      case HotEvent::L2Miss:      return "l2Misses";
+    }
+    return "?";
+}
+
+HotLineTracker::HotLineTracker(unsigned capacity)
+    : capacity_(capacity ? capacity : 1)
+{
+    entries_.reserve(capacity_);
+}
+
+HotLineTracker::Entry &
+HotLineTracker::touch(Addr line, uint64_t w)
+{
+    auto it = index_.find(line);
+    if (it != index_.end()) {
+        Entry &e = entries_[it->second];
+        e.count += w;
+        return e;
+    }
+    if (entries_.size() < capacity_) {
+        index_[line] = entries_.size();
+        entries_.push_back(Entry{});
+        Entry &e = entries_.back();
+        e.line = line;
+        e.count = w;
+        return e;
+    }
+    // Space-Saving eviction: replace the minimum-count entry and let
+    // the newcomer inherit its count as the overestimation bound.
+    // Ties break on the lower address so eviction is deterministic.
+    size_t min_i = 0;
+    for (size_t i = 1; i < entries_.size(); i++) {
+        if (entries_[i].count < entries_[min_i].count ||
+            (entries_[i].count == entries_[min_i].count &&
+             entries_[i].line < entries_[min_i].line))
+            min_i = i;
+    }
+    Entry &e = entries_[min_i];
+    index_.erase(e.line);
+    index_[line] = min_i;
+    uint64_t inherited = e.count;
+    e = Entry{};
+    e.line = line;
+    e.count = inherited + w;
+    e.error = inherited;
+    evictions_++;
+    return e;
+}
+
+void
+HotLineTracker::record(Addr line, HotEvent ev, uint64_t w)
+{
+    if (w == 0)
+        return;
+    line = lineAlign(line);
+    totalRecorded_ += w;
+    Entry &e = touch(line, w);
+    e.byEvent[unsigned(ev)] += w;
+}
+
+void
+HotLineTracker::recordSharers(Addr line, unsigned sharers)
+{
+    line = lineAlign(line);
+    totalRecorded_ += 1;
+    Entry &e = touch(line, 1);
+    e.byEvent[unsigned(HotEvent::SharerProbe)] += 1;
+    e.sharerPeak = std::max(e.sharerPeak, sharers);
+}
+
+std::vector<HotLineTracker::Entry>
+HotLineTracker::top() const
+{
+    std::vector<Entry> out = entries_;
+    std::sort(out.begin(), out.end(), [](const Entry &a, const Entry &b) {
+        if (a.count != b.count)
+            return a.count > b.count;
+        return a.line < b.line;
+    });
+    return out;
+}
+
+void
+HotLineTracker::reset()
+{
+    entries_.clear();
+    index_.clear();
+    totalRecorded_ = 0;
+    evictions_ = 0;
+}
+
+void
+AddrLabels::label(Addr line, std::string name)
+{
+    labels_[lineAlign(line)] = std::move(name);
+}
+
+const std::string &
+AddrLabels::lookup(Addr addr) const
+{
+    static const std::string empty;
+    auto it = labels_.find(lineAlign(addr));
+    return it == labels_.end() ? empty : it->second;
+}
+
+} // namespace asf

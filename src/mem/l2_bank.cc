@@ -24,6 +24,8 @@ L2Bank::access(Addr line_addr)
         return hitLatency_;
     }
     statMisses_.inc();
+    if (hotspot_)
+        hotspot_->record(line_addr, HotEvent::L2Miss);
     bool victim_valid = false;
     CacheLine &slot = tags_.victimFor(line_addr, victim_valid);
     if (victim_valid)

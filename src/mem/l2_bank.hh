@@ -12,6 +12,7 @@
 #define ASF_MEM_L2_BANK_HH
 
 #include "mem/cache_array.hh"
+#include "mem/hotspot.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
 
@@ -36,10 +37,15 @@ class L2Bank
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Attach the hot-line tracker (observation only: misses are
+     *  charged to their line; never affects latency decisions). */
+    void setHotspot(HotLineTracker *h) { hotspot_ = h; }
+
   private:
     CacheArray tags_;
     Tick hitLatency_;
     Tick memLatency_;
+    HotLineTracker *hotspot_ = nullptr;
     StatGroup stats_;
     // Hot-path handles into stats_ (lazily bound; see LazyStatScalar).
     LazyStatScalar statHits_;

@@ -78,6 +78,20 @@ class Mesh
     /** Per-link counters for every link that carried traffic. */
     std::vector<LinkUtil> linkUtilization() const;
 
+    /** Raw per-directed-link flit-cycle counters over the *full* link
+     *  enumeration (index = node * 4 + dir, dir order E,W,N,S). The
+     *  vector's size and indexing are fixed at construction, which the
+     *  interval time-series relies on for stable per-link deltas. */
+    const std::vector<uint64_t> &linkBusyRaw() const { return linkBusy_; }
+
+    /** Decode a raw link index into its grid node / direction. */
+    static NodeId linkNode(unsigned idx) { return NodeId(idx / 4); }
+    static char linkDir(unsigned idx)
+    {
+        static const char dir_char[4] = {'E', 'W', 'N', 'S'};
+        return dir_char[idx % 4];
+    }
+
   private:
     enum Dir { East, West, North, South, numDirs };
 

@@ -1,0 +1,92 @@
+#include "sim/interval_stats.hh"
+
+#include <cassert>
+
+namespace asf
+{
+
+IntervalStats::IntervalStats(Tick interval, size_t capacity)
+    : interval_(interval ? interval : 1),
+      capacity_(capacity ? capacity : 1), nextAt_(interval_)
+{
+    ring_.reserve(capacity_);
+}
+
+IntervalSample
+IntervalStats::makeSample(Tick now, const IntervalCumulative &cur) const
+{
+    IntervalSample s;
+    s.start = prevAt_;
+    s.end = now;
+    s.busy = cur.busy - prev_.busy;
+    s.idle = cur.idle - prev_.idle;
+    for (unsigned b = 0; b < numStallBuckets; b++)
+        s.stall[b] = cur.stall[b] - prev_.stall[b];
+    s.instrRetired = cur.instrRetired - prev_.instrRetired;
+    s.fencesIssued = cur.fencesIssued - prev_.fencesIssued;
+    s.bounces = cur.bounces - prev_.bounces;
+    s.nacks = cur.nacks - prev_.nacks;
+    s.grtDeposits = cur.grtDeposits - prev_.grtDeposits;
+    s.grtClears = cur.grtClears - prev_.grtClears;
+    for (size_t i = 0; i < cur.linkBusy.size(); i++) {
+        uint64_t before =
+            i < prev_.linkBusy.size() ? prev_.linkBusy[i] : 0;
+        uint64_t d = cur.linkBusy[i] - before;
+        s.flits += d;
+        if (d)
+            s.links.emplace_back(uint32_t(i), d);
+    }
+    return s;
+}
+
+bool
+IntervalStats::tailSample(Tick now, const IntervalCumulative &cur,
+                          IntervalSample &out) const
+{
+    if (now <= prevAt_)
+        return false;
+    out = makeSample(now, cur);
+    return true;
+}
+
+void
+IntervalStats::sample(Tick now, const IntervalCumulative &cur)
+{
+    assert(now > prevAt_ && "interval samples must move forward");
+    IntervalSample s = makeSample(now, cur);
+
+    if (ring_.size() < capacity_) {
+        ring_.push_back(std::move(s));
+    } else {
+        ring_[head_] = std::move(s);
+        head_ = (head_ + 1) % capacity_;
+        dropped_++;
+    }
+
+    prev_ = cur;
+    prevAt_ = now;
+    // The next boundary is the first multiple of interval_ after now,
+    // so a jump across k boundaries produces one merged sample instead
+    // of k catch-up samples.
+    nextAt_ = now + interval_ - now % interval_;
+}
+
+void
+IntervalStats::reset(Tick now, const IntervalCumulative &cur)
+{
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+    prev_ = cur;
+    prevAt_ = now;
+    nextAt_ = now + interval_ - now % interval_;
+}
+
+const IntervalSample &
+IntervalStats::at(size_t i) const
+{
+    assert(i < ring_.size());
+    return ring_[(head_ + i) % ring_.size()];
+}
+
+} // namespace asf

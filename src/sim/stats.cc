@@ -149,6 +149,13 @@ StatGroup::get(const std::string &name) const
     return it == scalars_.end() ? 0 : it->second.value();
 }
 
+const StatScalar *
+StatGroup::find(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? nullptr : &it->second;
+}
+
 double
 StatGroup::getMean(const std::string &name) const
 {

@@ -142,6 +142,11 @@ class StatGroup
     /** Value of a scalar (0 if never touched). */
     uint64_t get(const std::string &name) const;
 
+    /** The scalar itself, or nullptr if never touched. Lets read-side
+     *  hot paths cache the handle (map nodes are stable) without
+     *  registering counters the component never incremented. */
+    const StatScalar *find(const std::string &name) const;
+
     /** Mean of an average (0 if never sampled). */
     double getMean(const std::string &name) const;
 

@@ -8,6 +8,7 @@
 #ifndef ASF_SYS_CONFIG_HH
 #define ASF_SYS_CONFIG_HH
 
+#include <atomic>
 #include <string>
 
 #include "fence/fence_kind.hh"
@@ -150,6 +151,45 @@ struct SystemConfig
      * the event log grows with the execution. TSO only.
      */
     bool checkExecution = false;
+
+    /**
+     * Contention-observatory interval time-series: every N cycles
+     * System::run snapshots deltas of the CPI buckets, fence issues,
+     * directory bounces/NACKs, GRT activity, and per-link NoC flits
+     * into a bounded ring (`timeline` stats block + Chrome trace
+     * counter tracks). 0 disables (library default). Observation-only:
+     * cycles and all cumulative statistics are bit-identical with it
+     * on or off (enforced by tests/sim/test_interval_stats.cc).
+     */
+    Tick statsInterval = 0;
+
+    /** Ring capacity of the interval time-series (oldest samples are
+     *  dropped and counted once it is full). */
+    unsigned statsIntervalRing = 512;
+
+    /**
+     * Per-line hot-spot attribution: a bounded Space-Saving top-K
+     * tracker charging bounces, NACKs, contended sharer probes,
+     * BS-insert conflicts, GRT deposits/blocks, and L2 misses to line
+     * addresses (`hotLines` stats block). Observation-only like the
+     * time-series (enforced by tests/mem/test_hotspot.cc).
+     */
+    bool hotLineTracking = true;
+
+    /** Space-Saving table size: lines hotter than 1/K of all recorded
+     *  contention events are guaranteed present. */
+    unsigned hotLineEntries = 64;
+
+    /**
+     * Live-telemetry progress sink: when set, System::run stores the
+     * current cycle into this atomic every `progressInterval` cycles
+     * (host-side only; a Tick compare per loop iteration, same cost
+     * class as the watchdog check). The sweep heartbeat points each
+     * job's config here so multi-hour campaigns are observable
+     * mid-flight. Never read by the simulation.
+     */
+    std::atomic<uint64_t> *progressSink = nullptr;
+    Tick progressInterval = 10'000;
 
     /**
      * Checker mutation self-test: weaken every weak fence by dropping

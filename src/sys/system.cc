@@ -63,6 +63,12 @@ System::System(SystemConfig cfg) : cfg_(cfg)
     if (cfg_.checkExecution)
         recorder_ =
             std::make_unique<check::ExecutionRecorder>(cfg_.numCores);
+    if (cfg_.hotLineTracking)
+        hotspot_ =
+            std::make_unique<HotLineTracker>(cfg_.hotLineEntries);
+    if (cfg_.statsInterval)
+        intervals_ = std::make_unique<IntervalStats>(
+            cfg_.statsInterval, cfg_.statsIntervalRing);
     mesh_ = std::make_unique<Mesh>(eq_, cfg_.numCores, cfg_.hopLatency,
                                    cfg_.linkBytes);
     for (unsigned i = 0; i < cfg_.numCores; i++) {
@@ -80,7 +86,10 @@ System::System(SystemConfig cfg) : cfg_(cfg)
             std::make_unique<Core>(id, cfg_, *l1s_[i], *mesh_, eq_));
         cores_.back()->setProfiler(profiler_.get());
         cores_.back()->setRecorder(recorder_.get());
+        cores_.back()->setHotspot(hotspot_.get());
         dirs_.back()->setRecorder(recorder_.get());
+        dirs_.back()->setHotspot(hotspot_.get());
+        l2_.back()->setHotspot(hotspot_.get());
         mesh_->setSink(id, [this, id](const Message &msg) {
             dispatch(id, msg);
         });
@@ -160,11 +169,20 @@ System::dispatch(NodeId node, const Message &msg)
 }
 
 void
+System::labelLine(Addr addr, std::string name)
+{
+    labels_.label(addr, std::move(name));
+}
+
+void
 System::handleGrtRequest(NodeId node, const Message &msg)
 {
     Grt &grt = *grts_[node];
     switch (msg.type) {
       case MsgType::GrtDeposit: {
+        if (hotspot_)
+            for (Addr a : msg.addrSet)
+                hotspot_->record(a, HotEvent::GrtDeposit);
         grt.deposit(msg.src, msg.addrSet, msg.fenceId);
         Message reply;
         reply.type = MsgType::GrtFetchReply;
@@ -188,6 +206,8 @@ System::handleGrtRequest(NodeId node, const Message &msg)
         reply.addr = msg.addr;
         reply.requester = msg.src;
         reply.blocked = grt.blocks(msg.src, msg.addr);
+        if (hotspot_ && reply.blocked)
+            hotspot_->record(msg.addr, HotEvent::GrtBlock);
         reply.trafficClass = TrafficClass::Grt;
         mesh_->send(std::move(reply));
         return;
@@ -232,6 +252,20 @@ System::run(Tick max_cycles)
             }
             wd_progress = p;
             wd_check_at = eq_.now() + wd;
+        }
+        // Contention observatory: close any interval boundary the clock
+        // reached (a fast-forward or direct-exec jump across several
+        // boundaries yields one merged sample). Read-only and
+        // host-side, like the watchdog check above.
+        if (intervals_ && eq_.now() >= intervals_->nextAt())
+            sampleInterval();
+        // Live telemetry: publish the current cycle to the heartbeat
+        // sink (a relaxed atomic store; nothing simulated reads it).
+        if (cfg_.progressSink && eq_.now() >= progressNextAt_) {
+            cfg_.progressSink->store(eq_.now(),
+                                     std::memory_order_relaxed);
+            progressNextAt_ =
+                eq_.now() + std::max<Tick>(cfg_.progressInterval, 1);
         }
 
         Tick next = eq_.now() + 1;
@@ -423,6 +457,81 @@ System::sampleCpiCounters()
     traceNextCpiAt_ = eq_.now() + interval;
 }
 
+const IntervalCumulative &
+System::gatherIntervalCumulative() const
+{
+    // First gather: bind the per-component counter handles. A dense
+    // sampling interval makes this a hot path, so the steady state
+    // must not pay a string map lookup per counter per sample.
+    if (obsCores_.empty()) {
+        for (const auto &core : cores_) {
+            const StatGroup &s = core->stats();
+            obsCores_.push_back({{&s, "instrRetired"},
+                                 {&s, "fencesStrong"},
+                                 {&s, "fencesWeak"},
+                                 {&s, "fencesWee"}});
+        }
+        for (const auto &d : dirs_) {
+            const StatGroup &s = d->stats();
+            obsDirs_.push_back(
+                {{&s, "bounces"}, {&s, "getxNacked"}, {&s, "coFailed"}});
+        }
+        for (const auto &g : grts_) {
+            const StatGroup &s = g->stats();
+            obsGrts_.push_back({{&s, "deposits"}, {&s, "clears"}});
+        }
+    }
+
+    IntervalCumulative &c = obsScratch_;
+    c.instrRetired = c.fencesIssued = 0;
+    c.bounces = c.nacks = c.grtDeposits = c.grtClears = 0;
+    CycleBreakdown b;
+    for (const auto &core : cores_)
+        core->addBreakdown(b); // cached hot handles
+    c.busy = b.busy;
+    c.idle = b.idle;
+    for (unsigned i = 0; i < numStallBuckets; i++)
+        c.stall[i] = b.stall[i];
+    for (const CoreObs &o : obsCores_) {
+        c.instrRetired += o.instr.value();
+        c.fencesIssued += o.strong.value() + o.weak.value() +
+                          o.wee.value();
+    }
+    for (const DirObs &o : obsDirs_) {
+        c.bounces += o.bounces.value();
+        c.nacks += o.nackX.value() + o.nackCO.value();
+    }
+    for (const GrtObs &o : obsGrts_) {
+        c.grtDeposits += o.deposits.value();
+        c.grtClears += o.clears.value();
+    }
+    c.linkBusy = mesh_->linkBusyRaw();
+    return c;
+}
+
+void
+System::sampleInterval()
+{
+    intervals_->sample(eq_.now(), gatherIntervalCumulative());
+    if (!Trace::get().enabled())
+        return;
+    // Mirror the sample into Chrome counter tracks (one "observatory"
+    // row): per-cycle rates are left to the viewer; raw deltas keep the
+    // track identical to the timeline block.
+    const IntervalSample &s =
+        intervals_->at(intervals_->size() - 1);
+    Trace::get().counter(
+        eq_.now(), 2000, "observatory",
+        format("{\"fences\":%llu,\"bounces\":%llu,\"nacks\":%llu,"
+               "\"grtDeposits\":%llu,\"flits\":%llu,\"instr\":%llu}",
+               (unsigned long long)s.fencesIssued,
+               (unsigned long long)s.bounces,
+               (unsigned long long)s.nacks,
+               (unsigned long long)s.grtDeposits,
+               (unsigned long long)s.flits,
+               (unsigned long long)s.instrRetired));
+}
+
 uint64_t
 System::guestCounter(int64_t idx) const
 {
@@ -500,8 +609,43 @@ System::dumpStats(std::ostream &os) const
 }
 
 void
+System::emitIntervalSample(harness::JsonWriter &w,
+                           const IntervalSample &s) const
+{
+    w.beginObject();
+    w.field("start", uint64_t(s.start));
+    w.field("end", uint64_t(s.end));
+    w.field("busy", s.busy);
+    w.field("idle", s.idle);
+    // Nonzero buckets only: quiet intervals stay one line.
+    w.key("stall").beginObject();
+    for (unsigned b = 0; b < numStallBuckets; b++)
+        if (s.stall[b])
+            w.field(stallBucketJsonKey(StallBucket(b)), s.stall[b]);
+    w.endObject();
+    w.field("instrRetired", s.instrRetired);
+    w.field("fencesIssued", s.fencesIssued);
+    w.field("bounces", s.bounces);
+    w.field("nacks", s.nacks);
+    w.field("grtDeposits", s.grtDeposits);
+    w.field("grtClears", s.grtClears);
+    w.field("flits", s.flits);
+    // Sparse per-link flit deltas: [rawLinkIndex, flitCycles] pairs
+    // (index = node * 4 + dir, dir order E,W,N,S; see Mesh).
+    w.key("links").beginArray();
+    for (const auto &[idx, d] : s.links) {
+        w.beginArray();
+        w.value(uint64_t(idx));
+        w.value(d);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
 System::dumpStatsJson(std::ostream &os, bool include_profile,
-                      bool include_check)
+                      bool include_check, bool include_observatory)
 {
     using harness::JsonWriter;
     for (auto &c : cores_)
@@ -509,7 +653,7 @@ System::dumpStatsJson(std::ostream &os, bool include_profile,
 
     JsonWriter w(os);
     w.beginObject();
-    w.field("schemaVersion", uint64_t(3));
+    w.field("schemaVersion", uint64_t(4));
     w.field("cycles", uint64_t(eq_.now()));
 
     w.key("config").beginObject();
@@ -578,6 +722,51 @@ System::dumpStatsJson(std::ostream &os, bool include_profile,
             w.key("witness");
             w.raw(check::witnessJson(cr));
         }
+        w.endObject();
+    }
+
+    if (include_observatory && intervals_) {
+        // Interval time-series, oldest retained sample first, plus the
+        // still-open tail interval (built without mutating the ring so
+        // a second dump emits the identical timeline).
+        w.key("timeline").beginObject();
+        w.field("interval", uint64_t(intervals_->interval()));
+        w.field("ringCapacity", uint64_t(intervals_->capacity()));
+        w.field("droppedSamples", intervals_->dropped());
+        w.key("samples").beginArray();
+        for (size_t i = 0; i < intervals_->size(); i++)
+            emitIntervalSample(w, intervals_->at(i));
+        IntervalSample tail;
+        if (intervals_->tailSample(eq_.now(), gatherIntervalCumulative(),
+                                   tail))
+            emitIntervalSample(w, tail);
+        w.endArray();
+        w.endObject();
+    }
+
+    if (include_observatory && hotspot_) {
+        w.key("hotLines").beginObject();
+        w.field("capacity", uint64_t(hotspot_->capacity()));
+        w.field("tracked", uint64_t(hotspot_->size()));
+        w.field("totalRecorded", hotspot_->totalRecorded());
+        w.field("evictions", hotspot_->evictions());
+        w.key("lines").beginArray();
+        for (const auto &e : hotspot_->top()) {
+            w.beginObject();
+            w.field("line", uint64_t(e.line));
+            const std::string &label = labels_.lookup(e.line);
+            if (!label.empty())
+                w.field("label", label);
+            w.field("count", e.count);
+            w.field("error", e.error);
+            if (e.sharerPeak)
+                w.field("sharerPeak", uint64_t(e.sharerPeak));
+            for (unsigned k = 0; k < numHotEvents; k++)
+                if (e.byEvent[k])
+                    w.field(hotEventName(HotEvent(k)), e.byEvent[k]);
+            w.endObject();
+        }
+        w.endArray();
         w.endObject();
     }
 
@@ -666,6 +855,23 @@ System::dumpWatchdogSnapshot(std::ostream &os) const
     os << "--- GRT modules ---\n";
     for (const auto &g : grts_)
         g->debugDump(os);
+    if (intervals_ && intervals_->size()) {
+        // The run-up to the hang, not just the final state: the last
+        // few retained intervals of the contention time-series.
+        constexpr size_t kTail = 8;
+        size_t n = intervals_->size();
+        size_t from = n > kTail ? n - kTail : 0;
+        os << "--- timeline (last " << (n - from) << " intervals of "
+           << intervals_->interval() << " cycles) ---\n";
+        for (size_t i = from; i < n; i++) {
+            const IntervalSample &s = intervals_->at(i);
+            os << "  [" << s.start << ", " << s.end << "]: busy "
+               << s.busy << ", instr " << s.instrRetired << ", fences "
+               << s.fencesIssued << ", bounces " << s.bounces
+               << ", nacks " << s.nacks << ", grtDeposits "
+               << s.grtDeposits << ", flits " << s.flits << "\n";
+        }
+    }
 }
 
 void
@@ -691,6 +897,13 @@ System::resetStats()
     for (auto &g : grts_)
         g->stats().resetAll();
     mesh_->stats().resetAll();
+    if (hotspot_)
+        hotspot_->reset();
+    if (intervals_)
+        // Re-baseline against the post-reset counters: most feeds are
+        // now zero, but the raw per-link flit counters survive the
+        // reset and must not show up as a giant first delta.
+        intervals_->reset(eq_.now(), gatherIntervalCumulative());
 }
 
 } // namespace asf

@@ -19,16 +19,23 @@
 #include "fence/grt.hh"
 #include "fence/profile.hh"
 #include "mem/directory.hh"
+#include "mem/hotspot.hh"
 #include "mem/l1_cache.hh"
 #include "mem/l2_bank.hh"
 #include "mem/memory_image.hh"
 #include "noc/mesh.hh"
 #include "prog/instr.hh"
 #include "sim/event_queue.hh"
+#include "sim/interval_stats.hh"
 #include "sys/config.hh"
 
 namespace asf
 {
+
+namespace harness
+{
+class JsonWriter;
+}
 
 /**
  * Aggregated per-core cycle classification: the coarse categories plus
@@ -100,6 +107,21 @@ class System
         return recorder_.get();
     }
 
+    /** The hot-line tracker (nullptr when cfg.hotLineTracking is off). */
+    const HotLineTracker *hotLines() const { return hotspot_.get(); }
+
+    /** The interval time-series (nullptr when cfg.statsInterval is 0). */
+    const IntervalStats *intervalStats() const { return intervals_.get(); }
+
+    /** Name the cache line containing `addr` so hot-line reports say
+     *  `dekker.flag[1]` instead of a raw address. Workload setup code
+     *  registers its shared variables here; labels are purely
+     *  observational. */
+    void labelLine(Addr addr, std::string name);
+
+    /** The label registry (line address -> name). */
+    const AddrLabels &addrLabels() const { return labels_; }
+
     Tick now() const { return eq_.now(); }
 
     /**
@@ -157,13 +179,16 @@ class System
      * fenceProfile aggregates, the watchdog metadata, the execution
      * checker's `check` block (verdict + witness, when enabled), and
      * the per-link NoC heatmap to the machine-readable JSON report
-     * (schemaVersion 3; see README.md "Observability").
-     * `include_profile = false` omits the fenceProfile object and
-     * `include_check = false` the check block — used by the on/off
-     * bit-identity tests to compare the remainder byte-for-byte.
+     * (schemaVersion 4; see README.md "Observability").
+     * `include_profile = false` omits the fenceProfile object,
+     * `include_check = false` the check block, and
+     * `include_observatory = false` the timeline and hotLines blocks —
+     * used by the on/off bit-identity tests to compare the remainder
+     * byte-for-byte.
      */
     void dumpStatsJson(std::ostream &os, bool include_profile = true,
-                       bool include_check = true);
+                       bool include_check = true,
+                       bool include_observatory = true);
 
   private:
     void dispatch(NodeId node, const Message &msg);
@@ -178,6 +203,20 @@ class System
      *  Chrome trace (no-op unless tracing is enabled). */
     void sampleCpiCounters();
 
+    /** Current cumulative observatory counters, gathered from the live
+     *  components (reads only; no simulated side effects). Returns the
+     *  reused scratch buffer — valid until the next gather. */
+    const IntervalCumulative &gatherIntervalCumulative() const;
+
+    /** Close the pending interval at the current tick: store the delta
+     *  sample in the ring and mirror it into Chrome trace counter
+     *  tracks when tracing is on. */
+    void sampleInterval();
+
+    /** Serialize one interval sample as a JSON object. */
+    void emitIntervalSample(harness::JsonWriter &w,
+                            const IntervalSample &s) const;
+
     SystemConfig cfg_;
     EventQueue eq_;
     MemoryImage memory_;
@@ -190,7 +229,52 @@ class System
     std::vector<std::shared_ptr<const Program>> programs_;
     std::unique_ptr<FenceProfiler> profiler_;
     std::unique_ptr<check::ExecutionRecorder> recorder_;
+    std::unique_ptr<HotLineTracker> hotspot_;
+    std::unique_ptr<IntervalStats> intervals_;
+
+    /** Lazily-bound read handle used by the interval gather: one null
+     *  check per counter per sample instead of a string map lookup,
+     *  without ever registering a counter the component never touched
+     *  (the handle stays null, and reads as 0, until the stat exists;
+     *  map nodes are stable so the bound pointer never dangles). */
+    struct ObsHandle
+    {
+        const StatGroup *group = nullptr;
+        const char *name = "";
+        mutable const StatScalar *stat = nullptr;
+
+        uint64_t value() const
+        {
+            if (!stat)
+                stat = group->find(name);
+            return stat ? stat->value() : 0;
+        }
+    };
+    struct CoreObs
+    {
+        ObsHandle instr, strong, weak, wee;
+    };
+    struct DirObs
+    {
+        ObsHandle bounces, nackX, nackCO;
+    };
+    struct GrtObs
+    {
+        ObsHandle deposits, clears;
+    };
+    /** Built on the first gather (all groups exist by then). */
+    mutable std::vector<CoreObs> obsCores_;
+    mutable std::vector<DirObs> obsDirs_;
+    mutable std::vector<GrtObs> obsGrts_;
+    /** Reused across gathers so a dense sampling interval does not
+     *  allocate a fresh per-link vector every sample. */
+    mutable IntervalCumulative obsScratch_;
+
+    AddrLabels labels_;
     bool watchdogFired_ = false;
+    /** Next tick at/after which to publish live-telemetry progress
+     *  (cfg.progressSink; host-side only). */
+    Tick progressNextAt_ = 0;
     /** Next tick at/after which to emit CPI counter-track samples. */
     Tick traceNextCpiAt_ = 0;
     /** Previous sample per core, for delta-based counter values. */

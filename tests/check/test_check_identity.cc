@@ -90,5 +90,5 @@ TEST(CheckIdentity, CheckBlockPresentOnlyWhenEnabled)
     EXPECT_NE(with.str().find("\"verdict\":\"pass\""),
               std::string::npos);
     EXPECT_EQ(without.str().find("\"check\":"), std::string::npos);
-    EXPECT_NE(with.str().find("\"schemaVersion\":3"), std::string::npos);
+    EXPECT_NE(with.str().find("\"schemaVersion\":4"), std::string::npos);
 }

@@ -184,7 +184,7 @@ TEST(FenceProfileIntegration, StatsJsonCarriesProfileObject)
     std::ostringstream os;
     sys.dumpStatsJson(os);
     const std::string doc = os.str();
-    EXPECT_NE(doc.find("\"schemaVersion\":3"), std::string::npos);
+    EXPECT_NE(doc.find("\"schemaVersion\":4"), std::string::npos);
     EXPECT_NE(doc.find("\"fenceProfile\":"), std::string::npos);
     EXPECT_NE(doc.find("\"latency\":"), std::string::npos);
     EXPECT_NE(doc.find("\"p99\":"), std::string::npos);

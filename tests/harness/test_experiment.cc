@@ -82,7 +82,7 @@ TEST(Experiment, StatsJsonAndTraceSinksCaptureARun)
     };
 
     std::string stats = slurp(stats_path);
-    EXPECT_NE(stats.find("\"schemaVersion\":3"), std::string::npos);
+    EXPECT_NE(stats.find("\"schemaVersion\":4"), std::string::npos);
     EXPECT_NE(stats.find("\"workload\":\"Hash\""), std::string::npos);
     EXPECT_NE(stats.find("\"cpiStack\":"), std::string::npos);
     EXPECT_NE(stats.find("\"fenceProfile\":"), std::string::npos);

@@ -1,0 +1,270 @@
+/**
+ * Interval time-series tests: delta/ring mechanics of IntervalStats
+ * (merged samples across jumps, bounded ring with drop accounting,
+ * idempotent tail sampling, post-reset re-baselining) plus the
+ * system-level guarantees — samples tile the run exactly, their sums
+ * reproduce the cumulative counters, and enabling the observatory is
+ * bit-identical to running without it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "../helpers.hh"
+#include "sim/interval_stats.hh"
+#include "workloads/ustm.hh"
+
+using namespace asf;
+using namespace asf::test;
+using namespace asf::workloads;
+
+namespace
+{
+
+IntervalCumulative
+cum(uint64_t busy, uint64_t instr, std::vector<uint64_t> links = {})
+{
+    IntervalCumulative c;
+    c.busy = busy;
+    c.instrRetired = instr;
+    c.linkBusy = std::move(links);
+    return c;
+}
+
+} // namespace
+
+TEST(IntervalStats, SamplesStoreDeltasNotCumulatives)
+{
+    IntervalStats is(100, 8);
+    EXPECT_EQ(is.nextAt(), 100u);
+    is.sample(100, cum(60, 200));
+    is.sample(200, cum(90, 350));
+    ASSERT_EQ(is.size(), 2u);
+    EXPECT_EQ(is.at(0).start, 0u);
+    EXPECT_EQ(is.at(0).end, 100u);
+    EXPECT_EQ(is.at(0).busy, 60u);
+    EXPECT_EQ(is.at(0).instrRetired, 200u);
+    EXPECT_EQ(is.at(1).start, 100u);
+    EXPECT_EQ(is.at(1).busy, 30u);
+    EXPECT_EQ(is.at(1).instrRetired, 150u);
+}
+
+TEST(IntervalStats, JumpAcrossBoundariesMergesIntoOneSample)
+{
+    IntervalStats is(100, 8);
+    // A fast-forward jump lands at 570, crossing 5 boundaries: one
+    // merged sample [0, 570], and the next boundary is 600.
+    is.sample(570, cum(10, 20));
+    ASSERT_EQ(is.size(), 1u);
+    EXPECT_EQ(is.at(0).start, 0u);
+    EXPECT_EQ(is.at(0).end, 570u);
+    EXPECT_EQ(is.nextAt(), 600u);
+    // Sampling exactly on a boundary moves the next one a full
+    // interval out.
+    is.sample(600, cum(15, 30));
+    EXPECT_EQ(is.nextAt(), 700u);
+}
+
+TEST(IntervalStats, RingDropsOldestAndCounts)
+{
+    IntervalStats is(10, 3);
+    for (Tick t = 10; t <= 50; t += 10)
+        is.sample(t, cum(t, t));
+    EXPECT_EQ(is.size(), 3u);
+    EXPECT_EQ(is.dropped(), 2u);
+    // Oldest retained is the third sample, (20, 30].
+    EXPECT_EQ(is.at(0).start, 20u);
+    EXPECT_EQ(is.at(0).end, 30u);
+    EXPECT_EQ(is.at(2).end, 50u);
+}
+
+TEST(IntervalStats, SparseLinkDeltasSumToFlits)
+{
+    IntervalStats is(100, 4);
+    is.sample(100, cum(0, 0, {5, 0, 7, 0}));
+    is.sample(200, cum(0, 0, {9, 0, 7, 3}));
+    const IntervalSample &s = is.at(1);
+    ASSERT_EQ(s.links.size(), 2u); // only the links that moved
+    EXPECT_EQ(s.links[0].first, 0u);
+    EXPECT_EQ(s.links[0].second, 4u);
+    EXPECT_EQ(s.links[1].first, 3u);
+    EXPECT_EQ(s.links[1].second, 3u);
+    EXPECT_EQ(s.flits, 7u);
+}
+
+TEST(IntervalStats, TailSampleIsIdempotent)
+{
+    IntervalStats is(100, 4);
+    is.sample(100, cum(10, 10));
+    IntervalSample a, b;
+    ASSERT_TRUE(is.tailSample(150, cum(25, 30), a));
+    ASSERT_TRUE(is.tailSample(150, cum(25, 30), b));
+    EXPECT_EQ(a.start, 100u);
+    EXPECT_EQ(a.end, 150u);
+    EXPECT_EQ(a.busy, 15u);
+    EXPECT_EQ(b.busy, 15u);
+    // Building the tail never disturbs the ring or the baseline.
+    EXPECT_EQ(is.size(), 1u);
+    EXPECT_EQ(is.nextAt(), 200u);
+    // Nothing elapsed: no tail.
+    IntervalSample c;
+    EXPECT_FALSE(is.tailSample(100, cum(25, 30), c));
+}
+
+TEST(IntervalStats, ResetRebaselinesAgainstLiveCounters)
+{
+    IntervalStats is(100, 4);
+    is.sample(100, cum(10, 10, {50}));
+    // resetStats() zeroes most counters but raw link counters keep
+    // running; reset() must take the live values as the new baseline
+    // so the first post-reset sample shows no phantom delta.
+    is.reset(150, cum(0, 0, {50}));
+    EXPECT_EQ(is.size(), 0u);
+    EXPECT_EQ(is.dropped(), 0u);
+    EXPECT_EQ(is.nextAt(), 200u);
+    is.sample(200, cum(5, 7, {52}));
+    ASSERT_EQ(is.size(), 1u);
+    EXPECT_EQ(is.at(0).start, 150u);
+    EXPECT_EQ(is.at(0).busy, 5u);
+    EXPECT_EQ(is.at(0).flits, 2u);
+}
+
+namespace
+{
+
+void
+runQuickUstm(FenceDesign design, Tick interval, Tick &cycles,
+             std::string &json)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.design = design;
+    cfg.statsInterval = interval;
+    System sys(cfg);
+    setupTlrwWorkload(sys, ustmBenchByName("Hash"), /*txn_limit=*/0);
+    EXPECT_EQ(sys.run(30'000), System::RunResult::MaxCycles);
+    cycles = sys.now();
+    std::ostringstream os;
+    sys.dumpStatsJson(os, /*include_profile=*/true,
+                      /*include_check=*/true,
+                      /*include_observatory=*/false);
+    json = os.str();
+    EXPECT_EQ(interval != 0, sys.intervalStats() != nullptr);
+}
+
+} // namespace
+
+class IntervalIdentity : public ::testing::TestWithParam<FenceDesign>
+{
+};
+
+/** Observation-only: sampling every 500 cycles must not perturb the
+ *  simulation (cycles and the stats JSON minus the timeline block). */
+TEST_P(IntervalIdentity, OnOffIsBitIdentical)
+{
+    Tick cycles_on = 0, cycles_off = 0;
+    std::string json_on, json_off;
+    runQuickUstm(GetParam(), 500, cycles_on, json_on);
+    runQuickUstm(GetParam(), 0, cycles_off, json_off);
+    EXPECT_EQ(cycles_on, cycles_off);
+    EXPECT_EQ(json_on, json_off);
+}
+
+INSTANTIATE_TEST_SUITE_P(QuickFig10, IntervalIdentity,
+                         ::testing::Values(FenceDesign::SPlus,
+                                           FenceDesign::WPlus,
+                                           FenceDesign::Wee),
+                         [](const auto &info) {
+                             std::string n = fenceDesignName(info.param);
+                             for (auto &c : n)
+                                 if (c == '+')
+                                     c = 'p';
+                             return n;
+                         });
+
+/** The samples must tile the run with no gaps and their deltas must
+ *  sum back to the cumulative CPI/instruction counters — i.e. the
+ *  time-series is a decomposition of the totals, not an estimate. */
+TEST(IntervalConservation, SampleDeltasSumToCumulativeTotals)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.design = FenceDesign::WPlus;
+    cfg.statsInterval = 1000;
+    System sys(cfg);
+    setupTlrwWorkload(sys, ustmBenchByName("Hash"), /*txn_limit=*/0);
+    ASSERT_EQ(sys.run(30'000), System::RunResult::MaxCycles);
+
+    const IntervalStats *is = sys.intervalStats();
+    ASSERT_NE(is, nullptr);
+    ASSERT_GT(is->size(), 10u);
+    EXPECT_EQ(is->dropped(), 0u);
+
+    uint64_t busy = 0, instr = 0, fences = 0;
+    Tick prev_end = 0;
+    for (size_t i = 0; i < is->size(); i++) {
+        const IntervalSample &s = is->at(i);
+        EXPECT_EQ(s.start, prev_end) << "gap before sample " << i;
+        EXPECT_LT(s.start, s.end);
+        prev_end = s.end;
+        busy += s.busy;
+        instr += s.instrRetired;
+        fences += s.fencesIssued;
+    }
+    // Dumping the stats (which appends the open tail sample) must be
+    // idempotent — the tail is built without disturbing the baseline.
+    std::ostringstream a, b;
+    sys.dumpStatsJson(a);
+    sys.dumpStatsJson(b);
+    EXPECT_EQ(a.str(), b.str());
+
+    CycleBreakdown bd = sys.breakdown();
+    uint64_t fences_total = 0;
+    for (unsigned i = 0; i < sys.numCores(); i++) {
+        const StatGroup &cs = sys.core(NodeId(i)).stats();
+        fences_total += cs.get("fencesStrong") + cs.get("fencesWeak") +
+                        cs.get("fencesWee");
+    }
+    // No ring drops, so the retained samples cover exactly [0, prev_end]
+    // and their sums are bounded by the cumulative stats; when the run
+    // ended exactly on a boundary there is no open tail and the sums
+    // must match the totals outright.
+    EXPECT_LE(prev_end, sys.now());
+    EXPECT_LE(busy, bd.busy);
+    EXPECT_LE(instr, sys.totalInstrRetired());
+    EXPECT_LE(fences, fences_total);
+    if (prev_end == sys.now()) {
+        EXPECT_EQ(busy, bd.busy);
+        EXPECT_EQ(instr, sys.totalInstrRetired());
+        EXPECT_EQ(fences, fences_total);
+    }
+}
+
+/** resetStats() mid-run restarts the timeline cleanly: no phantom
+ *  first sample from raw counters that survive the reset. */
+TEST(IntervalConservation, ResetStatsRebaselinesTimeline)
+{
+    SystemConfig cfg;
+    cfg.numCores = 4;
+    cfg.design = FenceDesign::SPlus;
+    cfg.statsInterval = 1000;
+    System sys(cfg);
+    setupTlrwWorkload(sys, ustmBenchByName("Hash"), /*txn_limit=*/0);
+    ASSERT_EQ(sys.run(10'000), System::RunResult::MaxCycles);
+    ASSERT_GT(sys.intervalStats()->size(), 0u);
+
+    sys.resetStats();
+    EXPECT_EQ(sys.intervalStats()->size(), 0u);
+    ASSERT_EQ(sys.run(10'000), System::RunResult::MaxCycles);
+
+    const IntervalStats *is = sys.intervalStats();
+    ASSERT_GT(is->size(), 0u);
+    CycleBreakdown bd = sys.breakdown();
+    uint64_t busy = 0;
+    for (size_t i = 0; i < is->size(); i++)
+        busy += is->at(i).busy;
+    // Post-reset samples can only account for post-reset busy cycles;
+    // a bogus baseline would blow past the cumulative total.
+    EXPECT_LE(busy, bd.busy);
+}

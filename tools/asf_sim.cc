@@ -19,6 +19,7 @@
 
 #include "analysis/corpus.hh"
 #include "harness/experiment.hh"
+#include "harness/heartbeat.hh"
 #include "harness/report.hh"
 #include "harness/sweep.hh"
 #include "sim/logging.hh"
@@ -43,6 +44,9 @@ struct Options
     std::string statsJson; ///< --stats-json path ("" = off)
     std::string trace;     ///< --trace path ("" = off)
     std::string fenceProfile; ///< --fence-profile JSONL path ("" = off)
+    std::string obsDir;    ///< --obs-dir: root for relative paths above
+    std::string heartbeat; ///< --heartbeat JSONL path ("" = off)
+    Tick statsInterval = 0; ///< --stats-interval N cycles (0 = off)
     Tick watchdogCycles = 1'000'000; ///< livelock watchdog (0 = off)
     std::string synthKit;  ///< --synth kit name ("" = off)
     bool noMinimize = false; ///< --no-minimize: run the raw placement
@@ -69,11 +73,22 @@ usage(int code)
         "(A/B check; results are identical)\n"
         "  --stats                 dump per-core statistic counters\n"
         "  --stats-json PATH       write the full stats report "
-        "(schemaVersion 2 JSON)\n"
+        "(schemaVersion 4 JSON)\n"
+        "  --stats-interval N      sample the contention counters every "
+        "N cycles into a\n"
+        "                          `timeline` block of the stats JSON "
+        "(and the trace)\n"
         "  --trace PATH            write a Chrome trace_event JSON "
         "(chrome://tracing, Perfetto)\n"
         "  --fence-profile PATH    dump raw per-fence lifecycle records "
         "(JSON lines)\n"
+        "  --obs-dir DIR           resolve relative observability paths "
+        "(--stats-json,\n"
+        "                          --trace, --fence-profile, "
+        "--heartbeat) under DIR\n"
+        "  --heartbeat PATH        live sweep telemetry JSONL for "
+        "--all-designs\n"
+        "                          (tools/sweep_status.py renders it)\n"
         "  --check                 record the execution and verify it "
         "against the TSO +\n"
         "                          fence-group axioms (verdict in the "
@@ -160,6 +175,19 @@ parse(int argc, char **argv)
             opt.fenceProfile = need("--fence-profile");
         else if (const char *v = eq_form("--fence-profile"))
             opt.fenceProfile = v;
+        else if (!std::strcmp(argv[i], "--obs-dir"))
+            opt.obsDir = need("--obs-dir");
+        else if (const char *v = eq_form("--obs-dir"))
+            opt.obsDir = v;
+        else if (!std::strcmp(argv[i], "--heartbeat"))
+            opt.heartbeat = need("--heartbeat");
+        else if (const char *v = eq_form("--heartbeat"))
+            opt.heartbeat = v;
+        else if (!std::strcmp(argv[i], "--stats-interval"))
+            opt.statsInterval =
+                Tick(std::atoll(need("--stats-interval")));
+        else if (const char *v = eq_form("--stats-interval"))
+            opt.statsInterval = Tick(std::atoll(v));
         else if (!std::strcmp(argv[i], "--watchdog-cycles"))
             opt.watchdogCycles =
                 Tick(std::atoll(need("--watchdog-cycles")));
@@ -268,13 +296,19 @@ main(int argc, char **argv)
 {
     setVerbose(false);
     Options opt = parse(argc, argv);
+    // Obs-dir first: the path setters below resolve against it.
+    if (!opt.obsDir.empty())
+        setObsDir(opt.obsDir);
     if (!opt.statsJson.empty())
         setStatsJsonPath(opt.statsJson);
     if (!opt.trace.empty())
         setTracePath(opt.trace);
     if (!opt.fenceProfile.empty())
         setFenceProfilePath(opt.fenceProfile);
+    if (!opt.heartbeat.empty())
+        setHeartbeatPath(opt.heartbeat);
     setWatchdogCyclesDefault(opt.watchdogCycles);
+    setStatsIntervalDefault(opt.statsInterval);
 
     if (opt.csv)
         std::printf("workload,design,cores,cycles,busy,otherStall,"

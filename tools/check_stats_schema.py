@@ -14,18 +14,24 @@ later, and the version-3 addition (the `check` execution-verification
 block) only when version 3 declares it — a version-3 document omits it
 entirely when checking was off, so v1/v2 consumers keep working.
 
-The run is executed twice: once plain, once with --check, so both the
-without-check and with-check shapes are validated.
+Version 4 adds the contention observatory: a `hotLines` per-line
+attribution block (required at v4 — tracking defaults on) and a
+`timeline` interval time-series block (present only when the run used
+--stats-interval). The driver exercises three single-run shapes (plain,
+--check, --stats-interval under --obs-dir) plus one --all-designs sweep
+with --heartbeat, whose JSONL telemetry is validated too.
 
 With --bench the script instead validates a simcore-microbench host
-performance report (BENCH_simcore.json, schemaVersion 2): per-workload
-run documents for all three execution modes (cycle-exact, fast-forward,
-direct-exec), the speedup fields, and the cross-mode identity claims
-(equal stats digests, statsIdentical true, and no batched cycles
-reported by the modes that cannot batch).
+performance report (BENCH_simcore.json, schemaVersion 2 or 3):
+per-workload run documents for all three execution modes (cycle-exact,
+fast-forward, direct-exec), the speedup fields, and the cross-mode
+identity claims (equal stats digests, statsIdentical true, and no
+batched cycles reported by the modes that cannot batch). Version-3
+reports additionally carry the observatory overhead measurement.
 
 Usage: check_stats_schema.py <path-to-asf_sim>
        check_stats_schema.py --bench <path-to-BENCH_simcore.json>
+       check_stats_schema.py --heartbeat <path-to-heartbeat.jsonl>
 """
 
 import json
@@ -124,6 +130,87 @@ def check_fence_profile(fp):
                "fenceProfile slowest record: missing 'kind'")
 
 
+# Per-line event attribution keys (mirrors hotEventName in
+# src/mem/hotspot.cc); all optional per line, emitted only when nonzero.
+HOT_EVENT_KEYS = ("bounces", "nackX", "nackCO", "sharerProbes",
+                  "bsConflicts", "grtDeposits", "grtBlocks", "l2Misses")
+
+
+def check_hot_lines(hl):
+    for key in ("capacity", "tracked", "totalRecorded", "evictions"):
+        check_number(hl, key, "hotLines")
+    expect(hl["capacity"] > 0, "hotLines: zero capacity")
+    expect(hl["tracked"] <= hl["capacity"],
+           "hotLines: tracked exceeds capacity")
+    lines = hl.get("lines")
+    expect(isinstance(lines, list), "hotLines: 'lines' is not an array")
+    expect(len(lines) == hl["tracked"],
+           f"hotLines: {len(lines)} lines, 'tracked' says "
+           f"{hl['tracked']}")
+    prev = None
+    for e in lines:
+        check_number(e, "line", "hotLines entry")
+        check_number(e, "count", "hotLines entry")
+        check_number(e, "error", "hotLines entry")
+        expect(e["error"] <= e["count"],
+               f"hotLines line {e['line']:#x}: error exceeds count")
+        attributed = sum(e.get(k, 0) for k in HOT_EVENT_KEYS)
+        # Space-Saving inherits the evicted minimum into 'count', so
+        # attributed events can undershoot count by at most 'error'.
+        expect(attributed + e["error"] >= e["count"],
+               f"hotLines line {e['line']:#x}: events "
+               f"({attributed}) + error ({e['error']}) < count "
+               f"({e['count']})")
+        if "label" in e:
+            expect(isinstance(e["label"], str) and e["label"],
+                   f"hotLines line {e['line']:#x}: empty label")
+        if prev is not None:
+            expect(e["count"] <= prev,
+                   "hotLines: lines not sorted by count descending")
+        prev = e["count"]
+
+
+def check_timeline(tl, cycles):
+    check_number(tl, "interval", "timeline")
+    expect(tl["interval"] > 0, "timeline: zero interval")
+    check_number(tl, "ringCapacity", "timeline")
+    check_number(tl, "droppedSamples", "timeline")
+    samples = tl.get("samples")
+    expect(isinstance(samples, list), "timeline: missing 'samples'")
+    # The still-open tail interval rides along beyond the ring.
+    expect(len(samples) <= tl["ringCapacity"] + 1,
+           "timeline: more samples than the ring holds")
+    prev_end = None
+    for s in samples:
+        ctx = "timeline sample"
+        for key in ("start", "end", "busy", "idle", "instrRetired",
+                    "fencesIssued", "bounces", "nacks", "grtDeposits",
+                    "grtClears", "flits"):
+            check_number(s, key, ctx)
+        expect(s["start"] < s["end"], f"{ctx}: empty interval "
+               f"[{s['start']}, {s['end']}]")
+        expect(s["end"] <= cycles,
+               f"{ctx}: end {s['end']} beyond the run ({cycles})")
+        if prev_end is not None:
+            expect(s["start"] == prev_end,
+                   f"{ctx}: gap/overlap at {s['start']} (previous "
+                   f"sample ended at {prev_end})")
+        prev_end = s["end"]
+        expect(isinstance(s.get("stall"), dict),
+               f"{ctx}: missing 'stall'")
+        links = s.get("links")
+        expect(isinstance(links, list), f"{ctx}: missing 'links'")
+        total = 0
+        for pair in links:
+            expect(isinstance(pair, list) and len(pair) == 2,
+                   f"{ctx}: link delta is not an [index, flits] pair")
+            expect(pair[1] > 0, f"{ctx}: zero link delta emitted")
+            total += pair[1]
+        expect(total == s["flits"],
+               f"{ctx}: link deltas sum to {total}, 'flits' says "
+               f"{s['flits']}")
+
+
 def check_group(g):
     ctx = f"group '{g.get('name', '?')}'"
     expect(isinstance(g.get("name"), str), f"{ctx}: missing name")
@@ -183,7 +270,7 @@ def check_check_block(blk):
         check_witness(blk.get("witness"))
 
 
-def check_run(run, expect_check=False):
+def check_run(run, expect_check=False, expect_timeline=False):
     for key in ("workload", "design"):
         expect(isinstance(run.get(key), str), f"run: missing '{key}'")
     check_number(run, "cores", "run")
@@ -198,7 +285,7 @@ def check_run(run, expect_check=False):
     sys_doc = run.get("system")
     expect(isinstance(sys_doc, dict), "run: missing 'system' document")
     version = sys_doc.get("schemaVersion")
-    expect(version in (1, 2, 3),
+    expect(version in (1, 2, 3, 4),
            f"system: unknown schemaVersion {version!r}")
     if version >= 2:
         for key in FENCE_BUCKETS + OTHER_BUCKETS:
@@ -264,6 +351,19 @@ def check_run(run, expect_check=False):
         if "fenceProfile" in sys_doc:
             check_fence_profile(sys_doc["fenceProfile"])
 
+    if version >= 4:
+        # Hot-line tracking defaults on, so the block is mandatory; the
+        # timeline appears only under --stats-interval.
+        expect("hotLines" in sys_doc, "system: v4 without 'hotLines'")
+        check_hot_lines(sys_doc["hotLines"])
+        if expect_timeline:
+            expect("timeline" in sys_doc,
+                   "system: --stats-interval run without 'timeline'")
+            expect(sys_doc["timeline"].get("samples"),
+                   "timeline: no samples from a --stats-interval run")
+        if "timeline" in sys_doc:
+            check_timeline(sys_doc["timeline"], sys_doc["cycles"])
+
     if version >= 3 and expect_check:
         expect("check" in sys_doc,
                "system: --check run without a 'check' block")
@@ -289,6 +389,83 @@ def check_run(run, expect_check=False):
         expect(0.0 <= l["utilization"] <= 1.0,
                f"link: utilization {l['utilization']} outside [0, 1]")
         expect(l["packets"] > 0, "link: heatmap row with zero packets")
+
+
+def check_heartbeat(path, expect_total=None):
+    """Validate a sweep-heartbeat JSONL file (src/harness/heartbeat.cc):
+    sweep-start first, sweep-end last, per-job start/end bracketing,
+    monotone timestamps, well-formed progress lines."""
+    with open(path) as f:
+        lines = [l for l in f.read().splitlines() if l.strip()]
+    expect(lines, "heartbeat: empty file")
+    events = []
+    for i, line in enumerate(lines):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"heartbeat line {i + 1}: not JSON ({e})")
+    expect(events[0].get("event") == "sweep-start",
+           "heartbeat: first event is not sweep-start")
+    expect(events[-1].get("event") == "sweep-end",
+           "heartbeat: last event is not sweep-end")
+    total = events[0].get("total")
+    check_number(events[0], "total", "sweep-start")
+    if expect_total is not None:
+        expect(total == expect_total,
+               f"heartbeat: sweep-start total {total}, expected "
+               f"{expect_total}")
+    prev_t = None
+    started, ended = set(), set()
+    for e in events:
+        kind = e.get("event")
+        check_number(e, "t", f"heartbeat {kind}")
+        if prev_t is not None:
+            expect(e["t"] >= prev_t,
+                   f"heartbeat: timestamps regress at {kind}")
+        prev_t = e["t"]
+        if kind == "job-start":
+            check_number(e, "job", kind)
+            expect(0 <= e["job"] < total, f"{kind}: job out of range")
+            expect(e["job"] not in started, f"{kind}: duplicate job")
+            started.add(e["job"])
+            expect(isinstance(e.get("label"), str) and e["label"],
+                   f"{kind}: missing label")
+            h = e.get("configHash")
+            expect(isinstance(h, str) and len(h) == 16 and
+                   all(c in "0123456789abcdef" for c in h),
+                   f"{kind}: configHash is not 16 hex chars")
+        elif kind == "job-end":
+            check_number(e, "job", kind)
+            check_number(e, "cycles", kind)
+            expect(e["job"] in started, f"{kind}: end before start")
+            expect(e["job"] not in ended, f"{kind}: duplicate end")
+            ended.add(e["job"])
+            expect(isinstance(e.get("valid"), bool),
+                   f"{kind}: missing 'valid'")
+            expect(isinstance(e.get("watchdog"), bool),
+                   f"{kind}: missing 'watchdog'")
+            expect(isinstance(e.get("status"), str),
+                   f"{kind}: missing 'status'")
+        elif kind == "progress":
+            check_number(e, "done", kind)
+            check_number(e, "total", kind)
+            active = e.get("active")
+            expect(isinstance(active, list), f"{kind}: missing active")
+            for a in active:
+                check_number(a, "job", f"{kind} active")
+                check_number(a, "cycles", f"{kind} active")
+        elif kind == "sweep-end":
+            check_number(e, "done", kind)
+            check_number(e, "elapsedSeconds", kind)
+        elif kind != "sweep-start":
+            fail(f"heartbeat: unknown event {kind!r}")
+    expect(started == set(range(total)),
+           f"heartbeat: jobs started {sorted(started)}, expected all "
+           f"of 0..{total - 1}")
+    expect(ended == started, "heartbeat: not every started job ended")
+    expect(events[-1]["done"] == total,
+           f"heartbeat: sweep-end done {events[-1]['done']} != "
+           f"total {total}")
 
 
 def check_trace(path):
@@ -324,9 +501,9 @@ BENCH_MODES = ("noFastForward", "fastForward", "directExec")
 def check_bench_report(path):
     with open(path) as f:
         doc = json.load(f)
-    expect(doc.get("schemaVersion") == 2,
-           f"bench: schemaVersion {doc.get('schemaVersion')!r}, "
-           f"expected 2")
+    version = doc.get("schemaVersion")
+    expect(version in (2, 3),
+           f"bench: schemaVersion {version!r}, expected 2 or 3")
     expect(isinstance(doc.get("design"), str), "bench: missing 'design'")
     expect(isinstance(doc.get("quick"), bool), "bench: missing 'quick'")
     workloads = doc.get("workloads")
@@ -363,6 +540,21 @@ def check_bench_report(path):
         for key in ("speedupFastForward", "speedupDirectExec"):
             check_number(w, key, name)
             expect(w[key] > 0, f"{name}: '{key}' not positive")
+    if version >= 3:
+        obs = doc.get("observatory")
+        expect(isinstance(obs, dict),
+               "bench: v3 report without 'observatory'")
+        expect(isinstance(obs.get("workload"), str),
+               "observatory: missing 'workload'")
+        for key in ("intervalCycles", "samplesTaken", "hostSecondsOff",
+                    "hostSecondsOn", "overheadPct"):
+            check_number(obs, key, "observatory")
+        expect(obs["intervalCycles"] > 0,
+               "observatory: zero intervalCycles")
+        expect(obs["hostSecondsOff"] > 0 and obs["hostSecondsOn"] > 0,
+               "observatory: non-positive host seconds")
+        expect(obs.get("statsIdentical") is True,
+               "observatory: 'statsIdentical' is not true")
     print(f"ok: bench report schema validated "
           f"({len(workloads)} workloads)")
 
@@ -373,9 +565,15 @@ def main():
         expect(bench.exists(), f"no such report: {bench}")
         check_bench_report(bench)
         return
+    if len(sys.argv) == 3 and sys.argv[1] == "--heartbeat":
+        hb = Path(sys.argv[2])
+        expect(hb.exists(), f"no such heartbeat: {hb}")
+        check_heartbeat(hb)
+        print("ok: heartbeat telemetry validated")
+        return
     if len(sys.argv) != 2:
         fail(f"usage: {sys.argv[0]} <path-to-asf_sim> | "
-             f"--bench <report.json>")
+             f"--bench <report.json> | --heartbeat <hb.jsonl>")
     asf_sim = Path(sys.argv[1])
     expect(asf_sim.exists(), f"no such binary: {asf_sim}")
 
@@ -397,7 +595,7 @@ def main():
 
             with open(stats_path) as f:
                 doc = json.load(f)
-            expect(doc.get("schemaVersion") in (1, 2, 3),
+            expect(doc.get("schemaVersion") in (1, 2, 3, 4),
                    f"log: unknown schemaVersion "
                    f"{doc.get('schemaVersion')!r}")
             runs = doc.get("runs")
@@ -415,8 +613,38 @@ def main():
         expect(trace_path.exists(), "no trace written")
         check_trace(trace_path)
 
-    print("ok: stats schema (with and without --check) and trace "
-          "format validated")
+        # Observatory shape: --stats-interval fills the timeline block,
+        # and --obs-dir resolves the relative stats path under it.
+        obs_dir = Path(tmp) / "obs"
+        proc = subprocess.run(
+            base + ["--stats-json", "stats.json", "--stats-interval",
+                    "1000", f"--obs-dir={obs_dir}"],
+            capture_output=True, text=True, timeout=300)
+        expect(proc.returncode == 0,
+               f"asf_sim failed ({proc.returncode}):\n{proc.stderr}")
+        obs_stats = obs_dir / "stats.json"
+        expect(obs_stats.exists(),
+               "--obs-dir did not redirect the relative stats path")
+        with open(obs_stats) as f:
+            doc = json.load(f)
+        check_run(doc["runs"][0], expect_timeline=True)
+
+        # Live sweep telemetry: an --all-designs campaign with
+        # --heartbeat must leave a well-formed JSONL trail.
+        hb_path = Path(tmp) / "heartbeat.jsonl"
+        proc = subprocess.run(
+            [str(asf_sim), "--workload", "ustm:Hash", "--all-designs",
+             "--jobs", "2", "--cores", "4", "--cycles", "30000",
+             f"--heartbeat={hb_path}"],
+            capture_output=True, text=True, timeout=300)
+        expect(proc.returncode == 0,
+               f"asf_sim sweep failed ({proc.returncode}):"
+               f"\n{proc.stderr}")
+        expect(hb_path.exists(), "no heartbeat written")
+        check_heartbeat(hb_path, expect_total=5)
+
+    print("ok: stats schema (plain, --check, --stats-interval), trace "
+          "format, obs-dir routing, and sweep heartbeat validated")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Render the per-line hot-spot attribution of a stats-JSON log.
+
+Reads a schemaVersion-4 stats log (asf_sim --stats-json, or any bench
+binary) and pretty-prints each run's `hotLines` block: the top-K
+contended cache lines by attributed contention events (directory
+bounces, GETX/commit NACKs, sharer probes, BS-insert conflicts, GRT
+deposits/blocks, L2 misses), with the guest-symbol label when the
+workload registered one (e.g. `dekker.flag[1]`) and the Space-Saving
+over-count bound (`±error`).
+
+    tools/hotspot_report.py stats.json
+    tools/hotspot_report.py stats.json --top 5 --workload synth:dekker
+
+CTest uses --expect-top to pin the anti-vacuity property that the
+attribution actually finds the contended lines: on the dekker kit the
+two flag lines must rank first and second.
+
+    tools/hotspot_report.py stats.json --expect-top dekker.flag --within 2
+
+With --sim BIN the tool drives the simulator itself (runs
+`BIN --synth KIT --stats-json TMP` into a temporary file) so a single
+CTest command covers the whole pipeline.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Event columns, in display order (mirrors hotEventName in
+# src/mem/hotspot.cc).
+EVENT_KEYS = ("bounces", "nackX", "nackCO", "sharerProbes",
+              "bsConflicts", "grtDeposits", "grtBlocks", "l2Misses")
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = doc.get("runs")
+    if runs is None:
+        # Accept a bare system document too (System::dumpStatsJson).
+        if "hotLines" in doc:
+            return [{"workload": "?", "design": "?", "cores": 0,
+                     "system": doc}]
+        fail(f"{path}: not a stats log (no 'runs')")
+    return runs
+
+
+def line_name(entry):
+    return entry.get("label") or f"{entry['line']:#x}"
+
+
+def print_run(run, top):
+    hot = (run.get("system") or {}).get("hotLines")
+    title = (f"{run.get('workload')} / {run.get('design')} / "
+             f"{run.get('cores')} cores")
+    if not hot:
+        print(f"{title}: no hotLines block (schemaVersion < 4 or "
+              f"tracking off)")
+        return
+    lines = hot.get("lines", [])[:top]
+    print(f"{title}: {hot.get('totalRecorded', 0)} contention events "
+          f"over {hot.get('tracked', 0)} tracked lines "
+          f"(capacity {hot.get('capacity', 0)}, "
+          f"{hot.get('evictions', 0)} evictions)")
+    if not lines:
+        print("  (no contention recorded)")
+        return
+    cols = [k for k in EVENT_KEYS
+            if any(e.get(k) for e in lines)]
+    header = (f"  {'#':>2} {'line':<18} {'count':>8} {'±err':>6} "
+              f"{'peak':>4}")
+    header += "".join(f" {c:>12}" for c in cols)
+    print(header)
+    for rank, e in enumerate(lines, 1):
+        row = (f"  {rank:>2} {line_name(e):<18} {e['count']:>8} "
+               f"{e.get('error', 0):>6} {e.get('sharerPeak', 0):>4}")
+        row += "".join(f" {e.get(c, 0):>12}" for c in cols)
+        print(row)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("stats", nargs="?", default="",
+                    help="stats-JSON log (schemaVersion 4)")
+    ap.add_argument("--sim", default="",
+                    help="asf_sim binary: run `--synth KIT` (see --kit) "
+                         "into a temp file instead of reading `stats`")
+    ap.add_argument("--kit", default="dekker",
+                    help="synthesis kit for --sim (default dekker)")
+    ap.add_argument("--top", type=int, default=10,
+                    help="lines to show per run (default 10)")
+    ap.add_argument("--workload", default="",
+                    help="only runs whose workload contains this")
+    ap.add_argument("--expect-top", default="",
+                    help="assert a label containing this ranks within "
+                         "--within in every matching run")
+    ap.add_argument("--within", type=int, default=2,
+                    help="rank bound for --expect-top (default 2)")
+    args = ap.parse_args()
+
+    tmp = None
+    if args.sim:
+        fd, tmp = tempfile.mkstemp(prefix="hotspot_", suffix=".json")
+        os.close(fd)
+        cmd = [args.sim, "--synth", args.kit, "--stats-json", tmp]
+        res = subprocess.run(cmd)
+        if res.returncode != 0:
+            fail(f"{' '.join(cmd)}: exit {res.returncode}")
+        args.stats = tmp
+    elif not args.stats:
+        fail("need a stats-JSON path or --sim BIN")
+
+    runs = [r for r in load_runs(args.stats)
+            if args.workload in (r.get("workload") or "")]
+    if not runs:
+        fail(f"no runs match workload filter {args.workload!r}")
+
+    for run in runs:
+        print_run(run, args.top)
+
+    if args.expect_top:
+        for run in runs:
+            hot = (run.get("system") or {}).get("hotLines")
+            if not hot:
+                fail(f"{run.get('workload')}: no hotLines block to "
+                     f"check --expect-top against")
+            head = hot.get("lines", [])[:args.within]
+            matches = [e for e in head
+                       if args.expect_top in e.get("label", "")]
+            if not matches:
+                names = [line_name(e) for e in head]
+                fail(f"{run.get('workload')}: no line labelled "
+                     f"*{args.expect_top}* in the top {args.within} "
+                     f"(got {names})")
+        print(f"ok: *{args.expect_top}* ranks in the top "
+              f"{args.within} of all {len(runs)} matching run(s)")
+    if tmp:
+        os.unlink(tmp)
+
+
+if __name__ == "__main__":
+    main()

@@ -76,6 +76,32 @@ def summarize_check(blk):
     return out
 
 
+# Timeline totals compared across runs. Each is a delta-sum, so two
+# runs with identical cumulative stats must agree exactly even when
+# their samples were cut at different boundaries.
+TIMELINE_TOTAL_KEYS = ("busy", "idle", "instrRetired", "fencesIssued",
+                       "bounces", "nacks", "grtDeposits", "grtClears",
+                       "flits")
+
+
+def summarize_timeline(tl):
+    """The comparable slice of a schemaVersion-4 `timeline` block.
+    Per-metric totals over the retained samples compare exactly; the
+    sample *count* is kept separately because execution-mode jumps
+    (fast-forward, direct-exec bursts) legitimately merge several
+    interval boundaries into one sample — compare_docs grants it a
+    built-in tolerance."""
+    samples = tl.get("samples", [])
+    totals = {k: sum(s.get(k, 0) for s in samples)
+              for k in TIMELINE_TOTAL_KEYS}
+    out = {"interval": tl.get("interval"), "samples": len(samples),
+           "totals": totals}
+    if samples:
+        out["start"] = samples[0]["start"]
+        out["end"] = samples[-1]["end"]
+    return out
+
+
 def summarize_run(run):
     out = {
         "workload": run.get("workload"),
@@ -96,6 +122,14 @@ def summarize_run(run):
         out["check"] = summarize_check(blk)
     elif "check" in run:  # already-summarized input (summary-vs-summary)
         out["check"] = run["check"]
+    # Interval time-series (schemaVersion 4, --stats-interval runs
+    # only): goldens from plain sweeps carry no timeline and stay
+    # byte-identical.
+    tl = (run.get("system") or {}).get("timeline")
+    if tl is not None:
+        out["timeline"] = summarize_timeline(tl)
+    elif "timeline" in run:  # already-summarized input
+        out["timeline"] = run["timeline"]
     return out
 
 
@@ -128,11 +162,20 @@ def parse_rtols(pairs):
     return rtols
 
 
+# Built-in tolerances (overridable with --rtol): interval sample counts
+# may differ across execution modes because idle fast-forward and
+# direct-exec bursts merge boundary crossings into one sample, while
+# the timeline *totals* still compare exactly.
+DEFAULT_RTOLS = {"timeline.samples": 0.5}
+
+
 def metric_rtol(path, rtols):
     """Tolerance for a metric: match the full path or its last segment."""
     if path in rtols:
         return rtols[path]
-    return rtols.get(path.rsplit(".", 1)[-1], 0.0)
+    if path.rsplit(".", 1)[-1] in rtols:
+        return rtols[path.rsplit(".", 1)[-1]]
+    return DEFAULT_RTOLS.get(path, 0.0)
 
 
 def compare_docs(a_doc, b_doc, rtols, a_name="A", b_name="B"):
@@ -221,14 +264,34 @@ def cmd_check_bench(args):
 BENCH_MODES = ("noFastForward", "fastForward", "directExec")
 
 
-def check_perf_report(doc, min_speedup, gate):
-    """Gate a simcore-microbench report (schemaVersion 2): mode
-    identity everywhere, direct-exec speedup on the gated workload."""
+def check_perf_report(doc, min_speedup, gate, max_obs_overhead=10.0):
+    """Gate a simcore-microbench report (schemaVersion 2 or 3): mode
+    identity everywhere, direct-exec speedup on the gated workload,
+    and (v3) the observatory wall-clock overhead bound. The overhead
+    gate is looser than the committed target (<= 5%) to keep host
+    noise from flaking CI while still catching a sampler that landed
+    on a hot path."""
     errors = []
-    if doc.get("schemaVersion") != 2:
-        errors.append(f"report schemaVersion "
-                      f"{doc.get('schemaVersion')!r}, expected 2")
+    version = doc.get("schemaVersion")
+    if version not in (2, 3):
+        errors.append(f"report schemaVersion {version!r}, "
+                      f"expected 2 or 3")
         return errors
+    if version >= 3:
+        obs = doc.get("observatory")
+        if not isinstance(obs, dict):
+            errors.append("v3 report without an 'observatory' block")
+        else:
+            if obs.get("statsIdentical") is not True:
+                errors.append("observatory: stats differ with the "
+                              "observatory on")
+            overhead = obs.get("overheadPct")
+            if not isinstance(overhead, (int, float)):
+                errors.append("observatory: missing overheadPct")
+            elif overhead > max_obs_overhead:
+                errors.append(
+                    f"observatory overhead {overhead:.1f}% above the "
+                    f"{max_obs_overhead:.1f}% gate")
     workloads = doc.get("workloads", [])
     if not workloads:
         errors.append("report contains no workloads")
@@ -277,7 +340,8 @@ def cmd_check_perf(args):
             sys.exit(f"FAIL: {bench.name} exited "
                      f"{proc.returncode}:\n{proc.stderr}")
         doc = load(out)
-    errors = check_perf_report(doc, args.min_speedup, args.gate)
+    errors = check_perf_report(doc, args.min_speedup, args.gate,
+                               args.max_obs_overhead)
     report(errors, f"{bench.name} perf smoke "
                    f"(gate {args.gate} >= {args.min_speedup:.2f}x)")
 
@@ -313,6 +377,9 @@ def main():
     p.add_argument("--min-speedup", type=float, default=2.0)
     p.add_argument("--gate", default="busy_spin_8core")
     p.add_argument("--only", default="")
+    p.add_argument("--max-obs-overhead", type=float, default=10.0,
+                   help="max observatory wall-clock overhead %% "
+                        "(v3 reports)")
     p.set_defaults(func=cmd_check_perf)
 
     args = top.parse_args()

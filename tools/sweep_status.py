@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Render a live sweep-heartbeat JSONL file as a status report.
+
+A `--jobs N` campaign started with `--heartbeat PATH` appends JSONL
+events as it runs (see src/harness/heartbeat.hh); this tool turns the
+trail into a human answer to "is it stuck, and how long to go?":
+
+    tools/sweep_status.py heartbeat.jsonl
+
+Prints overall progress, the wall-clock ETA from the latest progress
+line, the currently running jobs with their live simulated-cycle
+counts, and any finished job that failed validation or tripped the
+livelock watchdog. Exit status: 0 while healthy (running or complete),
+1 when any finished job failed.
+"""
+
+import json
+import sys
+import time
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_events(path):
+    events = []
+    try:
+        with open(path) as f:
+            for i, line in enumerate(f):
+                if not line.strip():
+                    continue
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # A writer mid-append can leave a torn last line;
+                    # anything earlier must parse.
+                    if i + 1 < sum(1 for _ in open(path)):
+                        fail(f"{path}:{i + 1}: bad JSON")
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    if not events:
+        fail(f"{path}: no events")
+    return events
+
+
+def fmt_eta(seconds):
+    if seconds is None:
+        return "unknown"
+    if seconds < 90:
+        return f"{seconds:.0f}s"
+    if seconds < 5400:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds / 3600:.1f}h"
+
+
+def main():
+    if len(sys.argv) != 2:
+        fail(f"usage: {sys.argv[0]} <heartbeat.jsonl>")
+    events = load_events(sys.argv[1])
+
+    start = next((e for e in events if e.get("event") == "sweep-start"),
+                 None)
+    end = next((e for e in reversed(events)
+                if e.get("event") == "sweep-end"), None)
+    progress = next((e for e in reversed(events)
+                     if e.get("event") == "progress"), None)
+    total = (start or {}).get("total", 0)
+
+    labels = {}
+    failures = []
+    done = 0
+    for e in events:
+        if e.get("event") == "job-start":
+            labels[e["job"]] = e.get("label", "?")
+        elif e.get("event") == "job-end":
+            done += 1
+            if not e.get("valid", False):
+                failures.append(e)
+
+    if end:
+        print(f"sweep complete: {end.get('done', done)}/{total} jobs "
+              f"in {end.get('elapsedSeconds', 0.0):.1f}s")
+    else:
+        age = time.time() - events[-1].get("t", time.time())
+        state = "running" if age < 30 else f"STALE ({age:.0f}s silent)"
+        print(f"sweep {state}: {done}/{total} jobs done, "
+              f"ETA {fmt_eta((progress or {}).get('etaSeconds'))}")
+        for a in (progress or {}).get("active", []):
+            label = a.get("label") or labels.get(a.get("job"), "?")
+            print(f"  running job {a.get('job')}: {label} "
+                  f"at {a.get('cycles', 0)} cycles "
+                  f"[{a.get('configHash', '?')}]")
+
+    for e in failures:
+        label = labels.get(e.get("job"), "?")
+        why = "watchdog" if e.get("watchdog") else "invalid"
+        print(f"  FAILED job {e.get('job')} ({label}), {why}: "
+              f"{e.get('status', '?')}")
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()
